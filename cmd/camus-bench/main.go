@@ -1,0 +1,145 @@
+// Command camus-bench regenerates every table and figure of the paper's
+// evaluation (§4) on the simulated substrate and prints the same series
+// the paper plots.
+//
+// Usage:
+//
+//	camus-bench -fig all
+//	camus-bench -fig 5a
+//	camus-bench -fig 5c -sizes 1000,10000,100000
+//	camus-bench -fig 7a -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"camus/internal/experiments"
+	"camus/internal/pipeline"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "figure to regenerate: 5a, 5b, 5c, 7a, 7b, throughput, ablation, order, all")
+		sizes = flag.String("sizes", "", "comma-separated subscription counts (5c/throughput override)")
+		seed  = flag.Int64("seed", 1, "workload seed")
+		csv   = flag.Bool("csv", false, "emit CSV series instead of aligned tables")
+	)
+	flag.Parse()
+
+	var sizeList []int
+	if *sizes != "" {
+		for _, s := range strings.Split(*sizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			fatal(err)
+			sizeList = append(sizeList, n)
+		}
+	}
+
+	run := func(name string) {
+		switch name {
+		case "5a":
+			pts, err := experiments.Fig5a(*seed)
+			fatal(err)
+			if *csv {
+				fmt.Println("subscriptions,entries")
+				for _, p := range pts {
+					fmt.Printf("%d,%d\n", p.X, p.Entries)
+				}
+				return
+			}
+			fmt.Print(experiments.FormatEntriesSeries(
+				"Figure 5a: table entries vs number of subscriptions", "subscriptions", pts))
+		case "5b":
+			pts, err := experiments.Fig5b(*seed)
+			fatal(err)
+			if *csv {
+				fmt.Println("predicates,entries")
+				for _, p := range pts {
+					fmt.Printf("%d,%d\n", p.X, p.Entries)
+				}
+				return
+			}
+			fmt.Print(experiments.FormatEntriesSeries(
+				"Figure 5b: table entries vs predicates per subscription", "predicates", pts))
+		case "5c":
+			pts, err := experiments.Fig5c(sizeList, *seed)
+			fatal(err)
+			if *csv {
+				fmt.Println("subscriptions,compile_seconds,entries,groups")
+				for _, p := range pts {
+					fmt.Printf("%d,%.3f,%d,%d\n", p.Subscriptions, p.CompileTime.Seconds(), p.Entries, p.Groups)
+				}
+				return
+			}
+			fmt.Print(experiments.FormatFig5c(pts))
+		case "7a":
+			r, err := experiments.Fig7a()
+			fatal(err)
+			printFig7(*csv, "Figure 7a (Nasdaq trace, 0.5% match)", r)
+		case "7b":
+			r, err := experiments.Fig7b()
+			fatal(err)
+			printFig7(*csv, "Figure 7b (synthetic feed, 5% match)", r)
+		case "throughput":
+			pts, err := experiments.Throughput(sizeList, 0, *seed)
+			fatal(err)
+			if *csv {
+				fmt.Println("rules,ns_per_msg,msgs_per_sec")
+				for _, p := range pts {
+					fmt.Printf("%d,%.1f,%.0f\n", p.Rules, p.NsPerMsg, p.MsgsPerSec)
+				}
+				return
+			}
+			fmt.Print(experiments.FormatThroughput(pts, pipeline.DefaultConfig()))
+		case "ablation":
+			pts, err := experiments.Ablation(20000, *seed)
+			fatal(err)
+			fmt.Print(experiments.FormatAblation(pts))
+		case "order":
+			pts, err := experiments.OrderAblation(20000, *seed)
+			fatal(err)
+			fmt.Print(experiments.FormatOrderAblation(pts))
+		case "fanout":
+			pts, err := experiments.Fanout(16)
+			fatal(err)
+			fmt.Print(experiments.FormatFanout(pts))
+		default:
+			fmt.Fprintf(os.Stderr, "camus-bench: unknown figure %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Println()
+	}
+
+	if *fig == "all" {
+		for _, name := range []string{"5a", "5b", "5c", "7a", "7b", "throughput", "ablation", "order", "fanout"} {
+			run(name)
+		}
+		return
+	}
+	run(*fig)
+}
+
+func printFig7(csv bool, name string, r *experiments.Fig7Result) {
+	if csv {
+		fmt.Println("curve,latency_us,cdf")
+		for _, pt := range r.Camus.CDF(100) {
+			fmt.Printf("camus,%.3f,%.4f\n", float64(pt.X.Nanoseconds())/1000, pt.P)
+		}
+		for _, pt := range r.Baseline.CDF(100) {
+			fmt.Printf("baseline,%.3f,%.4f\n", float64(pt.X.Nanoseconds())/1000, pt.P)
+		}
+		return
+	}
+	fmt.Print(experiments.FormatFig7(name, r))
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "camus-bench:", err)
+		os.Exit(1)
+	}
+}

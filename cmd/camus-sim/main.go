@@ -1,0 +1,108 @@
+// Command camus-sim runs the end-to-end latency experiment of §4 on the
+// discrete-event testbed: a publisher streams a market-data feed through a
+// switch to a subscriber, once with Camus switch filtering and once with
+// the software baseline, and prints the latency CDFs (Figure 7).
+//
+// Usage:
+//
+//	camus-sim -feed nasdaq
+//	camus-sim -feed synthetic -subs "stock == GOOGL : fwd(1)"
+//	camus-sim -feed nasdaq -cdf 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"camus/internal/compiler"
+	"camus/internal/experiments"
+	"camus/internal/netsim"
+	"camus/internal/pipeline"
+	"camus/internal/workload"
+)
+
+func main() {
+	var (
+		feedKind = flag.String("feed", "nasdaq", "feed: nasdaq or synthetic")
+		feedFile = flag.String("feedfile", "", "replay a feed file written by itchgen instead of generating one")
+		subs     = flag.String("subs", "", "subscription rules for the subscriber (default: stock == <target> : fwd(1))")
+		target   = flag.String("target", "GOOGL", "symbol whose latency is measured")
+		seed     = flag.Int64("seed", 0, "feed seed override (0 = preset)")
+		cdfN     = flag.Int("cdf", 0, "also print an N-point CDF per curve")
+	)
+	flag.Parse()
+
+	var feedCfg workload.FeedConfig
+	switch *feedKind {
+	case "nasdaq":
+		feedCfg = workload.NasdaqTraceConfig()
+	case "synthetic":
+		feedCfg = workload.SyntheticFeedConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "camus-sim: unknown feed %q\n", *feedKind)
+		os.Exit(2)
+	}
+	if *seed != 0 {
+		feedCfg.Seed = *seed
+	}
+	feedCfg.TargetSymbol = *target
+
+	rules := *subs
+	if rules == "" {
+		rules = fmt.Sprintf("stock == %s : fwd(1)", *target)
+	}
+
+	sp := workload.ITCHSpec()
+	prog, err := compiler.CompileSource(sp, rules, compiler.Options{})
+	fatal(err)
+	sw, err := pipeline.New(prog, pipeline.DefaultConfig())
+	fatal(err)
+
+	var feed []workload.FeedPacket
+	if *feedFile != "" {
+		f, err := os.Open(*feedFile)
+		fatal(err)
+		feed, err = workload.ReadFeed(f)
+		f.Close()
+		fatal(err)
+	} else {
+		feed = workload.GenerateFeed(feedCfg)
+	}
+	camusRes, err := netsim.RunExperiment(netsim.ExperimentConfig{
+		Feed: feed, TargetSymbol: *target,
+		Mode: netsim.SwitchFiltering, Switch: sw, SubscriberPort: 1,
+	})
+	fatal(err)
+	baseRes, err := netsim.RunExperiment(netsim.ExperimentConfig{
+		Feed: feed, TargetSymbol: *target, Mode: netsim.Baseline,
+	})
+	fatal(err)
+
+	r := &experiments.Fig7Result{
+		Camus: camusRes.Latency, Baseline: baseRes.Latency,
+		TargetMsgs: camusRes.TargetMsgs, TotalMsgs: camusRes.TotalMsgs,
+		CamusDelivered: camusRes.DeliveredMsg, BaselineDelivered: baseRes.DeliveredMsg,
+	}
+	fmt.Print(experiments.FormatFig7(fmt.Sprintf("%s feed, target %s", *feedKind, *target), r))
+
+	if *cdfN > 0 {
+		fmt.Println("\ncurve,latency_us,cdf")
+		for _, pt := range r.Camus.CDF(*cdfN) {
+			fmt.Printf("camus,%.3f,%.4f\n", us(pt.X), pt.P)
+		}
+		for _, pt := range r.Baseline.CDF(*cdfN) {
+			fmt.Printf("baseline,%.3f,%.4f\n", us(pt.X), pt.P)
+		}
+	}
+}
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1000 }
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "camus-sim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,76 @@
+// Command itchgen generates the evaluation workloads as files: ITCH
+// subscription sets (Fig. 5c) and timestamped MoldUDP64 market-data feeds
+// (Fig. 7). Feeds are written in a simple record format, one record per
+// datagram:
+//
+//	8 bytes big-endian: publication time (ns since feed start)
+//	4 bytes big-endian: payload length
+//	N bytes:            MoldUDP64 payload
+//
+// Usage:
+//
+//	itchgen -kind subs -n 100000 -out subs.txt
+//	itchgen -kind nasdaq -out nasdaq.feed
+//	itchgen -kind synthetic -out synth.feed
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"camus/internal/workload"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "subs", "what to generate: subs, nasdaq, synthetic")
+		n      = flag.Int("n", 100000, "number of subscriptions (kind=subs)")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		out    = flag.String("out", "", "output file (default stdout)")
+		stocks = flag.Int("stocks", 100, "number of stock symbols (kind=subs)")
+		hosts  = flag.Int("hosts", 200, "number of end hosts (kind=subs)")
+	)
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		fatal(err)
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	defer bw.Flush()
+
+	switch *kind {
+	case "subs":
+		cfg := workload.DefaultITCHSubsConfig()
+		cfg.Subscriptions = *n
+		cfg.Seed = *seed
+		cfg.Stocks = *stocks
+		cfg.Hosts = *hosts
+		_, err := bw.WriteString(workload.ITCHSubscriptionSource(cfg))
+		fatal(err)
+	case "nasdaq", "synthetic":
+		cfg := workload.NasdaqTraceConfig()
+		if *kind == "synthetic" {
+			cfg = workload.SyntheticFeedConfig()
+		}
+		cfg.Seed = *seed
+		feed := workload.GenerateFeed(cfg)
+		fatal(workload.WriteFeed(bw, feed, "ITCHGEN"))
+		fmt.Fprintf(os.Stderr, "itchgen: wrote %d datagrams\n", len(feed))
+	default:
+		fmt.Fprintf(os.Stderr, "itchgen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "itchgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,83 @@
+// Quickstart: compile three packet subscriptions against the paper's ITCH
+// message format, inspect the generated tables (the Figure 3/4 example),
+// and run messages through the simulated switch.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"camus"
+)
+
+const specSrc = `
+header_type itch_add_order_t {
+    fields {
+        shares: 32;
+        stock: 64;
+        price: 32;
+    }
+}
+header itch_add_order_t add_order;
+
+@query_field(add_order.shares)
+@query_field(add_order.price)
+@query_field_exact(add_order.stock)
+`
+
+const rulesSrc = `
+shares < 60 && stock == AAPL : fwd(3)
+shares < 60 && stock == AAPL : fwd(1); fwd(2)
+shares > 100 && stock == MSFT : fwd(1)
+`
+
+func main() {
+	sp, err := camus.ParseSpec(specSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := camus.CompileSource(sp, rulesSrc, camus.CompileOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== compiled tables (cf. Figure 4) ===")
+	fmt.Print(prog.Dump())
+	fmt.Println("\n=== statistics ===")
+	fmt.Println(prog.Stats)
+
+	sw, err := camus.NewSwitch(prog, camus.DefaultSwitchConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n=== forwarding decisions ===")
+	ps, err := camus.NewPubSub(sp, camus.PubSubConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := ps.SetSubscriptions(rulesSrc); err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range []struct {
+		sym    string
+		shares uint32
+	}{
+		{"AAPL", 59},  // matches rules 1+2: multicast fwd(1,2,3)
+		{"MSFT", 150}, // matches rule 3: fwd(1)
+		{"AAPL", 80},  // matches nothing: drop
+	} {
+		var o camus.AddOrder
+		o.SetStock(m.sym)
+		o.Shares = m.shares
+		res := ps.ProcessOrder(&o, 0)
+		if res.Dropped {
+			fmt.Printf("%-6s shares=%-4d -> drop\n", m.sym, m.shares)
+		} else {
+			fmt.Printf("%-6s shares=%-4d -> ports %v (group %d)\n", m.sym, m.shares, res.Ports, res.Group)
+		}
+	}
+
+	fmt.Printf("\nswitch model: %d ports, %.2f Tb/s aggregate, %v pipeline latency\n",
+		sw.Config().Ports, sw.Config().BandwidthTbps(), sw.Latency())
+}

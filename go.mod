@@ -1,0 +1,3 @@
+module camus
+
+go 1.22

@@ -1,0 +1,533 @@
+// Package bdd implements the multi-terminal binary decision diagram at the
+// heart of the Camus compiler (§3.2 of the paper).
+//
+// Non-terminal nodes test an atomic predicate on a packet field; terminal
+// nodes hold the merged set of rule payloads (action sets) that match.
+// The builder performs Shannon expansion over the rules' DNF conjunctions
+// and applies the paper's three reductions during construction:
+//
+//	(i)   isomorphic subgraphs are shared (hash-consing),
+//	(ii)  nodes whose branches coincide are elided,
+//	(iii) predicates implied true or false by an ancestor are never
+//	      materialized (the "domain-specific" reduction).
+//
+// Reduction (iii) is obtained by carrying, per field, the interval set of
+// values that can still reach the current node. A consequence — relied on
+// by Algorithm 1 in package compiler — is that the value ranges along the
+// paths leaving a component entry node are pairwise disjoint and partition
+// the field's domain, and the number of such paths is bounded by the
+// number of cells the field's predicates cut the domain into, giving the
+// paper's at-most-quadratic bound on In→Out paths.
+package bdd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"camus/internal/interval"
+)
+
+// Field describes one BDD variable: a packet field (or state variable)
+// with a bounded unsigned domain [0, Max]. Fields are tested in slice
+// order; the order is fixed for all paths (ordered BDD).
+type Field struct {
+	Name string
+	Max  uint64
+}
+
+// Constraint restricts a field to an interval set. Label carries the
+// source predicate text for diagnostics ("price > 50").
+type Constraint struct {
+	Field int
+	Set   interval.Set
+	Label string
+}
+
+// Conj is one DNF conjunction: a set of per-field constraints plus the
+// payload (typically a rule ID) delivered when the conjunction matches.
+type Conj struct {
+	Constraints []Constraint
+	Payload     int
+}
+
+// Node is a BDD node. Non-terminals (Field >= 0) test whether the packet's
+// value for Field lies in Set, branching to True or False. Terminals
+// (Field == -1) carry the sorted, deduplicated payload union.
+type Node struct {
+	ID    int
+	Field int
+	Set   interval.Set
+	Label string
+	True  *Node
+	False *Node
+	// Payloads is non-nil only for terminals (and may be empty: the
+	// "no rule matched" terminal).
+	Payloads []int
+}
+
+// IsTerminal reports whether the node is a terminal.
+func (n *Node) IsTerminal() bool { return n.Field < 0 }
+
+// BDD is a built decision diagram.
+type BDD struct {
+	Fields []Field
+	Root   *Node
+
+	nodes     []*Node // all nodes, terminals included, by ID
+	terminals []*Node
+}
+
+// Nodes returns every node in the BDD (terminals included), indexed by ID.
+func (b *BDD) Nodes() []*Node { return b.nodes }
+
+// Terminals returns the distinct terminal nodes.
+func (b *BDD) Terminals() []*Node { return b.terminals }
+
+// NumNodes returns the total node count (terminals included).
+func (b *BDD) NumNodes() int { return len(b.nodes) }
+
+// NumInternal returns the number of predicate (non-terminal) nodes.
+func (b *BDD) NumInternal() int { return len(b.nodes) - len(b.terminals) }
+
+// builder holds construction state.
+type builder struct {
+	fields []Field
+	conjs  []conjInfo
+	// preds[f] lists the distinct atomic predicates appearing on field f,
+	// in canonical order.
+	preds [][]pred
+
+	memo      map[memoKey]*Node
+	nodeCons  map[nodeKey]*Node
+	termCons  map[hash128]*Node
+	nodes     []*Node
+	terminals []*Node
+
+	// predSeen/predEpoch implement an epoch-stamped "seen" set for
+	// alivePreds, avoiding a map allocation per recursion step.
+	predSeen  [][]int
+	predEpoch int
+}
+
+// memoKey identifies a (sub)problem during construction. The alive
+// conjunction set and the field context are folded into 128-bit hashes;
+// with double 64-bit hashing the collision probability over even millions
+// of memo entries is negligible.
+type memoKey struct {
+	kind     uint8 // 'B' for branch problems, 'X' for field transitions
+	field    int32
+	pred     int32
+	ctx      hash128
+	alive    hash128
+	aliveLen int32
+}
+
+type nodeKey struct {
+	field   int32
+	predKey string
+	trueID  int
+	falseID int
+}
+
+type hash128 struct{ a, b uint64 }
+
+func hashInts(ids []int) hash128 {
+	h1 := uint64(1469598103934665603)
+	h2 := uint64(0x9e3779b97f4a7c15)
+	for _, id := range ids {
+		x := uint64(id)
+		h1 ^= x
+		h1 *= 1099511628211
+		h2 = (h2 ^ x) * 0xff51afd7ed558ccd
+		h2 ^= h2 >> 33
+	}
+	return hash128{h1, h2}
+}
+
+func hashSet(s interval.Set) hash128 {
+	h1 := uint64(1469598103934665603)
+	h2 := uint64(0x9e3779b97f4a7c15)
+	for _, iv := range s.Intervals() {
+		for _, x := range [2]uint64{iv.Lo, iv.Hi} {
+			h1 ^= x
+			h1 *= 1099511628211
+			h2 = (h2 ^ x) * 0xff51afd7ed558ccd
+			h2 ^= h2 >> 33
+		}
+	}
+	return hash128{h1, h2}
+}
+
+type pred struct {
+	set   interval.Set
+	key   string
+	label string
+}
+
+type conjInfo struct {
+	payload int
+	// req[f] is the intersection of the conjunction's constraints on f;
+	// fields without constraints are absent.
+	req map[int]interval.Set
+	// predIdx[f] lists indices into preds[f] used by this conjunction.
+	predIdx map[int][]int
+}
+
+// Build constructs the reduced ordered multi-terminal BDD for the given
+// conjunctions over the given ordered fields.
+func Build(fields []Field, conjs []Conj) (*BDD, error) {
+	b := &builder{
+		fields:   fields,
+		memo:     make(map[memoKey]*Node),
+		nodeCons: make(map[nodeKey]*Node),
+		termCons: make(map[hash128]*Node),
+	}
+	predKey := make([]map[string]int, len(fields))
+	for f := range predKey {
+		predKey[f] = make(map[string]int)
+	}
+	b.preds = make([][]pred, len(fields))
+
+	for _, c := range conjs {
+		info := conjInfo{
+			payload: c.Payload,
+			req:     make(map[int]interval.Set),
+			predIdx: make(map[int][]int),
+		}
+		sat := true
+		for _, con := range c.Constraints {
+			if con.Field < 0 || con.Field >= len(fields) {
+				return nil, fmt.Errorf("bdd: constraint references field %d, have %d fields", con.Field, len(fields))
+			}
+			full := interval.Full(fields[con.Field].Max)
+			set := con.Set.Intersect(full)
+			if set.IsEmpty() {
+				sat = false
+				break
+			}
+			if prev, ok := info.req[con.Field]; ok {
+				set2 := prev.Intersect(set)
+				if set2.IsEmpty() {
+					sat = false
+				}
+				info.req[con.Field] = set2
+			} else {
+				info.req[con.Field] = set
+			}
+			if !sat {
+				break
+			}
+			if !set.IsFull(fields[con.Field].Max) {
+				key := set.Key()
+				idx, ok := predKey[con.Field][key]
+				if !ok {
+					idx = len(b.preds[con.Field])
+					predKey[con.Field][key] = idx
+					b.preds[con.Field] = append(b.preds[con.Field], pred{set: set, key: key, label: con.Label})
+				}
+				info.predIdx[con.Field] = append(info.predIdx[con.Field], idx)
+			}
+		}
+		if !sat {
+			continue // unsatisfiable conjunction: drop (reduction of dead paths)
+		}
+		b.conjs = append(b.conjs, info)
+	}
+
+	// Canonical predicate order within each field: by (min, max, key).
+	// Since predicate indices were already recorded we sort an order
+	// permutation instead of the slice itself.
+	b.sortPreds(predKey)
+
+	b.predSeen = make([][]int, len(fields))
+	for f := range b.predSeen {
+		b.predSeen[f] = make([]int, len(b.preds[f]))
+	}
+
+	alive := make([]int, len(b.conjs))
+	for i := range alive {
+		alive[i] = i
+	}
+	root := b.build(0, interval.Set{}, alive)
+	bb := &BDD{Fields: fields, Root: root, nodes: b.nodes, terminals: b.terminals}
+	return bb, nil
+}
+
+// sortPreds orders each field's predicate list canonically and rewrites
+// the conjunctions' predicate indices to match.
+func (b *builder) sortPreds(predKey []map[string]int) {
+	for f := range b.preds {
+		order := make([]int, len(b.preds[f]))
+		for i := range order {
+			order[i] = i
+		}
+		ps := b.preds[f]
+		sort.Slice(order, func(i, j int) bool {
+			a, c := ps[order[i]], ps[order[j]]
+			if a.set.IsEmpty() != c.set.IsEmpty() {
+				return c.set.IsEmpty()
+			}
+			if !a.set.IsEmpty() && !c.set.IsEmpty() {
+				if a.set.Min() != c.set.Min() {
+					return a.set.Min() < c.set.Min()
+				}
+				if a.set.Max() != c.set.Max() {
+					return a.set.Max() < c.set.Max()
+				}
+			}
+			return a.key < c.key
+		})
+		// old index -> new index
+		remap := make([]int, len(ps))
+		sorted := make([]pred, len(ps))
+		for newIdx, oldIdx := range order {
+			remap[oldIdx] = newIdx
+			sorted[newIdx] = ps[oldIdx]
+		}
+		b.preds[f] = sorted
+		for ci := range b.conjs {
+			idxs := b.conjs[ci].predIdx[f]
+			for k, old := range idxs {
+				idxs[k] = remap[old]
+			}
+			sort.Ints(idxs)
+		}
+		_ = predKey
+	}
+}
+
+// build recursively constructs the subgraph for fields[f:], given the
+// interval context for field f (ctx; the zero Set means "unconstrained so
+// far") and the conjunctions still alive.
+func (b *builder) build(f int, ctx interval.Set, alive []int) *Node {
+	if f == len(b.fields) {
+		return b.terminal(alive)
+	}
+	if ctx.IsEmpty() {
+		ctx = interval.Full(b.fields[f].Max)
+	}
+
+	// Conjunctions whose requirement on f is already disjoint from the
+	// context can never match below this point; dropping them here keeps
+	// their remaining predicates from being materialized.
+	alive = b.pruneDead(f, ctx, alive)
+
+	// Find the first predicate on field f that is used by an alive
+	// conjunction and is not already decided by the context.
+	next := -1
+	var nextPred pred
+	for _, pi := range b.alivePreds(f, alive) {
+		p := b.preds[f][pi]
+		inter := ctx.Intersect(p.set)
+		if inter.IsEmpty() || ctx.SubsetOf(p.set) {
+			continue // implied false / true: reduction (iii)
+		}
+		next = pi
+		nextPred = p
+		break
+	}
+
+	if next < 0 {
+		// Field f fully resolved for every alive conjunction: filter the
+		// alive set by this field's requirements and move on.
+		survivors := b.filterAlive(f, ctx, alive)
+		key := memoKey{kind: 'X', field: int32(f), alive: hashInts(survivors), aliveLen: int32(len(survivors))}
+		if n, ok := b.memo[key]; ok {
+			return n
+		}
+		n := b.build(f+1, interval.Set{}, survivors)
+		b.memo[key] = n
+		return n
+	}
+
+	key := memoKey{
+		kind: 'B', field: int32(f), pred: int32(next),
+		ctx: hashSet(ctx), alive: hashInts(alive), aliveLen: int32(len(alive)),
+	}
+	if n, ok := b.memo[key]; ok {
+		return n
+	}
+
+	trueCtx := ctx.Intersect(nextPred.set)
+	falseCtx := ctx.Minus(nextPred.set, b.fields[f].Max)
+	t := b.build(f, trueCtx, alive)
+	e := b.build(f, falseCtx, alive)
+
+	var n *Node
+	if t == e {
+		n = t // reduction (ii): redundant test
+	} else {
+		n = b.consNode(f, nextPred, t, e)
+	}
+	b.memo[key] = n
+	return n
+}
+
+// alivePreds returns the sorted, deduplicated predicate indices on field f
+// used by alive conjunctions. Deduplication uses an epoch-stamped scratch
+// slice so no allocation is needed per call.
+func (b *builder) alivePreds(f int, alive []int) []int {
+	b.predEpoch++
+	seen := b.predSeen[f]
+	var out []int
+	for _, ci := range alive {
+		for _, pi := range b.conjs[ci].predIdx[f] {
+			if seen[pi] != b.predEpoch {
+				seen[pi] = b.predEpoch
+				out = append(out, pi)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// pruneDead removes conjunctions whose requirement on field f cannot
+// intersect the current context.
+func (b *builder) pruneDead(f int, ctx interval.Set, alive []int) []int {
+	out := alive
+	copied := false
+	for i, ci := range alive {
+		req, ok := b.conjs[ci].req[f]
+		dead := ok && !ctx.Overlaps(req)
+		if dead && !copied {
+			out = append([]int(nil), alive[:i]...)
+			copied = true
+		} else if !dead && copied {
+			out = append(out, ci)
+		}
+	}
+	return out
+}
+
+// filterAlive drops conjunctions whose requirement on field f excludes the
+// resolved context. By construction ctx is a cell of the partition induced
+// by the alive predicates on f, so ctx is either inside or disjoint from
+// each requirement.
+func (b *builder) filterAlive(f int, ctx interval.Set, alive []int) []int {
+	out := make([]int, 0, len(alive))
+	for _, ci := range alive {
+		req, ok := b.conjs[ci].req[f]
+		if ok && !ctx.SubsetOf(req) {
+			continue
+		}
+		out = append(out, ci)
+	}
+	return out
+}
+
+// terminal hash-conses the terminal node for the given satisfied
+// conjunctions.
+func (b *builder) terminal(alive []int) *Node {
+	payloads := make([]int, 0, len(alive))
+	for _, ci := range alive {
+		payloads = append(payloads, b.conjs[ci].payload)
+	}
+	sort.Ints(payloads)
+	// Dedupe in place (sorted).
+	uniq := payloads[:0]
+	for i, p := range payloads {
+		if i == 0 || p != payloads[i-1] {
+			uniq = append(uniq, p)
+		}
+	}
+	payloads = uniq
+	key := hashInts(payloads)
+	if n, ok := b.termCons[key]; ok {
+		return n
+	}
+	n := &Node{ID: len(b.nodes), Field: -1, Payloads: payloads}
+	b.nodes = append(b.nodes, n)
+	b.terminals = append(b.terminals, n)
+	b.termCons[key] = n
+	return n
+}
+
+// consNode hash-conses an internal node: reduction (i).
+func (b *builder) consNode(f int, p pred, t, e *Node) *Node {
+	key := nodeKey{field: int32(f), predKey: p.key, trueID: t.ID, falseID: e.ID}
+	if n, ok := b.nodeCons[key]; ok {
+		return n
+	}
+	n := &Node{ID: len(b.nodes), Field: f, Set: p.set, Label: p.label, True: t, False: e}
+	b.nodes = append(b.nodes, n)
+	b.nodeCons[key] = n
+	return n
+}
+
+// Eval walks the BDD for a packet whose field values are given in field
+// order (values[i] is the value of Fields[i]) and returns the matched
+// payload set. It is the reference semantics that the generated
+// match-action tables must agree with.
+func (b *BDD) Eval(values []uint64) []int {
+	n := b.Root
+	for !n.IsTerminal() {
+		if n.Set.Contains(values[n.Field]) {
+			n = n.True
+		} else {
+			n = n.False
+		}
+	}
+	return n.Payloads
+}
+
+// CountPaths returns the number of distinct root-to-terminal paths,
+// saturating at MaxUint64. This is the entry count a naive single
+// wide-table encoding would need (one TCAM entry per distinguishable
+// region of the match space) — the approach §3.2 rejects because it is
+// exponential in the worst case.
+func (b *BDD) CountPaths() uint64 {
+	memo := make(map[int]uint64)
+	var count func(n *Node) uint64
+	count = func(n *Node) uint64 {
+		if n.IsTerminal() {
+			return 1
+		}
+		if c, ok := memo[n.ID]; ok {
+			return c
+		}
+		t := count(n.True)
+		e := count(n.False)
+		c := t + e
+		if c < t { // overflow
+			c = ^uint64(0)
+		}
+		memo[n.ID] = c
+		return c
+	}
+	if b.Root == nil {
+		return 0
+	}
+	return count(b.Root)
+}
+
+// Dot renders the BDD in Graphviz dot format (solid edges = true branch,
+// dashed = false branch, mirroring Figure 3 in the paper).
+func (b *BDD) Dot() string {
+	var sb strings.Builder
+	sb.WriteString("digraph bdd {\n  rankdir=TB;\n")
+	var walk func(n *Node, seen map[int]bool)
+	walk = func(n *Node, seen map[int]bool) {
+		if seen[n.ID] {
+			return
+		}
+		seen[n.ID] = true
+		if n.IsTerminal() {
+			fmt.Fprintf(&sb, "  n%d [shape=box,label=\"%v\"];\n", n.ID, n.Payloads)
+			return
+		}
+		label := n.Label
+		if label == "" {
+			label = fmt.Sprintf("%s ∈ %s", b.Fields[n.Field].Name, n.Set)
+		}
+		fmt.Fprintf(&sb, "  n%d [shape=ellipse,label=%q];\n", n.ID, label)
+		fmt.Fprintf(&sb, "  n%d -> n%d;\n", n.ID, n.True.ID)
+		fmt.Fprintf(&sb, "  n%d -> n%d [style=dashed];\n", n.ID, n.False.ID)
+		walk(n.True, seen)
+		walk(n.False, seen)
+	}
+	walk(b.Root, make(map[int]bool))
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,212 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"camus/internal/bdd"
+	"camus/internal/interval"
+	"camus/internal/spec"
+)
+
+// assignStates numbers the BDD nodes that the pipeline must be able to
+// name: the root (initial state) and every node that is the target of a
+// cross-component edge — i.e. every In node of every field component plus
+// every reachable terminal. Numbering is breadth-first from the root so
+// state IDs are deterministic and small.
+//
+// termKey maps terminal node IDs to the canonical key of their merged
+// action set; terminals with the same key share one pipeline state (an
+// additional reduction on top of the BDD's payload-set hash-consing —
+// distinct rule sets often merge to identical actions, e.g. the same
+// forwarding port).
+func assignStates(b *bdd.BDD, termKey map[int]string) map[int]int {
+	states := make(map[int]int)
+	keyState := make(map[string]int)
+	if b.Root == nil {
+		return states
+	}
+	next := 0
+	assign := func(n *bdd.Node) {
+		if _, ok := states[n.ID]; ok {
+			return
+		}
+		if n.IsTerminal() {
+			if k, ok := termKey[n.ID]; ok {
+				if st, ok := keyState[k]; ok {
+					states[n.ID] = st
+					return
+				}
+				keyState[k] = next
+			}
+		}
+		states[n.ID] = next
+		next++
+	}
+	assign(b.Root)
+	queue := []*bdd.Node{b.Root}
+	seen := map[int]bool{b.Root.ID: true}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n.IsTerminal() {
+			continue
+		}
+		for _, child := range []*bdd.Node{n.True, n.False} {
+			if child.Field != n.Field { // cross-component edge
+				assign(child)
+			}
+			if !seen[child.ID] {
+				seen[child.ID] = true
+				queue = append(queue, child)
+			}
+		}
+	}
+	return states
+}
+
+// pathEntry is an In→Out transition produced by Algorithm 1 before
+// lowering to physical entries: from state (the In node's state), for
+// field values in set, go to the Out node's state.
+type pathEntry struct {
+	fromState int
+	set       interval.Set
+	toState   int
+}
+
+// algorithm1 computes, for each field, the component transition entries by
+// enumerating all In→Out paths within the field's subgraph and
+// intersecting the predicates along each path (Algorithm 1 in the paper).
+//
+// The BDD builder's reduction (iii) guarantees that the ranges of the
+// paths leaving an In node are disjoint and partition the field domain,
+// and that their number is bounded by the cells the field's predicates cut
+// the domain into — the paper's at-most-quadratic bound on In→Out paths.
+func algorithm1(b *bdd.BDD, states map[int]int) [][]pathEntry {
+	perField := make([][]pathEntry, len(b.Fields))
+	// In nodes of component f: nodes with Field == f that carry a state.
+	inNodes := make([][]*bdd.Node, len(b.Fields))
+	for _, n := range b.Nodes() {
+		if n.IsTerminal() {
+			continue
+		}
+		if _, ok := states[n.ID]; ok {
+			inNodes[n.Field] = append(inNodes[n.Field], n)
+		}
+	}
+	for f := range b.Fields {
+		sort.Slice(inNodes[f], func(i, j int) bool {
+			return states[inNodes[f][i].ID] < states[inNodes[f][j].ID]
+		})
+		max := b.Fields[f].Max
+		for _, u := range inNodes[f] {
+			from := states[u.ID]
+			var walk func(n *bdd.Node, r interval.Set)
+			walk = func(n *bdd.Node, r interval.Set) {
+				if r.IsEmpty() {
+					return
+				}
+				if n.Field != f { // left the component (later field or terminal)
+					perField[f] = append(perField[f], pathEntry{
+						fromState: from, set: r, toState: states[n.ID],
+					})
+					return
+				}
+				walk(n.True, r.Intersect(n.Set))
+				walk(n.False, r.Minus(n.Set, max))
+			}
+			walk(u.True, interval.Full(max).Intersect(u.Set))
+			walk(u.False, interval.Full(max).Minus(u.Set, max))
+		}
+	}
+	return perField
+}
+
+// lowerEntries converts a field's path entries into physical table
+// entries. Because the path ranges leaving an In state partition the
+// domain, one path per state can always be lowered to a low-priority
+// wildcard default (the '*' rows of Fig. 4); the builder picks the path
+// with the most intervals, which is the residual "everything else" set.
+// The remaining paths become exact entries for points and range entries
+// otherwise. Exact-match fields must end up with no range entries.
+func lowerEntries(f FieldInfo, paths []pathEntry) ([]Entry, error) {
+	byState := make(map[int][]pathEntry)
+	var states []int
+	for _, pe := range paths {
+		if _, ok := byState[pe.fromState]; !ok {
+			states = append(states, pe.fromState)
+		}
+		byState[pe.fromState] = append(byState[pe.fromState], pe)
+	}
+	sort.Ints(states)
+
+	var out []Entry
+	for _, st := range states {
+		ps := byState[st]
+		// Choose the default path: the one with the most intervals (the
+		// residual). A lone full-domain path is trivially the default.
+		def := -1
+		maxIvs := 1
+		for i, pe := range ps {
+			n := len(pe.set.Intervals())
+			if pe.set.IsFull(f.Max) {
+				def = i
+				break
+			}
+			if n > maxIvs {
+				maxIvs = n
+				def = i
+			}
+		}
+		if def < 0 && isExactKind(f) {
+			// All paths are single intervals; a non-point one must be the
+			// default since exact tables cannot hold ranges.
+			for i, pe := range ps {
+				if _, isPt := pe.set.IsPoint(); !isPt {
+					if def >= 0 {
+						return nil, fmt.Errorf("field %s is declared exact but subscriptions induce range predicates on it", f.Name)
+					}
+					def = i
+				}
+			}
+		}
+		for i, pe := range ps {
+			if i == def {
+				out = append(out, Entry{State: st, Kind: EntryWild, Next: pe.toState, Priority: 0})
+				continue
+			}
+			for _, iv := range pe.set.Intervals() {
+				if iv.IsPoint() {
+					out = append(out, Entry{State: st, Kind: EntryExact, Lo: iv.Lo, Hi: iv.Lo, Next: pe.toState, Priority: 1})
+				} else {
+					if isExactKind(f) {
+						return nil, fmt.Errorf("field %s is declared exact but subscriptions induce range predicates on it", f.Name)
+					}
+					out = append(out, Entry{State: st, Kind: EntryRange, Lo: iv.Lo, Hi: iv.Hi, Next: pe.toState, Priority: 1})
+				}
+			}
+		}
+	}
+	sortEntries(out)
+	return out, nil
+}
+
+func isExactKind(f FieldInfo) bool {
+	return f.Match == spec.MatchExact
+}
+
+func sortEntries(entries []Entry) {
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.State != b.State {
+			return a.State < b.State
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Lo != b.Lo {
+			return a.Lo < b.Lo
+		}
+		return a.Next < b.Next
+	})
+}

@@ -1,0 +1,292 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"camus/internal/bdd"
+	"camus/internal/interval"
+	"camus/internal/lang"
+	"camus/internal/spec"
+)
+
+// Options tune the dynamic compilation step.
+type Options struct {
+	// DisableExactLowering keeps range tables even when every entry is a
+	// point (used by the resource-optimization ablation bench).
+	DisableExactLowering bool
+	// DisableCompression turns off domain compression (§3.2, third
+	// optimization).
+	DisableCompression bool
+	// CompressionMaxCodes bounds the compressed domain size; 0 means the
+	// default of 256 (an 8-bit code, as in the paper).
+	CompressionMaxCodes int
+	// CompressionMinEntries is the table size below which compression is
+	// not worth a pipeline stage; 0 means the default of 16.
+	CompressionMinEntries int
+	// ForceRangeTables compiles every field as a range (TCAM) table,
+	// ignoring exact-match annotations — the "what if we couldn't use
+	// SRAM" ablation for §3.2's second resource optimization.
+	ForceRangeTables bool
+}
+
+func (o Options) maxCodes() int {
+	if o.CompressionMaxCodes > 0 {
+		return o.CompressionMaxCodes
+	}
+	return 256
+}
+
+func (o Options) minEntries() int {
+	if o.CompressionMinEntries > 0 {
+		return o.CompressionMinEntries
+	}
+	return 16
+}
+
+// Compile runs the dynamic compilation step: subscription rules are
+// normalized to DNF, resolved against the spec, folded into a
+// multi-terminal BDD, and lowered to table entries via Algorithm 1.
+func Compile(sp *spec.Spec, rules []lang.Rule, opts Options) (*Program, error) {
+	dnf, err := lang.NormalizeAll(rules)
+	if err != nil {
+		return nil, err
+	}
+	return CompileDNF(sp, dnf, opts)
+}
+
+// CompileSource parses the rule source text and compiles it.
+func CompileSource(sp *spec.Spec, ruleSrc string, opts Options) (*Program, error) {
+	rules, err := lang.ParseRules(ruleSrc)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(sp, rules, opts)
+}
+
+// CompileDNF compiles rules that are already in disjunctive normal form.
+func CompileDNF(sp *spec.Spec, rules []lang.DNFRule, opts Options) (*Program, error) {
+	res := newResolver(sp)
+	conjs, err := res.resolveRules(rules)
+	if err != nil {
+		return nil, err
+	}
+	if opts.ForceRangeTables {
+		for i := range res.fields {
+			res.fields[i].Match = spec.MatchRange
+		}
+	}
+	fields := res.bddFields()
+	b, err := bdd.Build(fields, conjs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Merge each terminal's rule actions up front; terminals whose merged
+	// actions coincide share one pipeline state.
+	termActs := make(map[int]ActionSet, len(b.Terminals()))
+	termKey := make(map[int]string, len(b.Terminals()))
+	for _, term := range b.Terminals() {
+		as := mergeActions(res.actions, term.Payloads)
+		termActs[term.ID] = as
+		termKey[term.ID] = as.Key()
+	}
+
+	states := assignStates(b, termKey)
+	perField := algorithm1(b, states)
+
+	prog := &Program{
+		Spec:    sp,
+		Fields:  res.fields,
+		BDD:     b,
+		stateOf: states,
+	}
+	prog.InitialState = states[b.Root.ID]
+
+	for f, fi := range res.fields {
+		entries, err := lowerEntries(fi, perField[f])
+		if err != nil {
+			return nil, err
+		}
+		t := &Table{Name: fi.Name, Field: f, Match: fi.Match, Entries: entries}
+		if !opts.DisableExactLowering && !opts.ForceRangeTables {
+			autoExactLower(t)
+		}
+		prog.Tables = append(prog.Tables, t)
+	}
+
+	if err := prog.buildLeaf(termActs, states); err != nil {
+		return nil, err
+	}
+
+	if !opts.DisableCompression {
+		for _, t := range prog.Tables {
+			maybeCompress(t, prog.Fields[t.Field], opts)
+		}
+	}
+
+	prog.computeStats(len(rules), conjs, states)
+	return prog, nil
+}
+
+// autoExactLower applies the paper's second resource optimization: "the
+// compiler uses exact matches instead of range when possible, allowing it
+// to leverage SRAM while saving TCAM". A range table whose entries are all
+// points (plus per-state wildcards) is re-typed as exact.
+func autoExactLower(t *Table) {
+	if t.Match != spec.MatchRange {
+		return
+	}
+	wildTargets := make(map[int]int)
+	for _, e := range t.Entries {
+		switch e.Kind {
+		case EntryRange:
+			return // genuine range: keep TCAM
+		case EntryWild:
+			if prev, ok := wildTargets[e.State]; ok && prev != e.Next {
+				return
+			}
+			wildTargets[e.State] = e.Next
+		}
+	}
+	t.Match = spec.MatchExact
+}
+
+// buildLeaf constructs the leaf table: one entry per terminal state,
+// pointing at the deduplicated action set and allocating multicast groups
+// for multi-port forwards.
+func (p *Program) buildLeaf(termActs map[int]ActionSet, states map[int]int) error {
+	p.Leaf = &Table{Name: "leaf", Field: -1, Match: spec.MatchExact}
+	actionIdx := make(map[string]int)
+	groupIdx := make(map[string]int)
+	emitted := make(map[int]bool)
+
+	terms := append([]*bdd.Node(nil), p.BDD.Terminals()...)
+	sort.Slice(terms, func(i, j int) bool { return states[terms[i].ID] < states[terms[j].ID] })
+
+	for _, term := range terms {
+		st, ok := states[term.ID]
+		if !ok || emitted[st] {
+			continue // unreachable terminal or merged duplicate
+		}
+		emitted[st] = true
+		as := termActs[term.ID]
+		if len(as.Ports) > 1 {
+			key := lang.FormatPorts(as.Ports)
+			g, ok := groupIdx[key]
+			if !ok {
+				g = len(p.Groups)
+				groupIdx[key] = g
+				p.Groups = append(p.Groups, as.Ports)
+			}
+			as.Group = g
+		} else {
+			as.Group = -1
+		}
+		key := as.Key()
+		ai, ok := actionIdx[key]
+		if !ok {
+			ai = len(p.Actions)
+			actionIdx[key] = ai
+			p.Actions = append(p.Actions, as)
+		}
+		p.Leaf.Entries = append(p.Leaf.Entries, Entry{
+			State: st, Kind: EntryWild, Next: ai, Priority: 0,
+		})
+	}
+	return nil
+}
+
+// mergeActions folds the action lists of all matched rules into one
+// ActionSet: port sets union (the paper's fwd(1) + fwd(2) ⇒ fwd(1,2)),
+// state updates accumulate, drop is recorded when explicit. A forward
+// beats a drop when both appear (the packet is wanted by someone).
+func mergeActions(ruleActions [][]lang.Action, payloads []int) ActionSet {
+	as := ActionSet{Group: -1}
+	for _, rid := range payloads {
+		for _, a := range ruleActions[rid] {
+			switch a.Kind {
+			case lang.ActFwd:
+				as.Ports = append(as.Ports, a.Ports...)
+			case lang.ActDrop:
+				as.Drop = true
+			case lang.ActState:
+				if !containsAction(as.Updates, a) {
+					as.Updates = append(as.Updates, a)
+				}
+			}
+		}
+	}
+	sort.Ints(as.Ports)
+	uniq := as.Ports[:0]
+	for i, pt := range as.Ports {
+		if i == 0 || pt != as.Ports[i-1] {
+			uniq = append(uniq, pt)
+		}
+	}
+	as.Ports = uniq
+	if len(as.Ports) == 0 && len(as.Updates) == 0 {
+		as.Drop = true
+	}
+	as.Updates = sortRuleActions(as.Updates)
+	return as
+}
+
+// computeStats fills in the resource statistics.
+func (p *Program) computeStats(nRules int, conjs []bdd.Conj, states map[int]int) {
+	s := Stats{
+		Rules:        nRules,
+		Conjunctions: len(conjs),
+		BDDNodes:     p.BDD.NumNodes(),
+		BDDTerminals: len(p.BDD.Terminals()),
+		States:       len(states),
+		LeafEntries:  len(p.Leaf.Entries),
+	}
+	s.TableEntries = len(p.Leaf.Entries)
+	s.SRAMEntries += len(p.Leaf.Entries) // leaf is an exact state match
+	for _, t := range p.Tables {
+		s.TableEntries += len(t.Entries)
+		if t.Codec != nil {
+			s.CodecEntries += t.Codec.NumIntervals()
+			s.TableEntries += t.Codec.NumIntervals()
+			s.TCAMEntries += t.Codec.TCAMCost(p.Fields[t.Field].Bits)
+		}
+		bits := p.Fields[t.Field].Bits
+		for _, e := range t.Entries {
+			switch e.Kind {
+			case EntryExact:
+				if t.Match == spec.MatchExact || t.Codec != nil {
+					s.SRAMEntries++
+				} else {
+					s.TCAMEntries++
+				}
+			case EntryRange:
+				s.TCAMEntries += len(interval.ExpandRange(e.Lo, e.Hi, bits))
+			case EntryWild:
+				s.TCAMEntries++
+			}
+		}
+	}
+	s.MulticastGroups = len(p.Groups)
+	p.Stats = s
+}
+
+// FieldIndex returns the pipeline index of a (qualified or short) field
+// name, resolving through the spec.
+func (p *Program) FieldIndex(name string) (int, error) {
+	for i, f := range p.Fields {
+		if f.Name == name {
+			return i, nil
+		}
+	}
+	q, err := p.Spec.LookupField(name)
+	if err != nil {
+		return 0, err
+	}
+	for i, f := range p.Fields {
+		if f.Name == q.Name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("field %q not part of the compiled program", name)
+}

@@ -1,0 +1,255 @@
+// Package compiler implements both compilation steps of §3 in the paper:
+// the static step that lays out the packet-processing pipeline (one
+// match-action table per query field plus the leaf table, a register block
+// for state variables) and the dynamic step that translates a subscription
+// rule set — via the multi-terminal BDD of package bdd and Algorithm 1 —
+// into the control-plane entries that populate those tables.
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"camus/internal/bdd"
+	"camus/internal/interval"
+	"camus/internal/lang"
+	"camus/internal/spec"
+)
+
+// FieldInfo describes one pipeline match field: either a packet header
+// field annotated in the spec, or a synthetic state field backing an
+// aggregate macro (avg(price)) or an explicitly declared state variable.
+type FieldInfo struct {
+	Name  string
+	Bits  int
+	Max   uint64
+	Match spec.MatchKind
+
+	// State fields (aggregates / state variables).
+	IsState   bool
+	Agg       string // aggregate function name ("avg", "sum", ...)
+	BaseField string // packet field the aggregate is computed over
+	WindowUS  uint64 // tumbling-window length in µs (0 = default)
+}
+
+// AggWindowUS is the default tumbling-window size for aggregate macros
+// that have no explicit @query_counter declaration, in microseconds.
+const AggWindowUS = 100
+
+// stateFieldBits is the width used for synthetic aggregate fields.
+const stateFieldBits = 32
+
+// resolver turns parsed rules into BDD inputs against a spec.
+type resolver struct {
+	spec    *spec.Spec
+	fields  []FieldInfo
+	byName  map[string]int
+	actions [][]lang.Action // per rule ID
+}
+
+func newResolver(sp *spec.Spec) *resolver {
+	r := &resolver{spec: sp, byName: make(map[string]int)}
+	for _, q := range sp.OrderedQueries() {
+		r.byName[q.Name] = len(r.fields)
+		r.fields = append(r.fields, FieldInfo{
+			Name: q.Name, Bits: q.Bits, Max: q.DomainMax(), Match: q.Match,
+		})
+		// Also index by short name when unambiguous; LookupField is the
+		// authority, this map is only keyed by canonical names.
+	}
+	return r
+}
+
+// fieldIndex resolves a subscription operand to a pipeline field index,
+// creating synthetic state fields on first use.
+func (r *resolver) fieldIndex(op lang.Operand) (int, error) {
+	if op.IsAggregate() {
+		q, err := r.spec.LookupField(op.Field)
+		if err != nil {
+			return 0, fmt.Errorf("aggregate %s: %w", op, err)
+		}
+		name := fmt.Sprintf("%s(%s)", op.Agg, q.Name)
+		if idx, ok := r.byName[name]; ok {
+			return idx, nil
+		}
+		if !validAggregate(op.Agg) {
+			return 0, fmt.Errorf("unknown aggregate macro %q (have avg, sum, count, min, max)", op.Agg)
+		}
+		idx := len(r.fields)
+		r.byName[name] = idx
+		r.fields = append(r.fields, FieldInfo{
+			Name: name, Bits: stateFieldBits, Max: (1 << stateFieldBits) - 1,
+			Match: spec.MatchRange, IsState: true, Agg: op.Agg, BaseField: q.Name,
+			WindowUS: AggWindowUS,
+		})
+		return idx, nil
+	}
+	// State variable reference (declared via @query_counter/@query_register).
+	if v, err := r.spec.LookupState(op.Field); err == nil {
+		if idx, ok := r.byName[v.Name]; ok {
+			return idx, nil
+		}
+		bits := v.Bits
+		if bits == 0 {
+			bits = stateFieldBits
+		}
+		idx := len(r.fields)
+		r.byName[v.Name] = idx
+		max := ^uint64(0)
+		if bits < 64 {
+			max = (uint64(1) << bits) - 1
+		}
+		r.fields = append(r.fields, FieldInfo{
+			Name: v.Name, Bits: bits, Max: max,
+			Match: spec.MatchRange, IsState: true, Agg: "count", BaseField: "",
+			WindowUS: v.WindowUS,
+		})
+		return idx, nil
+	}
+	q, err := r.spec.LookupField(op.Field)
+	if err != nil {
+		return 0, err
+	}
+	idx, ok := r.byName[q.Name]
+	if !ok {
+		return 0, fmt.Errorf("internal: field %q missing from index", q.Name)
+	}
+	return idx, nil
+}
+
+func validAggregate(name string) bool {
+	switch name {
+	case "avg", "sum", "count", "min", "max":
+		return true
+	}
+	return false
+}
+
+// atomSet converts an atomic predicate into the interval set of values
+// that satisfy it, resolving symbolic constants against the spec.
+func (r *resolver) atomSet(fieldIdx int, a lang.Atom) (interval.Set, error) {
+	f := r.fields[fieldIdx]
+	v := a.RHS.Num
+	if a.RHS.Kind == lang.ValSymbol {
+		if f.IsState {
+			return interval.Set{}, fmt.Errorf("predicate %s: state fields take numeric constants", a)
+		}
+		q, err := r.spec.LookupField(f.Name)
+		if err != nil {
+			return interval.Set{}, err
+		}
+		v, err = spec.EncodeSymbol(q, a.RHS.Sym)
+		if err != nil {
+			return interval.Set{}, fmt.Errorf("predicate %s: %w", a, err)
+		}
+	}
+	if v > f.Max {
+		// Constant outside the field domain: == never matches, > never
+		// matches, < always matches, etc. Express via interval math on
+		// the clamped domain.
+		switch a.Op {
+		case lang.OpEq:
+			return interval.Empty(), nil
+		case lang.OpNeq:
+			return interval.Full(f.Max), nil
+		case lang.OpLt, lang.OpLe:
+			return interval.Full(f.Max), nil
+		default: // OpGt, OpGe
+			return interval.Empty(), nil
+		}
+	}
+	switch a.Op {
+	case lang.OpEq:
+		return interval.Point(v), nil
+	case lang.OpNeq:
+		return interval.NotEqual(v, f.Max), nil
+	case lang.OpLt:
+		return interval.LessThan(v), nil
+	case lang.OpGt:
+		return interval.GreaterThan(v, f.Max), nil
+	case lang.OpLe:
+		return interval.AtMost(v), nil
+	case lang.OpGe:
+		return interval.AtLeast(v, f.Max), nil
+	}
+	return interval.Set{}, fmt.Errorf("predicate %s: unknown operator", a)
+}
+
+// resolveRules lowers DNF rules to BDD conjunctions. Rules containing
+// aggregate predicates are split per the paper's semantics ("the macro avg
+// stores the current average, which is updated when the rest of the rule
+// matches"): the aggregate's state-update rides on a companion rule whose
+// condition is the original minus the aggregate atoms.
+func (r *resolver) resolveRules(rules []lang.DNFRule) ([]bdd.Conj, error) {
+	var conjs []bdd.Conj
+	for _, rule := range rules {
+		ruleID := len(r.actions)
+		r.actions = append(r.actions, rule.Actions)
+		var updateRuleID = -1 // companion rule for implicit aggregate updates
+
+		for _, c := range rule.Conjunctions {
+			full := bdd.Conj{Payload: ruleID}
+			rest := bdd.Conj{}
+			var implicitUpdates []lang.Action
+			for _, atom := range c {
+				idx, err := r.fieldIndex(atom.LHS)
+				if err != nil {
+					return nil, fmt.Errorf("rule %d: %w", rule.ID, err)
+				}
+				set, err := r.atomSet(idx, atom)
+				if err != nil {
+					return nil, fmt.Errorf("rule %d: %w", rule.ID, err)
+				}
+				con := bdd.Constraint{Field: idx, Set: set, Label: atom.String()}
+				full.Constraints = append(full.Constraints, con)
+				if r.fields[idx].IsState && atom.LHS.IsAggregate() {
+					implicitUpdates = append(implicitUpdates,
+						lang.StateUpdate(r.fields[idx].Name, atom.LHS.Agg, r.fields[idx].BaseField))
+				} else {
+					rest.Constraints = append(rest.Constraints, con)
+				}
+			}
+			conjs = append(conjs, full)
+			if len(implicitUpdates) > 0 {
+				if updateRuleID < 0 {
+					updateRuleID = len(r.actions)
+					r.actions = append(r.actions, nil)
+				}
+				for _, u := range implicitUpdates {
+					if !containsAction(r.actions[updateRuleID], u) {
+						r.actions[updateRuleID] = append(r.actions[updateRuleID], u)
+					}
+				}
+				rest.Payload = updateRuleID
+				conjs = append(conjs, rest)
+			}
+		}
+	}
+	return conjs, nil
+}
+
+func containsAction(list []lang.Action, a lang.Action) bool {
+	for _, x := range list {
+		if x.Equal(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// bddFields converts the resolved field list into BDD variables, keeping
+// packet fields first (in spec order) and state fields after them.
+func (r *resolver) bddFields() []bdd.Field {
+	out := make([]bdd.Field, len(r.fields))
+	for i, f := range r.fields {
+		out[i] = bdd.Field{Name: f.Name, Max: f.Max}
+	}
+	return out
+}
+
+// sortRuleActions canonicalizes an action list for deduplication.
+func sortRuleActions(actions []lang.Action) []lang.Action {
+	out := append([]lang.Action(nil), actions...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}

@@ -1,0 +1,119 @@
+package compiler
+
+import (
+	"sort"
+
+	"camus/internal/lang"
+	"camus/internal/spec"
+)
+
+// The choice of BDD variable (field) order can change the diagram's size
+// dramatically; finding the optimal order is NP-hard (§3.2). This file
+// implements the practical heuristic the paper alludes to: test
+// high-selectivity discriminator fields first.
+//
+// Intuition: a field that most subscriptions constrain with equalities
+// (like the stock symbol) partitions the rule set into nearly disjoint
+// groups right at the root, so downstream components only see their
+// group's predicates; testing a shared low-selectivity range field first
+// would instead duplicate every group's structure across its cells.
+
+// fieldOrderScore summarizes how attractive a field is as an early test.
+type fieldOrderScore struct {
+	name string
+	// eqFraction is the fraction of this field's atoms that are
+	// equalities (high = good discriminator).
+	eqFraction float64
+	// usage is the fraction of rules constraining the field at all.
+	usage float64
+	// distinct counts distinct constants compared against.
+	distinct int
+}
+
+// SuggestFieldOrder analyzes a rule set and returns the query-field names
+// in recommended BDD order: fields that are widely used as equality
+// discriminators first, then by usage, then range-heavy fields last.
+// Fields never referenced keep their spec order at the end.
+func SuggestFieldOrder(sp *spec.Spec, rules []lang.Rule) ([]string, error) {
+	dnf, err := lang.NormalizeAll(rules)
+	if err != nil {
+		return nil, err
+	}
+	type agg struct {
+		eq, total int
+		rules     map[int]bool
+		consts    map[string]bool
+	}
+	stats := make(map[string]*agg)
+	for _, q := range sp.OrderedQueries() {
+		stats[q.Name] = &agg{rules: make(map[int]bool), consts: make(map[string]bool)}
+	}
+	for _, r := range dnf {
+		for _, c := range r.Conjunctions {
+			for _, a := range c {
+				if a.LHS.IsAggregate() {
+					continue // state fields always come after packet fields
+				}
+				q, err := sp.LookupField(a.LHS.Field)
+				if err != nil {
+					return nil, err
+				}
+				s := stats[q.Name]
+				s.total++
+				if a.Op == lang.OpEq {
+					s.eq++
+				}
+				s.rules[r.ID] = true
+				s.consts[a.RHS.String()] = true
+			}
+		}
+	}
+
+	scores := make([]fieldOrderScore, 0, len(stats))
+	n := len(rules)
+	if n == 0 {
+		n = 1
+	}
+	for _, q := range sp.OrderedQueries() {
+		s := stats[q.Name]
+		sc := fieldOrderScore{name: q.Name, distinct: len(s.consts)}
+		if s.total > 0 {
+			sc.eqFraction = float64(s.eq) / float64(s.total)
+		}
+		sc.usage = float64(len(s.rules)) / float64(n)
+		scores = append(scores, sc)
+	}
+	sort.SliceStable(scores, func(i, j int) bool {
+		a, b := scores[i], scores[j]
+		// Primary: equality discriminators first.
+		ae := a.eqFraction * a.usage
+		be := b.eqFraction * b.usage
+		if ae != be {
+			return ae > be
+		}
+		// Secondary: more widely used fields first.
+		if a.usage != b.usage {
+			return a.usage > b.usage
+		}
+		// Tertiary: more distinct constants first (finer partition).
+		return a.distinct > b.distinct
+	})
+	out := make([]string, len(scores))
+	for i, s := range scores {
+		out[i] = s.name
+	}
+	return out, nil
+}
+
+// ApplySuggestedOrder runs SuggestFieldOrder and installs the result on
+// the spec, returning the chosen order.
+func ApplySuggestedOrder(sp *spec.Spec, rules []lang.Rule) ([]string, error) {
+	order, err := SuggestFieldOrder(sp, rules)
+	if err != nil {
+		return nil, err
+	}
+	if err := sp.SetFieldOrder(order...); err != nil {
+		return nil, err
+	}
+	return order, nil
+}

@@ -1,0 +1,271 @@
+package compiler
+
+import (
+	"fmt"
+	"strings"
+
+	"camus/internal/bdd"
+	"camus/internal/lang"
+	"camus/internal/spec"
+)
+
+// EntryKind describes how a single table entry matches the field value.
+type EntryKind int
+
+// Entry kinds.
+const (
+	EntryExact EntryKind = iota // value == Lo
+	EntryRange                  // Lo <= value <= Hi
+	EntryWild                   // any value (per-state default, the '*' rows of Fig. 4)
+)
+
+func (k EntryKind) String() string {
+	switch k {
+	case EntryExact:
+		return "exact"
+	case EntryRange:
+		return "range"
+	default:
+		return "*"
+	}
+}
+
+// Entry is one row of a field table: match on (entry state, field value),
+// action sets the next BDD state (Fig. 4). Higher Priority wins when
+// entries overlap (wildcards are lowest priority).
+type Entry struct {
+	State    int
+	Kind     EntryKind
+	Lo, Hi   uint64
+	Next     int
+	Priority int
+}
+
+// Matches reports whether the entry matches the given state and value.
+func (e Entry) Matches(state int, value uint64) bool {
+	if e.State != state {
+		return false
+	}
+	switch e.Kind {
+	case EntryExact:
+		return value == e.Lo
+	case EntryRange:
+		return e.Lo <= value && value <= e.Hi
+	default:
+		return true
+	}
+}
+
+func (e Entry) String() string {
+	var m string
+	switch e.Kind {
+	case EntryExact:
+		m = fmt.Sprintf("%d", e.Lo)
+	case EntryRange:
+		m = fmt.Sprintf("[%d,%d]", e.Lo, e.Hi)
+	default:
+		m = "*"
+	}
+	return fmt.Sprintf("(state=%d, %s) -> state %d", e.State, m, e.Next)
+}
+
+// Table is one pipeline stage's match-action table. Field indexes the
+// program's field list; the leaf table uses Field == -1 and its entries'
+// Next values index Program.Actions instead of states.
+type Table struct {
+	Name    string
+	Field   int
+	Match   spec.MatchKind
+	Entries []Entry
+
+	// Codec, when non-nil, says the field value is first mapped through a
+	// domain-compression stage and the entries match on codes (§3.2,
+	// third resource optimization).
+	Codec *DomainCodec
+}
+
+// Lookup finds the highest-priority matching entry. ok is false on a miss
+// (the pipeline then applies the default action: keep state / drop at
+// leaf).
+func (t *Table) Lookup(state int, value uint64) (Entry, bool) {
+	if t.Codec != nil {
+		value = t.Codec.Code(value)
+	}
+	best := -1
+	for i := range t.Entries {
+		if t.Entries[i].Matches(state, value) {
+			if best < 0 || t.Entries[i].Priority > t.Entries[best].Priority {
+				best = i
+			}
+		}
+	}
+	if best < 0 {
+		return Entry{}, false
+	}
+	return t.Entries[best], true
+}
+
+// ActionSet is the merged action of one BDD terminal: the union of the
+// actions of every rule matching the packet. Forwarding port sets from
+// multiple rules merge into one (possibly multicast) forward.
+type ActionSet struct {
+	Ports   []int // sorted, deduplicated output ports
+	Drop    bool  // explicit drop() (also the default when no rule matches)
+	Updates []lang.Action
+	// Group is the multicast group ID when len(Ports) > 1, else -1.
+	Group int
+}
+
+func (a ActionSet) String() string {
+	var parts []string
+	if len(a.Ports) > 0 {
+		parts = append(parts, fmt.Sprintf("fwd(%s)", lang.FormatPorts(a.Ports)))
+	}
+	if a.Drop && len(a.Ports) == 0 {
+		parts = append(parts, "drop()")
+	}
+	for _, u := range a.Updates {
+		parts = append(parts, u.String())
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "drop()")
+	}
+	return strings.Join(parts, "; ")
+}
+
+// Key returns a canonical identity for deduplication.
+func (a ActionSet) Key() string { return a.String() }
+
+// Stats summarizes the compiled program's switch resource usage.
+type Stats struct {
+	Rules           int
+	Conjunctions    int
+	BDDNodes        int
+	BDDTerminals    int
+	States          int
+	TableEntries    int // logical entries across all field tables + leaf
+	LeafEntries     int
+	SRAMEntries     int // exact entries
+	TCAMEntries     int // range/wildcard entries after prefix expansion
+	MulticastGroups int
+	CodecEntries    int // domain-compression mapping entries
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("rules=%d conj=%d bddNodes=%d states=%d entries=%d (sram=%d tcam=%d codec=%d) groups=%d",
+		s.Rules, s.Conjunctions, s.BDDNodes, s.States, s.TableEntries, s.SRAMEntries, s.TCAMEntries, s.CodecEntries, s.MulticastGroups)
+}
+
+// Program is a compiled subscription set: the static pipeline layout plus
+// the dynamic table entries, ready to install on a switch (simulated or
+// real) via the control plane.
+type Program struct {
+	Spec   *spec.Spec
+	Fields []FieldInfo
+	BDD    *bdd.BDD
+
+	Tables []*Table // one per field, in field order
+	Leaf   *Table   // terminal table: state -> action index
+
+	Actions []ActionSet
+	Groups  [][]int // multicast groups: group ID -> port set
+
+	InitialState int
+	Stats        Stats
+
+	// stateOf maps BDD node IDs to pipeline state numbers (for debugging
+	// and tests).
+	stateOf map[int]int
+}
+
+// StateOf exposes the BDD-node → pipeline-state mapping (testing).
+func (p *Program) StateOf(nodeID int) (int, bool) {
+	s, ok := p.stateOf[nodeID]
+	return s, ok
+}
+
+// StateNodes returns the inverse mapping: pipeline state → BDD node. The
+// control plane uses it to compute behavioral signatures for entry re-use
+// across recompilations.
+func (p *Program) StateNodes() map[int]*bdd.Node {
+	out := make(map[int]*bdd.Node, len(p.stateOf))
+	for _, n := range p.BDD.Nodes() {
+		if st, ok := p.stateOf[n.ID]; ok {
+			out[st] = n
+		}
+	}
+	return out
+}
+
+// RemapStates renumbers pipeline states in place (entries, leaf, initial
+// state). Every current state must appear in the mapping.
+func (p *Program) RemapStates(mapping map[int]int) {
+	remap := func(s int) int {
+		if ns, ok := mapping[s]; ok {
+			return ns
+		}
+		return s
+	}
+	for _, t := range p.Tables {
+		for i := range t.Entries {
+			t.Entries[i].State = remap(t.Entries[i].State)
+			t.Entries[i].Next = remap(t.Entries[i].Next)
+		}
+	}
+	for i := range p.Leaf.Entries {
+		p.Leaf.Entries[i].State = remap(p.Leaf.Entries[i].State)
+	}
+	p.InitialState = remap(p.InitialState)
+	for nodeID, st := range p.stateOf {
+		p.stateOf[nodeID] = remap(st)
+	}
+}
+
+// NumStates returns the number of distinct pipeline states.
+func (p *Program) NumStates() int { return p.Stats.States }
+
+// Evaluate runs a packet's field values (indexed like Program.Fields)
+// through the compiled tables and returns the resulting action set. This
+// is the software reference for the hardware pipeline; internal/pipeline
+// implements the same semantics with resource modeling.
+func (p *Program) Evaluate(values []uint64) ActionSet {
+	state := p.InitialState
+	for i, t := range p.Tables {
+		if e, ok := t.Lookup(state, values[i]); ok {
+			state = e.Next
+		}
+	}
+	if e, ok := p.Leaf.Lookup(state, 0); ok {
+		return p.Actions[e.Next]
+	}
+	return ActionSet{Drop: true, Group: -1}
+}
+
+// EntriesTotal returns the total number of logical table entries.
+func (p *Program) EntriesTotal() int {
+	n := len(p.Leaf.Entries)
+	for _, t := range p.Tables {
+		n += len(t.Entries)
+		if t.Codec != nil {
+			n += len(t.Codec.Bounds)
+		}
+	}
+	return n
+}
+
+// Dump renders the tables in the style of Figure 4 (for debugging and the
+// quickstart example).
+func (p *Program) Dump() string {
+	var b strings.Builder
+	for i, t := range p.Tables {
+		fmt.Fprintf(&b, "%s table (%s):\n", p.Fields[i].Name, t.Match)
+		for _, e := range t.Entries {
+			fmt.Fprintf(&b, "  %s\n", e)
+		}
+	}
+	b.WriteString("leaf table:\n")
+	for _, e := range p.Leaf.Entries {
+		fmt.Fprintf(&b, "  (state=%d) -> %s\n", e.State, p.Actions[e.Next])
+	}
+	return b.String()
+}

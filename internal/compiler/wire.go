@@ -1,0 +1,94 @@
+package compiler
+
+import (
+	"fmt"
+)
+
+// WireExtractor is the generated parser of the static compilation step
+// (§3.1): it knows, for every query field of a compiled program, the byte
+// offset of that field in the serialized header stack described by the
+// spec (header instances laid out in declaration order), and fills the
+// program's field-value vector straight from packet bytes.
+//
+// The ITCH case study uses a protocol-specific extractor
+// (internal/itch.Extractor) because real ITCH messages ride inside
+// MoldUDP64 framing; WireExtractor serves spec-described custom formats
+// like the load-balancer and identifier-routing examples.
+type WireExtractor struct {
+	prog *Program
+	locs []wireLoc // indexed like prog.Fields
+	need int       // minimum packet length
+}
+
+type wireLoc struct {
+	offset int // byte offset from packet start; -1 for state fields
+	length int
+}
+
+// NewWireExtractor builds the parser. It fails if any query field is not
+// byte-aligned or if a preceding header has variable/unaligned size.
+func NewWireExtractor(prog *Program) (*WireExtractor, error) {
+	// Base offset of each header instance.
+	base := make(map[string]int)
+	off := 0
+	for _, in := range prog.Spec.Instances {
+		base[in.Name] = off
+		bits := in.Type.Bits()
+		if bits%8 != 0 {
+			return nil, fmt.Errorf("compiler: header %s is %d bits, not byte-aligned", in.Name, bits)
+		}
+		off += bits / 8
+	}
+	ex := &WireExtractor{prog: prog, locs: make([]wireLoc, len(prog.Fields))}
+	for i, f := range prog.Fields {
+		if f.IsState {
+			ex.locs[i] = wireLoc{offset: -1}
+			continue
+		}
+		q, err := prog.Spec.LookupField(f.Name)
+		if err != nil {
+			return nil, err
+		}
+		if q.ByteLen == 0 {
+			return nil, fmt.Errorf("compiler: field %s is not byte-aligned; cannot wire-extract", f.Name)
+		}
+		b, ok := base[q.Instance]
+		if !ok {
+			return nil, fmt.Errorf("compiler: field %s references undeclared header instance %q", f.Name, q.Instance)
+		}
+		loc := wireLoc{offset: b + q.ByteOffset, length: q.ByteLen}
+		ex.locs[i] = loc
+		if end := loc.offset + loc.length; end > ex.need {
+			ex.need = end
+		}
+	}
+	return ex, nil
+}
+
+// MinLen returns the minimum packet length the extractor needs.
+func (ex *WireExtractor) MinLen() int { return ex.need }
+
+// Values fills buf with the packet's field values in program field order.
+// State-field slots are zeroed (the switch's register stage overwrites
+// them).
+func (ex *WireExtractor) Values(pkt []byte, buf []uint64) ([]uint64, error) {
+	if len(pkt) < ex.need {
+		return nil, fmt.Errorf("compiler: packet too short: %d bytes, need %d", len(pkt), ex.need)
+	}
+	if cap(buf) < len(ex.locs) {
+		buf = make([]uint64, len(ex.locs))
+	}
+	buf = buf[:len(ex.locs)]
+	for i, loc := range ex.locs {
+		if loc.offset < 0 {
+			buf[i] = 0
+			continue
+		}
+		var v uint64
+		for _, b := range pkt[loc.offset : loc.offset+loc.length] {
+			v = v<<8 | uint64(b)
+		}
+		buf[i] = v
+	}
+	return buf, nil
+}

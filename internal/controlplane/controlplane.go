@@ -1,0 +1,273 @@
+// Package controlplane implements the runtime half of Camus: installing a
+// compiled program on a switch and updating it in place when the
+// subscription set changes.
+//
+// The paper notes (§3) that highly dynamic workloads need incremental
+// techniques — BDD memoization at compile time and table-entry re-use at
+// install time (the CoVisor approach). This package implements the install
+// side: when a new program replaces an old one, states are aligned by
+// behavioral signature (identical sub-BDDs get identical state numbers),
+// so unchanged parts of the rule set diff to zero and only the delta is
+// pushed to the device.
+package controlplane
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"camus/internal/bdd"
+	"camus/internal/compiler"
+	"camus/internal/pipeline"
+)
+
+// TableDelta counts entry changes for one table.
+type TableDelta struct {
+	Added, Removed, Reused int
+}
+
+// Delta summarizes an update: what a real control plane would push to the
+// ASIC. Reused entries cost nothing; added/removed entries each cost one
+// driver write.
+type Delta struct {
+	PerTable map[string]TableDelta
+	Entries  TableDelta // totals across tables (leaf included)
+	Groups   TableDelta // multicast group adds/removes/reuse
+}
+
+// Writes returns the number of device writes the update needs.
+func (d Delta) Writes() int {
+	return d.Entries.Added + d.Entries.Removed + d.Groups.Added + d.Groups.Removed
+}
+
+func (d Delta) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "entries: +%d -%d =%d; groups: +%d -%d =%d; writes=%d",
+		d.Entries.Added, d.Entries.Removed, d.Entries.Reused,
+		d.Groups.Added, d.Groups.Removed, d.Groups.Reused, d.Writes())
+	return b.String()
+}
+
+// Controller manages the program installed on one switch.
+type Controller struct {
+	sw   *pipeline.Switch
+	prog *compiler.Program
+}
+
+// NewController wraps a switch that already has its initial program
+// installed (pipeline.New installs at construction).
+func NewController(sw *pipeline.Switch) *Controller {
+	return &Controller{sw: sw, prog: sw.Program()}
+}
+
+// Program returns the currently installed program.
+func (c *Controller) Program() *compiler.Program { return c.prog }
+
+// Update aligns the new program's states with the installed one, computes
+// the entry delta, and commits the new program to the switch. The returned
+// Delta reports how much of the old configuration was reused.
+func (c *Controller) Update(newProg *compiler.Program) (Delta, error) {
+	AlignStates(c.prog, newProg)
+	delta := DiffPrograms(c.prog, newProg)
+	if err := c.sw.Reinstall(newProg); err != nil {
+		return Delta{}, err
+	}
+	c.prog = newProg
+	return delta, nil
+}
+
+// AlignStates renumbers newProg's pipeline states so that states whose
+// sub-BDD behavior is identical to a state in oldProg get the old number.
+// States with no behavioral twin get fresh numbers above both programs'
+// ranges to avoid collisions.
+func AlignStates(oldProg, newProg *compiler.Program) {
+	oldSigs := stateSignatures(oldProg)
+	newSigs := stateSignatures(newProg)
+
+	// Group old states by signature; twins are consumed in ascending
+	// order so the pairing is deterministic.
+	sigToOld := make(map[sig][]int, len(oldSigs))
+	for st, s := range oldSigs {
+		sigToOld[s] = append(sigToOld[s], st)
+	}
+	for s := range sigToOld {
+		sort.Ints(sigToOld[s])
+	}
+	mapping := make(map[int]int, len(newSigs))
+
+	// Deterministic order: ascending new state number.
+	newStates := make([]int, 0, len(newSigs))
+	for st := range newSigs {
+		newStates = append(newStates, st)
+	}
+	sort.Ints(newStates)
+
+	assignedOld := make(map[int]bool, len(newSigs))
+	for _, st := range newStates {
+		if twins := sigToOld[newSigs[st]]; len(twins) > 0 {
+			mapping[st] = twins[0]
+			assignedOld[twins[0]] = true
+			sigToOld[newSigs[st]] = twins[1:]
+		}
+	}
+	// The entry points play the same role even when their downstream
+	// behavior changed (that is what an update *is*), so pin the new
+	// initial state to the old one when neither found a twin. Entries
+	// under the unchanged part of the rule set then diff to zero.
+	if _, ok := mapping[newProg.InitialState]; !ok && !assignedOld[oldProg.InitialState] {
+		mapping[newProg.InitialState] = oldProg.InitialState
+		assignedOld[oldProg.InitialState] = true
+	}
+	// Fresh numbers for unmatched states, starting above everything used.
+	next := 0
+	for st := range oldSigs {
+		if st >= next {
+			next = st + 1
+		}
+	}
+	for _, st := range newStates {
+		if st >= next {
+			next = st + 1
+		}
+	}
+	for _, st := range newStates {
+		if _, ok := mapping[st]; !ok {
+			mapping[st] = next
+			next++
+		}
+	}
+	newProg.RemapStates(mapping)
+}
+
+// sig is a structural signature of a state's downstream behavior.
+type sig struct{ a, b uint64 }
+
+func combine(s sig, data string) sig {
+	for i := 0; i < len(data); i++ {
+		s.a ^= uint64(data[i])
+		s.a *= 1099511628211
+		s.b = (s.b ^ uint64(data[i])) * 0xff51afd7ed558ccd
+		s.b ^= s.b >> 33
+	}
+	return s
+}
+
+// stateSignatures computes a behavioral hash per pipeline state by
+// hashing the sub-BDD rooted at the state's node; terminals hash their
+// merged action set, so two states are equal iff the packets reaching
+// them are treated identically regardless of state numbering.
+func stateSignatures(p *compiler.Program) map[int]sig {
+	leafAction := make(map[int]string) // terminal state -> action string
+	for _, e := range p.Leaf.Entries {
+		leafAction[e.State] = p.Actions[e.Next].String()
+	}
+	memo := make(map[int]sig) // node ID -> sig
+	var nodeSig func(n *bdd.Node) sig
+	nodeSig = func(n *bdd.Node) sig {
+		if s, ok := memo[n.ID]; ok {
+			return s
+		}
+		var s sig
+		if n.IsTerminal() {
+			s = combine(sig{a: 14695981039346656037, b: 0x2545F4914F6CDD1D}, "T|")
+			if st, ok := p.StateOf(n.ID); ok {
+				s = combine(s, leafAction[st])
+			}
+		} else {
+			s = combine(sig{a: 1469598103934665603, b: 0x9e3779b97f4a7c15},
+				fmt.Sprintf("N|%s|%s|", p.Fields[n.Field].Name, n.Set.Key()))
+			t := nodeSig(n.True)
+			e := nodeSig(n.False)
+			s = combine(s, fmt.Sprintf("%x.%x|%x.%x", t.a, t.b, e.a, e.b))
+		}
+		memo[n.ID] = s
+		return s
+	}
+	out := make(map[int]sig)
+	for st, n := range p.StateNodes() {
+		out[st] = nodeSig(n)
+	}
+	return out
+}
+
+// entryKey identifies an installed entry for diffing.
+type entryKey struct {
+	table string
+	state int
+	kind  compiler.EntryKind
+	lo    uint64
+	hi    uint64
+	act   string // leaf action or next-state, canonicalized
+}
+
+// DiffPrograms computes the per-table entry delta between two programs
+// whose states have been aligned.
+func DiffPrograms(oldProg, newProg *compiler.Program) Delta {
+	d := Delta{PerTable: make(map[string]TableDelta)}
+
+	oldSet := entrySet(oldProg)
+	newSet := entrySet(newProg)
+	for k := range newSet {
+		td := d.PerTable[k.table]
+		if oldSet[k] {
+			td.Reused++
+			d.Entries.Reused++
+		} else {
+			td.Added++
+			d.Entries.Added++
+		}
+		d.PerTable[k.table] = td
+	}
+	for k := range oldSet {
+		if !newSet[k] {
+			td := d.PerTable[k.table]
+			td.Removed++
+			d.PerTable[k.table] = td
+			d.Entries.Removed++
+		}
+	}
+
+	oldGroups := groupSet(oldProg)
+	newGroups := groupSet(newProg)
+	for g := range newGroups {
+		if oldGroups[g] {
+			d.Groups.Reused++
+		} else {
+			d.Groups.Added++
+		}
+	}
+	for g := range oldGroups {
+		if !newGroups[g] {
+			d.Groups.Removed++
+		}
+	}
+	return d
+}
+
+func entrySet(p *compiler.Program) map[entryKey]bool {
+	set := make(map[entryKey]bool)
+	for i, t := range p.Tables {
+		name := p.Fields[i].Name
+		for _, e := range t.Entries {
+			set[entryKey{table: name, state: e.State, kind: e.Kind, lo: e.Lo, hi: e.Hi,
+				act: fmt.Sprintf("s%d", e.Next)}] = true
+		}
+	}
+	for _, e := range p.Leaf.Entries {
+		set[entryKey{table: "leaf", state: e.State, kind: e.Kind,
+			act: p.Actions[e.Next].String()}] = true
+	}
+	return set
+}
+
+func groupSet(p *compiler.Program) map[string]bool {
+	set := make(map[string]bool)
+	for _, ports := range p.Groups {
+		strs := make([]string, len(ports))
+		for i, pt := range ports {
+			strs[i] = fmt.Sprintf("%d", pt)
+		}
+		set[strings.Join(strs, ",")] = true
+	}
+	return set
+}

@@ -1,0 +1,113 @@
+// Package core ties the Camus system together: it is the in-network
+// publish/subscribe engine of the paper's case study (Figure 6). A PubSub
+// instance owns a message-format spec, compiles subscription sets, keeps a
+// (simulated) switch programmed via the control plane, and processes
+// MoldUDP64/ITCH datagrams into per-port deliveries.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"camus/internal/compiler"
+	"camus/internal/controlplane"
+	"camus/internal/itch"
+	"camus/internal/pipeline"
+	"camus/internal/spec"
+)
+
+// PubSub is a running Camus deployment on one switch.
+type PubSub struct {
+	spec *spec.Spec
+	opts compiler.Options
+	cfg  pipeline.Config
+
+	sw  *pipeline.Switch
+	ctl *controlplane.Controller
+	ex  *itch.Extractor
+
+	valBuf []uint64
+}
+
+// Config bundles the PubSub knobs; zero values select defaults.
+type Config struct {
+	Switch   pipeline.Config
+	Compiler compiler.Options
+}
+
+// NewPubSub creates a deployment for a message-format spec with an empty
+// subscription set installed.
+func NewPubSub(sp *spec.Spec, cfg Config) (*PubSub, error) {
+	if cfg.Switch.Ports == 0 {
+		cfg.Switch = pipeline.DefaultConfig()
+	}
+	ps := &PubSub{spec: sp, opts: cfg.Compiler, cfg: cfg.Switch}
+	prog, err := compiler.CompileSource(sp, "", cfg.Compiler)
+	if err != nil {
+		return nil, err
+	}
+	ps.sw, err = pipeline.New(prog, cfg.Switch)
+	if err != nil {
+		return nil, err
+	}
+	ps.ctl = controlplane.NewController(ps.sw)
+	ps.ex, err = itch.NewExtractor(prog)
+	if err != nil {
+		return nil, err
+	}
+	return ps, nil
+}
+
+// SetSubscriptions compiles a new subscription set and installs it
+// incrementally, returning the control-plane delta.
+func (ps *PubSub) SetSubscriptions(src string) (controlplane.Delta, error) {
+	prog, err := compiler.CompileSource(ps.spec, src, ps.opts)
+	if err != nil {
+		return controlplane.Delta{}, fmt.Errorf("camus: compile: %w", err)
+	}
+	delta, err := ps.ctl.Update(prog)
+	if err != nil {
+		return controlplane.Delta{}, fmt.Errorf("camus: install: %w", err)
+	}
+	ex, err := itch.NewExtractor(prog)
+	if err != nil {
+		return controlplane.Delta{}, err
+	}
+	ps.ex = ex
+	return delta, nil
+}
+
+// Program returns the currently installed compiled program.
+func (ps *PubSub) Program() *compiler.Program { return ps.ctl.Program() }
+
+// Switch exposes the underlying device model.
+func (ps *PubSub) Switch() *pipeline.Switch { return ps.sw }
+
+// Delivery is one message's forwarding outcome.
+type Delivery struct {
+	Order itch.AddOrder
+	Ports []int
+	Group int // multicast group, or -1
+}
+
+// ProcessOrder runs a single add-order message through the switch.
+func (ps *PubSub) ProcessOrder(o *itch.AddOrder, now time.Duration) pipeline.Result {
+	ps.valBuf = ps.ex.Values(o, ps.valBuf)
+	return ps.sw.Process(ps.valBuf, now)
+}
+
+// ProcessDatagram decodes a MoldUDP64 payload and returns the deliveries
+// for every add-order message that matched at least one subscription.
+func (ps *PubSub) ProcessDatagram(payload []byte, now time.Duration) ([]Delivery, error) {
+	var out []Delivery
+	err := itch.ForEachAddOrder(payload, func(o *itch.AddOrder) {
+		res := ps.ProcessOrder(o, now)
+		if !res.Dropped {
+			out = append(out, Delivery{Order: *o, Ports: res.Ports, Group: res.Group})
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("camus: datagram: %w", err)
+	}
+	return out, nil
+}

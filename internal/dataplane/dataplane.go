@@ -1,0 +1,235 @@
+// Package dataplane runs a Camus program as a real UDP software switch:
+// it receives MoldUDP64 market-data datagrams on an ingress socket,
+// evaluates every ITCH message against the compiled subscription pipeline,
+// and forwards matching messages to the UDP endpoints bound to the switch
+// output ports.
+//
+// This is the deployable software stand-in for the ASIC: the same
+// compiled Program drives both. It exists so the system can be exercised
+// end-to-end over an actual network (see cmd/camus-switch), not just
+// inside the discrete-event simulator.
+package dataplane
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"camus/internal/compiler"
+	"camus/internal/core"
+	"camus/internal/itch"
+	"camus/internal/spec"
+)
+
+// Stats are the switch's forwarding counters. All fields are updated
+// atomically and may be read concurrently with Run.
+type Stats struct {
+	Datagrams    atomic.Uint64 // ingress datagrams received
+	Messages     atomic.Uint64 // ITCH messages evaluated
+	Matched      atomic.Uint64 // messages that matched >= 1 subscription
+	Forwarded    atomic.Uint64 // egress datagrams sent
+	DecodeErrors atomic.Uint64
+	SendErrors   atomic.Uint64
+}
+
+// Config configures a dataplane switch.
+type Config struct {
+	// Ingress is the UDP listen address ("127.0.0.1:26400"; empty chooses
+	// a random localhost port).
+	Ingress string
+	// Ports maps Camus switch ports to subscriber UDP addresses.
+	Ports map[int]string
+	// Spec is the message format; Subscriptions the initial rule set.
+	Spec          *spec.Spec
+	Subscriptions string
+	// Compiler options for rule compilation.
+	Options compiler.Options
+	// ReadBuffer sizes the datagram receive buffer (default 64 KiB).
+	ReadBuffer int
+}
+
+// Switch is a running UDP dataplane.
+type Switch struct {
+	conn   *net.UDPConn
+	engine *core.PubSub
+
+	mu    sync.RWMutex
+	ports map[int]*net.UDPAddr
+
+	stats   Stats
+	readBuf int
+}
+
+// Listen binds the ingress socket and compiles/install the initial
+// subscription set.
+func Listen(cfg Config) (*Switch, error) {
+	if cfg.Spec == nil {
+		return nil, errors.New("dataplane: Config.Spec is required")
+	}
+	addr := cfg.Ingress
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dataplane: resolve ingress: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("dataplane: listen: %w", err)
+	}
+	// A deep socket buffer absorbs feed microbursts; best effort (the OS
+	// may clamp it).
+	_ = conn.SetReadBuffer(8 << 20)
+	engine, err := core.NewPubSub(cfg.Spec, core.Config{Compiler: cfg.Options})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	sw := &Switch{
+		conn:    conn,
+		engine:  engine,
+		ports:   make(map[int]*net.UDPAddr, len(cfg.Ports)),
+		readBuf: cfg.ReadBuffer,
+	}
+	if sw.readBuf <= 0 {
+		sw.readBuf = 64 << 10
+	}
+	for port, a := range cfg.Ports {
+		if err := sw.BindPort(port, a); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	if cfg.Subscriptions != "" {
+		if _, err := engine.SetSubscriptions(cfg.Subscriptions); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	return sw, nil
+}
+
+// Addr returns the ingress socket address publishers should send to.
+func (sw *Switch) Addr() *net.UDPAddr { return sw.conn.LocalAddr().(*net.UDPAddr) }
+
+// Stats returns the forwarding counters.
+func (sw *Switch) Stats() *Stats { return &sw.stats }
+
+// BindPort maps a Camus output port to a subscriber UDP address. Safe to
+// call while Run is active.
+func (sw *Switch) BindPort(port int, addr string) error {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("dataplane: port %d: %w", port, err)
+	}
+	sw.mu.Lock()
+	sw.ports[port] = udpAddr
+	sw.mu.Unlock()
+	return nil
+}
+
+// SetSubscriptions compiles and installs a new rule set (the control
+// plane's update path). Safe to call while Run is active: the engine swap
+// is serialized with packet processing.
+func (sw *Switch) SetSubscriptions(src string) error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	_, err := sw.engine.SetSubscriptions(src)
+	return err
+}
+
+// Program returns the installed compiled program.
+func (sw *Switch) Program() *compiler.Program {
+	sw.mu.RLock()
+	defer sw.mu.RUnlock()
+	return sw.engine.Program()
+}
+
+// Close shuts the ingress socket, unblocking Run.
+func (sw *Switch) Close() error { return sw.conn.Close() }
+
+// Run processes ingress datagrams until ctx is canceled or the socket is
+// closed. Matched messages are re-framed per output port: each ingress
+// datagram produces at most one egress datagram per port, preserving the
+// Mold session and sequence numbers.
+func (sw *Switch) Run(ctx context.Context) error {
+	go func() {
+		<-ctx.Done()
+		sw.conn.Close()
+	}()
+	buf := make([]byte, sw.readBuf)
+	perPort := make(map[int]*itch.MoldPacket)
+	for {
+		n, _, err := sw.conn.ReadFromUDP(buf)
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("dataplane: read: %w", err)
+		}
+		sw.stats.Datagrams.Add(1)
+		sw.process(buf[:n], perPort)
+	}
+}
+
+// process evaluates one ingress datagram and emits the per-port egress
+// datagrams. perPort is reused across calls to avoid allocation.
+func (sw *Switch) process(datagram []byte, perPort map[int]*itch.MoldPacket) {
+	var hdr itch.MoldHeader
+	if err := hdr.DecodeFromBytes(datagram); err != nil {
+		sw.stats.DecodeErrors.Add(1)
+		return
+	}
+	for _, mp := range perPort {
+		mp.Messages = mp.Messages[:0]
+	}
+
+	now := time.Duration(time.Now().UnixNano())
+	sw.mu.RLock()
+	err := itch.ForEachAddOrder(datagram, func(o *itch.AddOrder) {
+		sw.stats.Messages.Add(1)
+		res := sw.engine.ProcessOrder(o, now)
+		if res.Dropped {
+			return
+		}
+		sw.stats.Matched.Add(1)
+		wire := o.Bytes()
+		for _, port := range res.Ports {
+			mp, ok := perPort[port]
+			if !ok {
+				mp = &itch.MoldPacket{}
+				perPort[port] = mp
+			}
+			mp.Messages = append(mp.Messages, wire)
+		}
+	})
+	sw.mu.RUnlock()
+	if err != nil {
+		sw.stats.DecodeErrors.Add(1)
+		return
+	}
+
+	sw.mu.RLock()
+	defer sw.mu.RUnlock()
+	for port, mp := range perPort {
+		if len(mp.Messages) == 0 {
+			continue
+		}
+		dst, ok := sw.ports[port]
+		if !ok {
+			continue // port not bound: black-hole, like an unwired ASIC port
+		}
+		mp.Header = hdr
+		mp.Header.Count = uint16(len(mp.Messages))
+		if _, err := sw.conn.WriteToUDP(mp.Bytes(), dst); err != nil {
+			sw.stats.SendErrors.Add(1)
+			continue
+		}
+		sw.stats.Forwarded.Add(1)
+	}
+}

@@ -1,0 +1,234 @@
+package dataplane
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"camus/internal/itch"
+	"camus/internal/spec"
+	"camus/internal/workload"
+)
+
+func listenUDP(t *testing.T) *net.UDPConn {
+	t.Helper()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+// startSwitch brings up a dataplane switch with two subscriber sockets.
+func startSwitch(t *testing.T, subs string) (*Switch, *net.UDPConn, *net.UDPConn, *net.UDPConn) {
+	t.Helper()
+	sub1 := listenUDP(t)
+	sub2 := listenUDP(t)
+	sw, err := Listen(Config{
+		Spec: spec.MustParse(workload.ITCHSpecSource),
+		Ports: map[int]string{
+			1: sub1.LocalAddr().String(),
+			2: sub2.LocalAddr().String(),
+		},
+		Subscriptions: subs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- sw.Run(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("Run: %v", err)
+		}
+	})
+
+	pub, err := net.DialUDP("udp", nil, sw.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pub.Close() })
+	return sw, pub, sub1, sub2
+}
+
+func moldWith(t *testing.T, session string, seq uint64, orders ...itch.AddOrder) []byte {
+	t.Helper()
+	var mp itch.MoldPacket
+	mp.Header.SetSession(session)
+	mp.Header.Sequence = seq
+	for i := range orders {
+		mp.Append(orders[i].Bytes())
+	}
+	return mp.Bytes()
+}
+
+func order(sym string, shares uint32, price uint32) itch.AddOrder {
+	var o itch.AddOrder
+	o.SetStock(sym)
+	o.Shares = shares
+	o.Price = price
+	o.Side = itch.Buy
+	return o
+}
+
+func recvMold(t *testing.T, conn *net.UDPConn, timeout time.Duration) (*itch.MoldPacket, bool) {
+	t.Helper()
+	conn.SetReadDeadline(time.Now().Add(timeout))
+	buf := make([]byte, 64<<10)
+	n, _, err := conn.ReadFromUDP(buf)
+	if err != nil {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			return nil, false
+		}
+		t.Fatal(err)
+	}
+	var mp itch.MoldPacket
+	if err := mp.Decode(buf[:n]); err != nil {
+		t.Fatal(err)
+	}
+	return &mp, true
+}
+
+func TestUDPForwardingSplitsFeed(t *testing.T) {
+	sw, pub, sub1, sub2 := startSwitch(t, `
+stock == GOOGL : fwd(1)
+stock == MSFT && shares >= 500 : fwd(2)
+`)
+	// One datagram with three messages: GOOGL (port 1), small MSFT
+	// (drop), big MSFT (port 2).
+	wire := moldWith(t, "SESS", 100,
+		order("GOOGL", 100, 1000),
+		order("MSFT", 100, 1000),
+		order("MSFT", 900, 1000),
+	)
+	if _, err := pub.Write(wire); err != nil {
+		t.Fatal(err)
+	}
+
+	got1, ok := recvMold(t, sub1, 2*time.Second)
+	if !ok {
+		t.Fatal("subscriber 1 received nothing")
+	}
+	if got1.Header.SessionString() != "SESS" || got1.Header.Sequence != 100 {
+		t.Fatalf("session/seq not preserved: %+v", got1.Header)
+	}
+	if len(got1.Messages) != 1 {
+		t.Fatalf("subscriber 1 got %d messages", len(got1.Messages))
+	}
+	var o itch.AddOrder
+	if err := o.DecodeFromBytes(got1.Messages[0]); err != nil {
+		t.Fatal(err)
+	}
+	if o.StockSymbol() != "GOOGL" {
+		t.Fatalf("subscriber 1 got %q", o.StockSymbol())
+	}
+
+	got2, ok := recvMold(t, sub2, 2*time.Second)
+	if !ok {
+		t.Fatal("subscriber 2 received nothing")
+	}
+	if len(got2.Messages) != 1 {
+		t.Fatalf("subscriber 2 got %d messages", len(got2.Messages))
+	}
+	if err := o.DecodeFromBytes(got2.Messages[0]); err != nil {
+		t.Fatal(err)
+	}
+	if o.StockSymbol() != "MSFT" || o.Shares != 900 {
+		t.Fatalf("subscriber 2 got %q shares=%d", o.StockSymbol(), o.Shares)
+	}
+
+	// Counters.
+	if sw.Stats().Datagrams.Load() != 1 || sw.Stats().Messages.Load() != 3 ||
+		sw.Stats().Matched.Load() != 2 || sw.Stats().Forwarded.Load() != 2 {
+		t.Fatalf("stats: datagrams=%d msgs=%d matched=%d fwd=%d",
+			sw.Stats().Datagrams.Load(), sw.Stats().Messages.Load(),
+			sw.Stats().Matched.Load(), sw.Stats().Forwarded.Load())
+	}
+}
+
+func TestUDPNoMatchNoPacket(t *testing.T) {
+	_, pub, sub1, _ := startSwitch(t, "stock == GOOGL : fwd(1)")
+	if _, err := pub.Write(moldWith(t, "S", 1, order("ORCL", 1, 1))); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvMold(t, sub1, 300*time.Millisecond); ok {
+		t.Fatal("non-matching message was forwarded")
+	}
+}
+
+func TestUDPLiveSubscriptionUpdate(t *testing.T) {
+	sw, pub, sub1, _ := startSwitch(t, "stock == GOOGL : fwd(1)")
+	if err := sw.SetSubscriptions("stock == ORCL : fwd(1)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Write(moldWith(t, "S", 1, order("GOOGL", 1, 1))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Write(moldWith(t, "S", 2, order("ORCL", 1, 1))); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := recvMold(t, sub1, 2*time.Second)
+	if !ok {
+		t.Fatal("no delivery after update")
+	}
+	var o itch.AddOrder
+	if err := o.DecodeFromBytes(got.Messages[0]); err != nil {
+		t.Fatal(err)
+	}
+	if o.StockSymbol() != "ORCL" {
+		t.Fatalf("got %q after update, want ORCL", o.StockSymbol())
+	}
+	// The old GOOGL rule must be gone: at most the ORCL packet arrives.
+	if _, ok := recvMold(t, sub1, 200*time.Millisecond); ok {
+		t.Fatal("stale subscription still forwarding")
+	}
+}
+
+func TestUDPMalformedDatagramCounted(t *testing.T) {
+	sw, pub, _, _ := startSwitch(t, "stock == GOOGL : fwd(1)")
+	if _, err := pub.Write([]byte("definitely not molded")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for sw.Stats().DecodeErrors.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if sw.Stats().DecodeErrors.Load() == 0 {
+		t.Fatal("malformed datagram not counted")
+	}
+}
+
+func TestListenValidation(t *testing.T) {
+	if _, err := Listen(Config{}); err == nil {
+		t.Fatal("missing spec should fail")
+	}
+	if _, err := Listen(Config{
+		Spec:  spec.MustParse(workload.ITCHSpecSource),
+		Ports: map[int]string{1: "not-an-address::::"},
+	}); err == nil {
+		t.Fatal("bad port address should fail")
+	}
+	if _, err := Listen(Config{
+		Spec:          spec.MustParse(workload.ITCHSpecSource),
+		Subscriptions: "nonsense(((",
+	}); err == nil {
+		t.Fatal("bad subscriptions should fail")
+	}
+}
+
+func TestUnboundPortBlackholes(t *testing.T) {
+	sw, pub, sub1, _ := startSwitch(t, "stock == GOOGL : fwd(7)") // port 7 unbound
+	if _, err := pub.Write(moldWith(t, "S", 1, order("GOOGL", 1, 1))); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvMold(t, sub1, 300*time.Millisecond); ok {
+		t.Fatal("message leaked to a different port")
+	}
+	if sw.Stats().SendErrors.Load() != 0 {
+		t.Fatal("unbound port should not count as send error")
+	}
+}

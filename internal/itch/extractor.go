@@ -1,0 +1,66 @@
+package itch
+
+import (
+	"fmt"
+
+	"camus/internal/compiler"
+)
+
+// Extractor is the packet-parser stage of the switch for the ITCH
+// application: it maps decoded add-order messages onto the field-value
+// vector a compiled Camus program matches on. Field binding is by short
+// field name (shares, stock, price, side, locate), mirroring how the
+// generated P4 parser binds header fields to match keys.
+type Extractor struct {
+	prog    *compiler.Program
+	binding []func(*AddOrder) uint64 // nil for state fields
+}
+
+// NewExtractor validates that every packet field in the program is an
+// ITCH add-order field and builds the binding table.
+func NewExtractor(prog *compiler.Program) (*Extractor, error) {
+	e := &Extractor{prog: prog, binding: make([]func(*AddOrder) uint64, len(prog.Fields))}
+	for i, f := range prog.Fields {
+		if f.IsState {
+			continue // filled by the switch's register stage
+		}
+		q, err := prog.Spec.LookupField(f.Name)
+		if err != nil {
+			return nil, err
+		}
+		switch q.Field {
+		case "shares":
+			e.binding[i] = func(m *AddOrder) uint64 { return uint64(m.Shares) }
+		case "stock":
+			e.binding[i] = func(m *AddOrder) uint64 { return m.StockValue() }
+		case "price":
+			e.binding[i] = func(m *AddOrder) uint64 { return uint64(m.Price) }
+		case "side":
+			e.binding[i] = func(m *AddOrder) uint64 { return uint64(m.Side) }
+		case "locate":
+			e.binding[i] = func(m *AddOrder) uint64 { return uint64(m.StockLocate) }
+		case "order_ref":
+			e.binding[i] = func(m *AddOrder) uint64 { return m.OrderRef }
+		default:
+			return nil, fmt.Errorf("itch: program field %q has no ITCH add-order binding", f.Name)
+		}
+	}
+	return e, nil
+}
+
+// Values fills buf (reused across calls when capacity allows) with the
+// field values for one message, in program field order.
+func (e *Extractor) Values(m *AddOrder, buf []uint64) []uint64 {
+	if cap(buf) < len(e.binding) {
+		buf = make([]uint64, len(e.binding))
+	}
+	buf = buf[:len(e.binding)]
+	for i, f := range e.binding {
+		if f != nil {
+			buf[i] = f(m)
+		} else {
+			buf[i] = 0
+		}
+	}
+	return buf
+}

@@ -1,0 +1,354 @@
+package itch
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Additional ITCH 5.0 message lengths (type byte included).
+const (
+	OrderCancelLen    = 23
+	OrderDeleteLen    = 19
+	OrderReplaceLen   = 35
+	StockDirectoryLen = 39
+)
+
+// Additional message type bytes.
+const (
+	TypeOrderCancel    = 'X'
+	TypeOrderDelete    = 'D'
+	TypeOrderReplace   = 'U'
+	TypeStockDirectory = 'R'
+)
+
+// OrderExecuted is the 'E' message: shares from a resting order executed
+// against an incoming order.
+type OrderExecuted struct {
+	StockLocate    uint16
+	TrackingNumber uint16
+	Timestamp      uint64
+	OrderRef       uint64
+	ExecutedShares uint32
+	MatchNumber    uint64
+}
+
+// DecodeFromBytes parses an order-executed message.
+func (m *OrderExecuted) DecodeFromBytes(data []byte) error {
+	if len(data) < OrderExecLen {
+		return ErrTruncated
+	}
+	if data[0] != TypeOrderExec {
+		return fmt.Errorf("itch: message type %q is not order-executed", data[0])
+	}
+	m.StockLocate = binary.BigEndian.Uint16(data[1:3])
+	m.TrackingNumber = binary.BigEndian.Uint16(data[3:5])
+	m.Timestamp = uint48(data[5:11])
+	m.OrderRef = binary.BigEndian.Uint64(data[11:19])
+	m.ExecutedShares = binary.BigEndian.Uint32(data[19:23])
+	m.MatchNumber = binary.BigEndian.Uint64(data[23:31])
+	return nil
+}
+
+// SerializeTo writes the message into b (OrderExecLen bytes).
+func (m *OrderExecuted) SerializeTo(b []byte) {
+	b[0] = TypeOrderExec
+	binary.BigEndian.PutUint16(b[1:3], m.StockLocate)
+	binary.BigEndian.PutUint16(b[3:5], m.TrackingNumber)
+	putUint48(b[5:11], m.Timestamp)
+	binary.BigEndian.PutUint64(b[11:19], m.OrderRef)
+	binary.BigEndian.PutUint32(b[19:23], m.ExecutedShares)
+	binary.BigEndian.PutUint64(b[23:31], m.MatchNumber)
+}
+
+// Bytes serializes into a fresh buffer.
+func (m *OrderExecuted) Bytes() []byte {
+	b := make([]byte, OrderExecLen)
+	m.SerializeTo(b)
+	return b
+}
+
+// OrderCancel is the 'X' message: shares removed from a resting order.
+type OrderCancel struct {
+	StockLocate    uint16
+	TrackingNumber uint16
+	Timestamp      uint64
+	OrderRef       uint64
+	CanceledShares uint32
+}
+
+// DecodeFromBytes parses an order-cancel message.
+func (m *OrderCancel) DecodeFromBytes(data []byte) error {
+	if len(data) < OrderCancelLen {
+		return ErrTruncated
+	}
+	if data[0] != TypeOrderCancel {
+		return fmt.Errorf("itch: message type %q is not order-cancel", data[0])
+	}
+	m.StockLocate = binary.BigEndian.Uint16(data[1:3])
+	m.TrackingNumber = binary.BigEndian.Uint16(data[3:5])
+	m.Timestamp = uint48(data[5:11])
+	m.OrderRef = binary.BigEndian.Uint64(data[11:19])
+	m.CanceledShares = binary.BigEndian.Uint32(data[19:23])
+	return nil
+}
+
+// SerializeTo writes the message into b (OrderCancelLen bytes).
+func (m *OrderCancel) SerializeTo(b []byte) {
+	b[0] = TypeOrderCancel
+	binary.BigEndian.PutUint16(b[1:3], m.StockLocate)
+	binary.BigEndian.PutUint16(b[3:5], m.TrackingNumber)
+	putUint48(b[5:11], m.Timestamp)
+	binary.BigEndian.PutUint64(b[11:19], m.OrderRef)
+	binary.BigEndian.PutUint32(b[19:23], m.CanceledShares)
+}
+
+// Bytes serializes into a fresh buffer.
+func (m *OrderCancel) Bytes() []byte {
+	b := make([]byte, OrderCancelLen)
+	m.SerializeTo(b)
+	return b
+}
+
+// OrderDelete is the 'D' message: a resting order removed entirely.
+type OrderDelete struct {
+	StockLocate    uint16
+	TrackingNumber uint16
+	Timestamp      uint64
+	OrderRef       uint64
+}
+
+// DecodeFromBytes parses an order-delete message.
+func (m *OrderDelete) DecodeFromBytes(data []byte) error {
+	if len(data) < OrderDeleteLen {
+		return ErrTruncated
+	}
+	if data[0] != TypeOrderDelete {
+		return fmt.Errorf("itch: message type %q is not order-delete", data[0])
+	}
+	m.StockLocate = binary.BigEndian.Uint16(data[1:3])
+	m.TrackingNumber = binary.BigEndian.Uint16(data[3:5])
+	m.Timestamp = uint48(data[5:11])
+	m.OrderRef = binary.BigEndian.Uint64(data[11:19])
+	return nil
+}
+
+// SerializeTo writes the message into b (OrderDeleteLen bytes).
+func (m *OrderDelete) SerializeTo(b []byte) {
+	b[0] = TypeOrderDelete
+	binary.BigEndian.PutUint16(b[1:3], m.StockLocate)
+	binary.BigEndian.PutUint16(b[3:5], m.TrackingNumber)
+	putUint48(b[5:11], m.Timestamp)
+	binary.BigEndian.PutUint64(b[11:19], m.OrderRef)
+}
+
+// Bytes serializes into a fresh buffer.
+func (m *OrderDelete) Bytes() []byte {
+	b := make([]byte, OrderDeleteLen)
+	m.SerializeTo(b)
+	return b
+}
+
+// OrderReplace is the 'U' message: a resting order canceled and replaced
+// with new size and price under a new reference number.
+type OrderReplace struct {
+	StockLocate    uint16
+	TrackingNumber uint16
+	Timestamp      uint64
+	OrigOrderRef   uint64
+	NewOrderRef    uint64
+	Shares         uint32
+	Price          uint32
+}
+
+// DecodeFromBytes parses an order-replace message.
+func (m *OrderReplace) DecodeFromBytes(data []byte) error {
+	if len(data) < OrderReplaceLen {
+		return ErrTruncated
+	}
+	if data[0] != TypeOrderReplace {
+		return fmt.Errorf("itch: message type %q is not order-replace", data[0])
+	}
+	m.StockLocate = binary.BigEndian.Uint16(data[1:3])
+	m.TrackingNumber = binary.BigEndian.Uint16(data[3:5])
+	m.Timestamp = uint48(data[5:11])
+	m.OrigOrderRef = binary.BigEndian.Uint64(data[11:19])
+	m.NewOrderRef = binary.BigEndian.Uint64(data[19:27])
+	m.Shares = binary.BigEndian.Uint32(data[27:31])
+	m.Price = binary.BigEndian.Uint32(data[31:35])
+	return nil
+}
+
+// SerializeTo writes the message into b (OrderReplaceLen bytes).
+func (m *OrderReplace) SerializeTo(b []byte) {
+	b[0] = TypeOrderReplace
+	binary.BigEndian.PutUint16(b[1:3], m.StockLocate)
+	binary.BigEndian.PutUint16(b[3:5], m.TrackingNumber)
+	putUint48(b[5:11], m.Timestamp)
+	binary.BigEndian.PutUint64(b[11:19], m.OrigOrderRef)
+	binary.BigEndian.PutUint64(b[19:27], m.NewOrderRef)
+	binary.BigEndian.PutUint32(b[27:31], m.Shares)
+	binary.BigEndian.PutUint32(b[31:35], m.Price)
+}
+
+// Bytes serializes into a fresh buffer.
+func (m *OrderReplace) Bytes() []byte {
+	b := make([]byte, OrderReplaceLen)
+	m.SerializeTo(b)
+	return b
+}
+
+// Trade is the 'P' message: a non-displayable order executed (trades that
+// never appeared as add-orders).
+type Trade struct {
+	StockLocate    uint16
+	TrackingNumber uint16
+	Timestamp      uint64
+	OrderRef       uint64
+	Side           Side
+	Shares         uint32
+	Stock          [8]byte
+	Price          uint32
+	MatchNumber    uint64
+}
+
+// SetStock writes a symbol into the fixed-width stock field.
+func (m *Trade) SetStock(sym string) {
+	for i := 0; i < 8; i++ {
+		if i < len(sym) {
+			m.Stock[i] = sym[i]
+		} else {
+			m.Stock[i] = ' '
+		}
+	}
+}
+
+// DecodeFromBytes parses a trade message.
+func (m *Trade) DecodeFromBytes(data []byte) error {
+	if len(data) < TradeLen {
+		return ErrTruncated
+	}
+	if data[0] != TypeTrade {
+		return fmt.Errorf("itch: message type %q is not a trade", data[0])
+	}
+	m.StockLocate = binary.BigEndian.Uint16(data[1:3])
+	m.TrackingNumber = binary.BigEndian.Uint16(data[3:5])
+	m.Timestamp = uint48(data[5:11])
+	m.OrderRef = binary.BigEndian.Uint64(data[11:19])
+	m.Side = Side(data[19])
+	m.Shares = binary.BigEndian.Uint32(data[20:24])
+	copy(m.Stock[:], data[24:32])
+	m.Price = binary.BigEndian.Uint32(data[32:36])
+	m.MatchNumber = binary.BigEndian.Uint64(data[36:44])
+	return nil
+}
+
+// SerializeTo writes the message into b (TradeLen bytes).
+func (m *Trade) SerializeTo(b []byte) {
+	b[0] = TypeTrade
+	binary.BigEndian.PutUint16(b[1:3], m.StockLocate)
+	binary.BigEndian.PutUint16(b[3:5], m.TrackingNumber)
+	putUint48(b[5:11], m.Timestamp)
+	binary.BigEndian.PutUint64(b[11:19], m.OrderRef)
+	b[19] = byte(m.Side)
+	binary.BigEndian.PutUint32(b[20:24], m.Shares)
+	copy(b[24:32], m.Stock[:])
+	binary.BigEndian.PutUint32(b[32:36], m.Price)
+	binary.BigEndian.PutUint64(b[36:44], m.MatchNumber)
+}
+
+// Bytes serializes into a fresh buffer.
+func (m *Trade) Bytes() []byte {
+	b := make([]byte, TradeLen)
+	m.SerializeTo(b)
+	return b
+}
+
+// StockDirectory is the 'R' message: per-symbol session metadata emitted
+// at start of day.
+type StockDirectory struct {
+	StockLocate            uint16
+	TrackingNumber         uint16
+	Timestamp              uint64
+	Stock                  [8]byte
+	MarketCategory         byte
+	FinancialStatus        byte
+	RoundLotSize           uint32
+	RoundLotsOnly          byte
+	IssueClassification    byte
+	IssueSubType           [2]byte
+	Authenticity           byte
+	ShortSaleThreshold     byte
+	IPOFlag                byte
+	LULDReferencePriceTier byte
+	ETPFlag                byte
+	ETPLeverageFactor      uint32
+	InverseIndicator       byte
+}
+
+// SetStock writes a symbol into the fixed-width stock field.
+func (m *StockDirectory) SetStock(sym string) {
+	for i := 0; i < 8; i++ {
+		if i < len(sym) {
+			m.Stock[i] = sym[i]
+		} else {
+			m.Stock[i] = ' '
+		}
+	}
+}
+
+// DecodeFromBytes parses a stock-directory message.
+func (m *StockDirectory) DecodeFromBytes(data []byte) error {
+	if len(data) < StockDirectoryLen {
+		return ErrTruncated
+	}
+	if data[0] != TypeStockDirectory {
+		return fmt.Errorf("itch: message type %q is not stock-directory", data[0])
+	}
+	m.StockLocate = binary.BigEndian.Uint16(data[1:3])
+	m.TrackingNumber = binary.BigEndian.Uint16(data[3:5])
+	m.Timestamp = uint48(data[5:11])
+	copy(m.Stock[:], data[11:19])
+	m.MarketCategory = data[19]
+	m.FinancialStatus = data[20]
+	m.RoundLotSize = binary.BigEndian.Uint32(data[21:25])
+	m.RoundLotsOnly = data[25]
+	m.IssueClassification = data[26]
+	copy(m.IssueSubType[:], data[27:29])
+	m.Authenticity = data[29]
+	m.ShortSaleThreshold = data[30]
+	m.IPOFlag = data[31]
+	m.LULDReferencePriceTier = data[32]
+	m.ETPFlag = data[33]
+	m.ETPLeverageFactor = binary.BigEndian.Uint32(data[34:38])
+	m.InverseIndicator = data[38]
+	return nil
+}
+
+// SerializeTo writes the message into b (StockDirectoryLen bytes).
+func (m *StockDirectory) SerializeTo(b []byte) {
+	b[0] = TypeStockDirectory
+	binary.BigEndian.PutUint16(b[1:3], m.StockLocate)
+	binary.BigEndian.PutUint16(b[3:5], m.TrackingNumber)
+	putUint48(b[5:11], m.Timestamp)
+	copy(b[11:19], m.Stock[:])
+	b[19] = m.MarketCategory
+	b[20] = m.FinancialStatus
+	binary.BigEndian.PutUint32(b[21:25], m.RoundLotSize)
+	b[25] = m.RoundLotsOnly
+	b[26] = m.IssueClassification
+	copy(b[27:29], m.IssueSubType[:])
+	b[29] = m.Authenticity
+	b[30] = m.ShortSaleThreshold
+	b[31] = m.IPOFlag
+	b[32] = m.LULDReferencePriceTier
+	b[33] = m.ETPFlag
+	binary.BigEndian.PutUint32(b[34:38], m.ETPLeverageFactor)
+	b[38] = m.InverseIndicator
+}
+
+// Bytes serializes into a fresh buffer.
+func (m *StockDirectory) Bytes() []byte {
+	b := make([]byte, StockDirectoryLen)
+	m.SerializeTo(b)
+	return b
+}

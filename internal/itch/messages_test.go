@@ -1,0 +1,169 @@
+package itch
+
+import "testing"
+
+func TestOrderExecutedRoundTrip(t *testing.T) {
+	m := OrderExecuted{StockLocate: 1, TrackingNumber: 2, Timestamp: 333,
+		OrderRef: 444, ExecutedShares: 555, MatchNumber: 666}
+	if len(m.Bytes()) != OrderExecLen {
+		t.Fatalf("wire length %d", len(m.Bytes()))
+	}
+	var d OrderExecuted
+	if err := d.DecodeFromBytes(m.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if d != m {
+		t.Fatalf("round trip: %+v != %+v", d, m)
+	}
+	if err := d.DecodeFromBytes(m.Bytes()[:10]); err != ErrTruncated {
+		t.Fatalf("short: %v", err)
+	}
+}
+
+func TestOrderCancelRoundTrip(t *testing.T) {
+	m := OrderCancel{StockLocate: 9, Timestamp: 1 << 40, OrderRef: 7, CanceledShares: 100}
+	var d OrderCancel
+	if err := d.DecodeFromBytes(m.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if d != m {
+		t.Fatalf("round trip: %+v != %+v", d, m)
+	}
+}
+
+func TestOrderDeleteRoundTrip(t *testing.T) {
+	m := OrderDelete{StockLocate: 3, TrackingNumber: 4, Timestamp: 5, OrderRef: 6}
+	var d OrderDelete
+	if err := d.DecodeFromBytes(m.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if d != m {
+		t.Fatalf("round trip: %+v != %+v", d, m)
+	}
+}
+
+func TestOrderReplaceRoundTrip(t *testing.T) {
+	m := OrderReplace{StockLocate: 3, Timestamp: 5, OrigOrderRef: 6,
+		NewOrderRef: 7, Shares: 800, Price: PriceToFixed(10.5)}
+	var d OrderReplace
+	if err := d.DecodeFromBytes(m.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if d != m {
+		t.Fatalf("round trip: %+v != %+v", d, m)
+	}
+}
+
+func TestTradeRoundTrip(t *testing.T) {
+	m := Trade{StockLocate: 3, Timestamp: 5, OrderRef: 6, Side: Buy,
+		Shares: 100, Price: PriceToFixed(99.99), MatchNumber: 12345}
+	m.SetStock("NVDA")
+	if len(m.Bytes()) != TradeLen {
+		t.Fatalf("wire length %d", len(m.Bytes()))
+	}
+	var d Trade
+	if err := d.DecodeFromBytes(m.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if d != m {
+		t.Fatalf("round trip: %+v != %+v", d, m)
+	}
+}
+
+func TestStockDirectoryRoundTrip(t *testing.T) {
+	m := StockDirectory{StockLocate: 1, Timestamp: 2, MarketCategory: 'Q',
+		FinancialStatus: 'N', RoundLotSize: 100, RoundLotsOnly: 'N',
+		IssueClassification: 'C', Authenticity: 'P', ShortSaleThreshold: 'N',
+		IPOFlag: 'N', LULDReferencePriceTier: '1', ETPFlag: 'N',
+		ETPLeverageFactor: 0, InverseIndicator: 'N'}
+	m.SetStock("AAPL")
+	copy(m.IssueSubType[:], "Z ")
+	if len(m.Bytes()) != StockDirectoryLen {
+		t.Fatalf("wire length %d", len(m.Bytes()))
+	}
+	var d StockDirectory
+	if err := d.DecodeFromBytes(m.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if d != m {
+		t.Fatalf("round trip:\n%+v\n%+v", d, m)
+	}
+}
+
+func TestWrongTypeRejected(t *testing.T) {
+	buf := make([]byte, 64)
+	buf[0] = '?'
+	if err := (&OrderExecuted{}).DecodeFromBytes(buf); err == nil {
+		t.Fatal("exec should reject wrong type")
+	}
+	if err := (&OrderCancel{}).DecodeFromBytes(buf); err == nil {
+		t.Fatal("cancel should reject wrong type")
+	}
+	if err := (&OrderDelete{}).DecodeFromBytes(buf); err == nil {
+		t.Fatal("delete should reject wrong type")
+	}
+	if err := (&OrderReplace{}).DecodeFromBytes(buf); err == nil {
+		t.Fatal("replace should reject wrong type")
+	}
+	if err := (&Trade{}).DecodeFromBytes(buf); err == nil {
+		t.Fatal("trade should reject wrong type")
+	}
+	if err := (&StockDirectory{}).DecodeFromBytes(buf); err == nil {
+		t.Fatal("directory should reject wrong type")
+	}
+}
+
+func TestMessageLenFullSet(t *testing.T) {
+	want := map[byte]int{
+		TypeSystemEvent:    SystemEventLen,
+		TypeAddOrder:       AddOrderLen,
+		TypeOrderExec:      OrderExecLen,
+		TypeOrderCancel:    OrderCancelLen,
+		TypeOrderDelete:    OrderDeleteLen,
+		TypeOrderReplace:   OrderReplaceLen,
+		TypeTrade:          TradeLen,
+		TypeStockDirectory: StockDirectoryLen,
+	}
+	for typ, n := range want {
+		if got := MessageLen(typ); got != n {
+			t.Errorf("MessageLen(%q) = %d, want %d", typ, got, n)
+		}
+	}
+}
+
+// TestMoldMixedMessageTypes checks that a datagram carrying the full ITCH
+// vocabulary decodes and that the add-order filter skips the rest.
+func TestMoldMixedMessageTypes(t *testing.T) {
+	var mp MoldPacket
+	mp.Header.SetSession("MIX")
+	var a AddOrder
+	a.SetStock("GOOGL")
+	var tr Trade
+	tr.SetStock("GOOGL")
+	var sd StockDirectory
+	sd.SetStock("GOOGL")
+	mp.Append((&SystemEvent{EventCode: 'O'}).Bytes())
+	mp.Append(sd.Bytes())
+	mp.Append(a.Bytes())
+	mp.Append((&OrderExecuted{OrderRef: 1}).Bytes())
+	mp.Append((&OrderCancel{OrderRef: 1}).Bytes())
+	mp.Append((&OrderReplace{OrigOrderRef: 1}).Bytes())
+	mp.Append((&OrderDelete{OrderRef: 1}).Bytes())
+	mp.Append(tr.Bytes())
+	wire := mp.Bytes()
+
+	var decoded MoldPacket
+	if err := decoded.Decode(wire); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Messages) != 8 {
+		t.Fatalf("decoded %d messages", len(decoded.Messages))
+	}
+	adds := 0
+	if err := ForEachAddOrder(wire, func(*AddOrder) { adds++ }); err != nil {
+		t.Fatal(err)
+	}
+	if adds != 1 {
+		t.Fatalf("add-order filter saw %d, want 1", adds)
+	}
+}

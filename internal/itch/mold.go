@@ -1,0 +1,142 @@
+package itch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// MoldUDP64 framing: a 20-byte downstream header (10-byte session,
+// 64-bit sequence number, 16-bit message count) followed by count
+// messages, each prefixed with a 16-bit length.
+const MoldHeaderLen = 20
+
+// MoldHeader is the MoldUDP64 downstream packet header.
+type MoldHeader struct {
+	Session  [10]byte
+	Sequence uint64
+	Count    uint16
+}
+
+// SetSession writes a session identifier (ASCII, space-padded).
+func (h *MoldHeader) SetSession(s string) {
+	for i := 0; i < 10; i++ {
+		if i < len(s) {
+			h.Session[i] = s[i]
+		} else {
+			h.Session[i] = ' '
+		}
+	}
+}
+
+// SessionString returns the session identifier with padding trimmed.
+func (h *MoldHeader) SessionString() string {
+	return strings.TrimRight(string(h.Session[:]), " ")
+}
+
+// DecodeFromBytes parses the header.
+func (h *MoldHeader) DecodeFromBytes(data []byte) error {
+	if len(data) < MoldHeaderLen {
+		return ErrTruncated
+	}
+	copy(h.Session[:], data[0:10])
+	h.Sequence = binary.BigEndian.Uint64(data[10:18])
+	h.Count = binary.BigEndian.Uint16(data[18:20])
+	return nil
+}
+
+// SerializeTo writes the header into b (MoldHeaderLen bytes).
+func (h *MoldHeader) SerializeTo(b []byte) {
+	copy(b[0:10], h.Session[:])
+	binary.BigEndian.PutUint64(b[10:18], h.Sequence)
+	binary.BigEndian.PutUint16(b[18:20], h.Count)
+}
+
+// MoldPacket is a MoldUDP64 datagram payload under construction or after
+// decoding. Messages hold the raw per-message bytes (type byte first,
+// without the 16-bit length prefix).
+type MoldPacket struct {
+	Header   MoldHeader
+	Messages [][]byte
+}
+
+// Append adds a message to the packet and bumps the count.
+func (p *MoldPacket) Append(msg []byte) {
+	p.Messages = append(p.Messages, msg)
+	p.Header.Count = uint16(len(p.Messages))
+}
+
+// WireLen returns the serialized length of the packet.
+func (p *MoldPacket) WireLen() int {
+	n := MoldHeaderLen
+	for _, m := range p.Messages {
+		n += 2 + len(m)
+	}
+	return n
+}
+
+// Bytes serializes the Mold packet (header + length-prefixed messages).
+func (p *MoldPacket) Bytes() []byte {
+	p.Header.Count = uint16(len(p.Messages))
+	buf := make([]byte, p.WireLen())
+	p.Header.SerializeTo(buf)
+	off := MoldHeaderLen
+	for _, m := range p.Messages {
+		binary.BigEndian.PutUint16(buf[off:off+2], uint16(len(m)))
+		copy(buf[off+2:], m)
+		off += 2 + len(m)
+	}
+	return buf
+}
+
+// Decode parses a Mold datagram. Message slices alias into data.
+func (p *MoldPacket) Decode(data []byte) error {
+	if err := p.Header.DecodeFromBytes(data); err != nil {
+		return err
+	}
+	p.Messages = p.Messages[:0]
+	off := MoldHeaderLen
+	for i := 0; i < int(p.Header.Count); i++ {
+		if off+2 > len(data) {
+			return fmt.Errorf("itch: mold message %d: %w", i, ErrTruncated)
+		}
+		l := int(binary.BigEndian.Uint16(data[off : off+2]))
+		off += 2
+		if off+l > len(data) {
+			return fmt.Errorf("itch: mold message %d body: %w", i, ErrTruncated)
+		}
+		p.Messages = append(p.Messages, data[off:off+l])
+		off += l
+	}
+	return nil
+}
+
+// ForEachAddOrder decodes a Mold datagram and invokes fn for every
+// add-order message, reusing a single AddOrder struct (zero allocation per
+// message). Non-add-order messages are skipped.
+func ForEachAddOrder(data []byte, fn func(*AddOrder)) error {
+	var hdr MoldHeader
+	if err := hdr.DecodeFromBytes(data); err != nil {
+		return err
+	}
+	var msg AddOrder
+	off := MoldHeaderLen
+	for i := 0; i < int(hdr.Count); i++ {
+		if off+2 > len(data) {
+			return fmt.Errorf("itch: mold message %d: %w", i, ErrTruncated)
+		}
+		l := int(binary.BigEndian.Uint16(data[off : off+2]))
+		off += 2
+		if off+l > len(data) {
+			return fmt.Errorf("itch: mold message %d body: %w", i, ErrTruncated)
+		}
+		if l > 0 && data[off] == TypeAddOrder {
+			if err := msg.DecodeFromBytes(data[off : off+l]); err != nil {
+				return err
+			}
+			fn(&msg)
+		}
+		off += l
+	}
+	return nil
+}

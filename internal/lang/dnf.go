@@ -1,0 +1,180 @@
+package lang
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MaxDNFTerms caps the number of conjunctions a single rule may expand to
+// during DNF normalization, guarding against pathological (exponential)
+// conditions. 64 predicates of alternating ∧/∨ stay well below this.
+const MaxDNFTerms = 1 << 16
+
+// ToDNF normalizes a rule's condition into disjunctive normal form: a set
+// of conjunctions of atomic predicates, as required by the BDD builder
+// (§3.2 "The subscription rules are first normalized into disjunctive
+// form"). Structurally contradictory conjunctions (x == 5 && x == 6) are
+// dropped; duplicate atoms are merged. The empty conjunction denotes
+// "always true".
+func ToDNF(r Rule) (DNFRule, error) {
+	terms, err := dnf(r.Cond)
+	if err != nil {
+		return DNFRule{}, fmt.Errorf("rule %d: %w", r.ID, err)
+	}
+	out := DNFRule{Actions: r.Actions, ID: r.ID}
+	seen := make(map[string]bool)
+	for _, t := range terms {
+		c, ok := simplifyConjunction(t)
+		if !ok {
+			continue // contradiction: never matches
+		}
+		key := c.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out.Conjunctions = append(out.Conjunctions, c)
+	}
+	return out, nil
+}
+
+// NormalizeAll applies ToDNF to each rule.
+func NormalizeAll(rules []Rule) ([]DNFRule, error) {
+	out := make([]DNFRule, 0, len(rules))
+	for _, r := range rules {
+		d, err := ToDNF(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// dnf converts an expression in negation-normal form to DNF term lists.
+// Negations are pushed down on the fly (there is no separate NNF pass).
+func dnf(e Expr) ([]Conjunction, error) {
+	switch e := e.(type) {
+	case True:
+		return []Conjunction{{}}, nil
+	case Cmp:
+		return []Conjunction{{Atom(e)}}, nil
+	case Not:
+		return dnfNegated(e.X)
+	case Or:
+		l, err := dnf(e.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := dnf(e.R)
+		if err != nil {
+			return nil, err
+		}
+		if len(l)+len(r) > MaxDNFTerms {
+			return nil, fmt.Errorf("condition expands to more than %d DNF terms", MaxDNFTerms)
+		}
+		return append(l, r...), nil
+	case And:
+		l, err := dnf(e.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := dnf(e.R)
+		if err != nil {
+			return nil, err
+		}
+		if len(l)*len(r) > MaxDNFTerms {
+			return nil, fmt.Errorf("condition expands to more than %d DNF terms", MaxDNFTerms)
+		}
+		out := make([]Conjunction, 0, len(l)*len(r))
+		for _, a := range l {
+			for _, b := range r {
+				c := make(Conjunction, 0, len(a)+len(b))
+				c = append(c, a...)
+				c = append(c, b...)
+				out = append(out, c)
+			}
+		}
+		return out, nil
+	case nil:
+		return nil, fmt.Errorf("nil condition")
+	default:
+		return nil, fmt.Errorf("unknown expression type %T", e)
+	}
+}
+
+// dnfNegated computes dnf(!e) using De Morgan's laws.
+func dnfNegated(e Expr) ([]Conjunction, error) {
+	switch e := e.(type) {
+	case True:
+		return nil, nil // !true matches nothing: empty disjunction
+	case Cmp:
+		return []Conjunction{{Atom{LHS: e.LHS, Op: e.Op.Negate(), RHS: e.RHS}}}, nil
+	case Not:
+		return dnf(e.X)
+	case And: // !(a && b) == !a || !b
+		return dnf(Or{L: Not{X: e.L}, R: Not{X: e.R}})
+	case Or: // !(a || b) == !a && !b
+		return dnf(And{L: Not{X: e.L}, R: Not{X: e.R}})
+	case nil:
+		return nil, fmt.Errorf("nil condition")
+	default:
+		return nil, fmt.Errorf("unknown expression type %T", e)
+	}
+}
+
+// simplifyConjunction canonicalizes a conjunction: atoms are sorted and
+// deduplicated, and structurally contradictory combinations on the same
+// operand are detected. It returns ok=false when the conjunction can never
+// match. Numeric (interval-level) contradictions that depend on field
+// widths are detected later by the BDD builder.
+func simplifyConjunction(c Conjunction) (Conjunction, bool) {
+	sorted := append(Conjunction(nil), c...)
+	sort.Slice(sorted, func(i, j int) bool { return atomLess(sorted[i], sorted[j]) })
+	out := sorted[:0]
+	for i, a := range sorted {
+		if i > 0 && a == sorted[i-1] {
+			continue
+		}
+		out = append(out, a)
+	}
+	// Detect equality contradictions per operand.
+	eqSeen := make(map[string]Value)
+	for _, a := range out {
+		key := a.LHS.String()
+		switch a.Op {
+		case OpEq:
+			if prev, ok := eqSeen[key]; ok && prev != a.RHS {
+				return nil, false // x == v1 && x == v2, v1 != v2
+			}
+			eqSeen[key] = a.RHS
+		}
+	}
+	for _, a := range out {
+		if a.Op == OpNeq {
+			if prev, ok := eqSeen[a.LHS.String()]; ok && prev == a.RHS {
+				return nil, false // x == v && x != v
+			}
+		}
+	}
+	return out, true
+}
+
+func atomLess(a, b Atom) bool {
+	if a.LHS.Field != b.LHS.Field {
+		return a.LHS.Field < b.LHS.Field
+	}
+	if a.LHS.Agg != b.LHS.Agg {
+		return a.LHS.Agg < b.LHS.Agg
+	}
+	if a.Op != b.Op {
+		return a.Op < b.Op
+	}
+	if a.RHS.Kind != b.RHS.Kind {
+		return a.RHS.Kind < b.RHS.Kind
+	}
+	if a.RHS.Num != b.RHS.Num {
+		return a.RHS.Num < b.RHS.Num
+	}
+	return a.RHS.Sym < b.RHS.Sym
+}

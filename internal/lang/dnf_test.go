@@ -1,0 +1,224 @@
+package lang
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mustRule(t *testing.T, src string) Rule {
+	t.Helper()
+	r, err := ParseRule(src)
+	if err != nil {
+		t.Fatalf("ParseRule(%q): %v", src, err)
+	}
+	return r
+}
+
+func TestToDNFSimpleConjunction(t *testing.T) {
+	r := mustRule(t, "stock == GOOGL && price > 50 : fwd(1)")
+	d, err := ToDNF(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Conjunctions) != 1 || len(d.Conjunctions[0]) != 2 {
+		t.Fatalf("want 1 conjunction of 2 atoms, got %+v", d.Conjunctions)
+	}
+}
+
+func TestToDNFDistributes(t *testing.T) {
+	r := mustRule(t, "(a == 1 || b == 2) && (c == 3 || d == 4) : fwd(1)")
+	d, err := ToDNF(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Conjunctions) != 4 {
+		t.Fatalf("want 4 conjunctions, got %d: %v", len(d.Conjunctions), d.Conjunctions)
+	}
+}
+
+func TestToDNFNegationPushing(t *testing.T) {
+	r := mustRule(t, "!(a == 1 && b > 2) : fwd(1)")
+	d, err := ToDNF(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// !(a==1 && b>2) == a!=1 || b<=2
+	if len(d.Conjunctions) != 2 {
+		t.Fatalf("want 2 conjunctions, got %v", d.Conjunctions)
+	}
+	ops := map[CmpOp]bool{}
+	for _, c := range d.Conjunctions {
+		for _, a := range c {
+			ops[a.Op] = true
+		}
+	}
+	if !ops[OpNeq] || !ops[OpLe] {
+		t.Fatalf("negation not pushed to atoms: %v", d.Conjunctions)
+	}
+}
+
+func TestToDNFDoubleNegation(t *testing.T) {
+	r := mustRule(t, "!!(a == 1) : fwd(1)")
+	d, err := ToDNF(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Conjunctions) != 1 || d.Conjunctions[0][0].Op != OpEq {
+		t.Fatalf("double negation not eliminated: %v", d.Conjunctions)
+	}
+}
+
+func TestToDNFDropsContradictions(t *testing.T) {
+	r := mustRule(t, "a == 1 && a == 2 : fwd(1)")
+	d, err := ToDNF(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Conjunctions) != 0 {
+		t.Fatalf("contradictory conjunction survived: %v", d.Conjunctions)
+	}
+	r2 := mustRule(t, "a == 1 && a != 1 : fwd(1)")
+	d2, err := ToDNF(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.Conjunctions) != 0 {
+		t.Fatalf("eq/neq contradiction survived: %v", d2.Conjunctions)
+	}
+}
+
+func TestToDNFDeduplicatesAtomsAndTerms(t *testing.T) {
+	r := mustRule(t, "a == 1 && a == 1 : fwd(1)")
+	d, err := ToDNF(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Conjunctions) != 1 || len(d.Conjunctions[0]) != 1 {
+		t.Fatalf("duplicate atom not merged: %v", d.Conjunctions)
+	}
+	r2 := mustRule(t, "a == 1 || a == 1 : fwd(1)")
+	d2, err := ToDNF(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.Conjunctions) != 1 {
+		t.Fatalf("duplicate conjunction not merged: %v", d2.Conjunctions)
+	}
+}
+
+func TestToDNFNegatedTrue(t *testing.T) {
+	r := Rule{Cond: Not{X: True{}}, Actions: []Action{Fwd(1)}}
+	d, err := ToDNF(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Conjunctions) != 0 {
+		t.Fatalf("!true should have no conjunctions, got %v", d.Conjunctions)
+	}
+}
+
+// evalExpr is a reference evaluator for conditions over an assignment.
+func evalExpr(e Expr, env map[string]uint64) bool {
+	switch e := e.(type) {
+	case True:
+		return true
+	case And:
+		return evalExpr(e.L, env) && evalExpr(e.R, env)
+	case Or:
+		return evalExpr(e.L, env) || evalExpr(e.R, env)
+	case Not:
+		return !evalExpr(e.X, env)
+	case Cmp:
+		v := env[e.LHS.String()]
+		switch e.Op {
+		case OpEq:
+			return v == e.RHS.Num
+		case OpNeq:
+			return v != e.RHS.Num
+		case OpLt:
+			return v < e.RHS.Num
+		case OpGt:
+			return v > e.RHS.Num
+		case OpLe:
+			return v <= e.RHS.Num
+		default:
+			return v >= e.RHS.Num
+		}
+	}
+	panic("unknown expr")
+}
+
+func evalDNF(d DNFRule, env map[string]uint64) bool {
+	for _, c := range d.Conjunctions {
+		all := true
+		for _, a := range c {
+			if !evalExpr(Cmp(a), env) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}
+
+// randomExpr builds a random condition over variables a..d with values 0..7.
+func randomExpr(r *rand.Rand, depth int) Expr {
+	if depth == 0 || r.Intn(3) == 0 {
+		field := string(rune('a' + r.Intn(4)))
+		op := CmpOp(r.Intn(6))
+		return Cmp{LHS: Operand{Field: field}, Op: op, RHS: Number(uint64(r.Intn(8)))}
+	}
+	switch r.Intn(3) {
+	case 0:
+		return And{L: randomExpr(r, depth-1), R: randomExpr(r, depth-1)}
+	case 1:
+		return Or{L: randomExpr(r, depth-1), R: randomExpr(r, depth-1)}
+	default:
+		return Not{X: randomExpr(r, depth-1)}
+	}
+}
+
+// TestDNFEquivalenceProperty checks that normalization preserves the
+// condition's truth table on random expressions and assignments.
+func TestDNFEquivalenceProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		e := randomExpr(r, 4)
+		rule := Rule{Cond: e, Actions: []Action{Fwd(1)}}
+		d, err := ToDNF(rule)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for probe := 0; probe < 50; probe++ {
+			env := map[string]uint64{
+				"a": uint64(r.Intn(8)), "b": uint64(r.Intn(8)),
+				"c": uint64(r.Intn(8)), "d": uint64(r.Intn(8)),
+			}
+			want := evalExpr(e, env)
+			got := evalDNF(d, env)
+			if got != want {
+				t.Fatalf("trial %d: DNF differs on %v\nexpr: %s\ndnf: %v\nwant %v got %v",
+					trial, env, e, d.Conjunctions, want, got)
+			}
+		}
+	}
+}
+
+func TestDNFBlowupGuard(t *testing.T) {
+	// Build (a==0||a==1) && (b==0||b==1) && ... beyond the term cap by
+	// using enough conjuncts of wide disjunctions.
+	var e Expr = Or{L: Cmp{LHS: Operand{Field: "x0"}, Op: OpEq, RHS: Number(0)}, R: Cmp{LHS: Operand{Field: "x0"}, Op: OpEq, RHS: Number(1)}}
+	cur := e
+	for i := 1; i < 20; i++ {
+		f := Operand{Field: "x" + string(rune('0'+i%10))}
+		or := Or{L: Cmp{LHS: f, Op: OpEq, RHS: Number(0)}, R: Cmp{LHS: f, Op: OpEq, RHS: Number(1)}}
+		cur = And{L: cur, R: or}
+	}
+	_, err := ToDNF(Rule{Cond: cur, Actions: []Action{Fwd(1)}})
+	if err == nil {
+		t.Fatal("expected DNF blowup error")
+	}
+}

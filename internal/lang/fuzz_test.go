@@ -1,0 +1,47 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseRules checks the parser never panics and that anything it
+// accepts round-trips through String() to an equivalent parse.
+func FuzzParseRules(f *testing.F) {
+	seeds := []string{
+		"stock == GOOGL : fwd(1)",
+		"ip.dst == 192.168.0.1 : fwd(1)",
+		"stock == GOOGL && avg(price) > 50 : fwd(1)",
+		"a == 1 || b < 2 && !(c > 3) : fwd(1,2,3); v <- count()",
+		"true : drop()",
+		"price >= 0x1f : fwd(2)\n# comment\nx != 7 : fwd(3)",
+		"s == \"BRK.A\" : fwd(1)",
+		"a == 1 ∧ b == 2 ∨ c == 3 : fwd(4)",
+		": fwd(1)",
+		"stock == GOOGL : fwd(",
+		strings.Repeat("(", 100),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		rules, err := ParseRules(src)
+		if err != nil {
+			return
+		}
+		for _, r := range rules {
+			re, err := ParseRule(r.String())
+			if err != nil {
+				t.Fatalf("accepted rule %q does not re-parse: %v", r.String(), err)
+			}
+			if re.String() != r.String() {
+				t.Fatalf("round trip unstable: %q -> %q", r.String(), re.String())
+			}
+			// DNF must not panic on anything parseable (it may reject
+			// with an error on blowup).
+			if _, err := ToDNF(r); err != nil && !strings.Contains(err.Error(), "DNF terms") {
+				t.Fatalf("ToDNF(%q): %v", r.String(), err)
+			}
+		}
+	})
+}

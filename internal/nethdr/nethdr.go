@@ -1,0 +1,222 @@
+// Package nethdr implements the minimal Ethernet/IPv4/UDP header stack the
+// Camus dataplane and simulator carry ITCH traffic over. The decode path
+// follows the gopacket DecodingLayer idiom: DecodeFromBytes fills a
+// preallocated struct without allocating, so the hot path stays
+// garbage-free.
+package nethdr
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Header sizes in bytes.
+const (
+	EthernetLen = 14
+	IPv4MinLen  = 20
+	UDPLen      = 8
+)
+
+// EtherType values.
+const (
+	EtherTypeIPv4 = 0x0800
+)
+
+// IP protocol numbers.
+const (
+	ProtoUDP = 17
+)
+
+// Common decode errors.
+var (
+	ErrTruncated = errors.New("nethdr: truncated packet")
+	ErrNotIPv4   = errors.New("nethdr: not an IPv4 packet")
+	ErrNotUDP    = errors.New("nethdr: not a UDP datagram")
+)
+
+// Ethernet is an Ethernet II frame header.
+type Ethernet struct {
+	Dst       [6]byte
+	Src       [6]byte
+	EtherType uint16
+}
+
+// DecodeFromBytes parses the header from data.
+func (e *Ethernet) DecodeFromBytes(data []byte) error {
+	if len(data) < EthernetLen {
+		return ErrTruncated
+	}
+	copy(e.Dst[:], data[0:6])
+	copy(e.Src[:], data[6:12])
+	e.EtherType = binary.BigEndian.Uint16(data[12:14])
+	return nil
+}
+
+// SerializeTo writes the header into b, which must hold EthernetLen bytes.
+func (e *Ethernet) SerializeTo(b []byte) {
+	copy(b[0:6], e.Dst[:])
+	copy(b[6:12], e.Src[:])
+	binary.BigEndian.PutUint16(b[12:14], e.EtherType)
+}
+
+// IPv4 is an IPv4 header without options.
+type IPv4 struct {
+	TOS      uint8
+	Length   uint16 // total length including header
+	ID       uint16
+	Flags    uint8
+	FragOff  uint16
+	TTL      uint8
+	Protocol uint8
+	Checksum uint16
+	SrcIP    [4]byte
+	DstIP    [4]byte
+}
+
+// DecodeFromBytes parses the header from data and verifies the version,
+// header length, and checksum.
+func (ip *IPv4) DecodeFromBytes(data []byte) error {
+	if len(data) < IPv4MinLen {
+		return ErrTruncated
+	}
+	if data[0]>>4 != 4 {
+		return ErrNotIPv4
+	}
+	ihl := int(data[0]&0x0f) * 4
+	if ihl < IPv4MinLen || len(data) < ihl {
+		return fmt.Errorf("nethdr: bad IPv4 IHL %d", ihl)
+	}
+	ip.TOS = data[1]
+	ip.Length = binary.BigEndian.Uint16(data[2:4])
+	ip.ID = binary.BigEndian.Uint16(data[4:6])
+	ip.Flags = data[6] >> 5
+	ip.FragOff = binary.BigEndian.Uint16(data[6:8]) & 0x1fff
+	ip.TTL = data[8]
+	ip.Protocol = data[9]
+	ip.Checksum = binary.BigEndian.Uint16(data[10:12])
+	copy(ip.SrcIP[:], data[12:16])
+	copy(ip.DstIP[:], data[16:20])
+	if Checksum(data[:ihl]) != 0 {
+		return fmt.Errorf("nethdr: bad IPv4 checksum")
+	}
+	return nil
+}
+
+// SerializeTo writes a 20-byte header into b and fills in the checksum.
+// ip.Length must already be set to header+payload length.
+func (ip *IPv4) SerializeTo(b []byte) {
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = ip.TOS
+	binary.BigEndian.PutUint16(b[2:4], ip.Length)
+	binary.BigEndian.PutUint16(b[4:6], ip.ID)
+	binary.BigEndian.PutUint16(b[6:8], uint16(ip.Flags)<<13|ip.FragOff)
+	b[8] = ip.TTL
+	b[9] = ip.Protocol
+	b[10], b[11] = 0, 0
+	copy(b[12:16], ip.SrcIP[:])
+	copy(b[16:20], ip.DstIP[:])
+	ip.Checksum = Checksum(b[:IPv4MinLen])
+	binary.BigEndian.PutUint16(b[10:12], ip.Checksum)
+}
+
+// Checksum computes the RFC 1071 Internet checksum of data.
+func Checksum(data []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i : i+2]))
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// UDP is a UDP header.
+type UDP struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Length   uint16 // header + payload
+	Checksum uint16
+}
+
+// DecodeFromBytes parses the header from data.
+func (u *UDP) DecodeFromBytes(data []byte) error {
+	if len(data) < UDPLen {
+		return ErrTruncated
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	u.DstPort = binary.BigEndian.Uint16(data[2:4])
+	u.Length = binary.BigEndian.Uint16(data[4:6])
+	u.Checksum = binary.BigEndian.Uint16(data[6:8])
+	return nil
+}
+
+// SerializeTo writes the header into b (checksum 0: legal for IPv4 UDP).
+func (u *UDP) SerializeTo(b []byte) {
+	binary.BigEndian.PutUint16(b[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(b[4:6], u.Length)
+	binary.BigEndian.PutUint16(b[6:8], 0)
+}
+
+// Packet is a decoded Ethernet/IPv4/UDP packet; Payload aliases into the
+// original buffer (NoCopy semantics).
+type Packet struct {
+	Eth     Ethernet
+	IP      IPv4
+	UDP     UDP
+	Payload []byte
+}
+
+// Decode parses a full Ethernet/IPv4/UDP packet. It returns ErrNotIPv4 or
+// ErrNotUDP for frames of other types so callers can skip them cheaply.
+func (p *Packet) Decode(data []byte) error {
+	if err := p.Eth.DecodeFromBytes(data); err != nil {
+		return err
+	}
+	if p.Eth.EtherType != EtherTypeIPv4 {
+		return ErrNotIPv4
+	}
+	if err := p.IP.DecodeFromBytes(data[EthernetLen:]); err != nil {
+		return err
+	}
+	if p.IP.Protocol != ProtoUDP {
+		return ErrNotUDP
+	}
+	off := EthernetLen + IPv4MinLen
+	if err := p.UDP.DecodeFromBytes(data[off:]); err != nil {
+		return err
+	}
+	end := off + int(p.UDP.Length)
+	if p.UDP.Length < UDPLen || end > len(data) {
+		return ErrTruncated
+	}
+	p.Payload = data[off+UDPLen : end]
+	return nil
+}
+
+// Build serializes an Ethernet/IPv4/UDP packet around payload. Length and
+// checksum fields are computed; the returned slice is freshly allocated.
+func Build(eth Ethernet, ip IPv4, udp UDP, payload []byte) []byte {
+	total := EthernetLen + IPv4MinLen + UDPLen + len(payload)
+	buf := make([]byte, total)
+	eth.EtherType = EtherTypeIPv4
+	eth.SerializeTo(buf)
+	ip.Protocol = ProtoUDP
+	ip.Length = uint16(IPv4MinLen + UDPLen + len(payload))
+	if ip.TTL == 0 {
+		ip.TTL = 64
+	}
+	ip.SerializeTo(buf[EthernetLen:])
+	udp.Length = uint16(UDPLen + len(payload))
+	udp.SerializeTo(buf[EthernetLen+IPv4MinLen:])
+	copy(buf[EthernetLen+IPv4MinLen+UDPLen:], payload)
+	return buf
+}
+
+// IP4 is a convenience constructor for IPv4 addresses.
+func IP4(a, b, c, d byte) [4]byte { return [4]byte{a, b, c, d} }

@@ -1,0 +1,142 @@
+package nethdr
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestEthernetRoundTrip(t *testing.T) {
+	e := Ethernet{
+		Dst:       [6]byte{1, 2, 3, 4, 5, 6},
+		Src:       [6]byte{0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff},
+		EtherType: EtherTypeIPv4,
+	}
+	buf := make([]byte, EthernetLen)
+	e.SerializeTo(buf)
+	var d Ethernet
+	if err := d.DecodeFromBytes(buf); err != nil {
+		t.Fatal(err)
+	}
+	if d != e {
+		t.Fatalf("round trip: %+v != %+v", d, e)
+	}
+	if err := d.DecodeFromBytes(buf[:10]); err != ErrTruncated {
+		t.Fatalf("short frame: %v", err)
+	}
+}
+
+func TestIPv4RoundTripAndChecksum(t *testing.T) {
+	ip := IPv4{
+		TOS: 0, Length: 100, ID: 42, TTL: 64, Protocol: ProtoUDP,
+		SrcIP: IP4(10, 0, 0, 1), DstIP: IP4(192, 168, 0, 1),
+	}
+	buf := make([]byte, IPv4MinLen)
+	ip.SerializeTo(buf)
+	if Checksum(buf) != 0 {
+		t.Fatal("serialized header checksum should verify to zero")
+	}
+	var d IPv4
+	if err := d.DecodeFromBytes(buf); err != nil {
+		t.Fatal(err)
+	}
+	if d.SrcIP != ip.SrcIP || d.DstIP != ip.DstIP || d.Length != 100 || d.Protocol != ProtoUDP {
+		t.Fatalf("decode mismatch: %+v", d)
+	}
+	// Corrupt one byte: checksum must catch it.
+	buf[15] ^= 0xff
+	if err := d.DecodeFromBytes(buf); err == nil {
+		t.Fatal("corrupted header should fail checksum")
+	}
+}
+
+func TestIPv4RejectsNonV4(t *testing.T) {
+	buf := make([]byte, IPv4MinLen)
+	buf[0] = 0x65 // version 6
+	var d IPv4
+	if err := d.DecodeFromBytes(buf); err != ErrNotIPv4 {
+		t.Fatalf("got %v, want ErrNotIPv4", err)
+	}
+}
+
+func TestChecksumRFC1071Example(t *testing.T) {
+	// Classic example from RFC 1071 materials.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(data); got != ^uint16(0xddf2) {
+		t.Fatalf("checksum = %#x, want %#x", got, ^uint16(0xddf2))
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	data := []byte{0x01, 0x02, 0x03}
+	// Odd byte is padded with zero on the right.
+	want := ^uint16(0x0102 + 0x0300)
+	if got := Checksum(data); got != want {
+		t.Fatalf("odd checksum = %#x, want %#x", got, want)
+	}
+}
+
+func TestBuildAndDecodePacket(t *testing.T) {
+	payload := []byte("hello itch")
+	pkt := Build(
+		Ethernet{Dst: [6]byte{1}, Src: [6]byte{2}},
+		IPv4{SrcIP: IP4(10, 0, 0, 1), DstIP: IP4(10, 0, 0, 2)},
+		UDP{SrcPort: 1234, DstPort: 26400},
+		payload,
+	)
+	var p Packet
+	if err := p.Decode(pkt); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p.Payload, payload) {
+		t.Fatalf("payload = %q", p.Payload)
+	}
+	if p.UDP.DstPort != 26400 || p.IP.DstIP != IP4(10, 0, 0, 2) {
+		t.Fatalf("headers wrong: %+v", p)
+	}
+	if int(p.IP.Length) != IPv4MinLen+UDPLen+len(payload) {
+		t.Fatalf("IP length = %d", p.IP.Length)
+	}
+}
+
+func TestDecodeRejectsShortAndForeign(t *testing.T) {
+	var p Packet
+	if err := p.Decode(make([]byte, 5)); err != ErrTruncated {
+		t.Fatalf("short: %v", err)
+	}
+	arp := make([]byte, 64)
+	arp[12], arp[13] = 0x08, 0x06 // ARP ethertype
+	if err := p.Decode(arp); err != ErrNotIPv4 {
+		t.Fatalf("ARP: %v", err)
+	}
+	// IPv4 but TCP.
+	tcp := Build(Ethernet{}, IPv4{SrcIP: IP4(1, 2, 3, 4), DstIP: IP4(4, 3, 2, 1)}, UDP{}, nil)
+	tcp[EthernetLen+9] = 6 // protocol = TCP
+	// Fix checksum after mutation.
+	tcp[EthernetLen+10], tcp[EthernetLen+11] = 0, 0
+	ck := Checksum(tcp[EthernetLen : EthernetLen+IPv4MinLen])
+	tcp[EthernetLen+10] = byte(ck >> 8)
+	tcp[EthernetLen+11] = byte(ck)
+	if err := p.Decode(tcp); err != ErrNotUDP {
+		t.Fatalf("TCP: %v", err)
+	}
+}
+
+func TestBuildDecodeQuick(t *testing.T) {
+	f := func(src, dst [4]byte, sport, dport uint16, payload []byte) bool {
+		if len(payload) > 1400 {
+			payload = payload[:1400]
+		}
+		pkt := Build(Ethernet{}, IPv4{SrcIP: src, DstIP: dst}, UDP{SrcPort: sport, DstPort: dport}, payload)
+		var p Packet
+		if err := p.Decode(pkt); err != nil {
+			return false
+		}
+		return p.IP.SrcIP == src && p.IP.DstIP == dst &&
+			p.UDP.SrcPort == sport && p.UDP.DstPort == dport &&
+			bytes.Equal(p.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"camus/internal/itch"
+	"camus/internal/nethdr"
+	"camus/internal/pipeline"
+	"camus/internal/stats"
+	"camus/internal/workload"
+)
+
+// Mode selects where filtering happens.
+type Mode int
+
+// Filtering modes.
+const (
+	// Baseline: the switch forwards the whole feed; the subscriber host
+	// filters in software (the paper's baseline configuration).
+	Baseline Mode = iota
+	// SwitchFiltering: Camus filters on the switch; the subscriber only
+	// receives messages it subscribed to.
+	SwitchFiltering
+)
+
+func (m Mode) String() string {
+	if m == Baseline {
+		return "baseline"
+	}
+	return "switch-filtering"
+}
+
+// HostConfig models the subscriber server (the paper's DPDK receiver on a
+// Xeon E5-2620 v4 with 25G NICs).
+type HostConfig struct {
+	NICGbps        float64       // receive link rate
+	PerPacketCost  time.Duration // poll-mode driver + header parse per datagram
+	PerMessageCost time.Duration // ITCH parse + symbol compare per message
+}
+
+// DefaultHostConfig approximates a tuned DPDK receive loop.
+func DefaultHostConfig() HostConfig {
+	return HostConfig{
+		NICGbps:        25,
+		PerPacketCost:  120 * time.Nanosecond,
+		PerMessageCost: 150 * time.Nanosecond,
+	}
+}
+
+// ExperimentConfig describes one end-to-end run (one curve of Fig. 7).
+type ExperimentConfig struct {
+	Feed         []workload.FeedPacket
+	TargetSymbol string
+	Mode         Mode
+	Host         HostConfig
+	// Switch is required in SwitchFiltering mode: the Camus pipeline with
+	// the subscriber's subscriptions installed. SubscriberPort is the
+	// switch port the subscriber hangs off.
+	Switch         *pipeline.Switch
+	SubscriberPort int
+	// Propagation is the one-way fiber+transceiver delay per hop.
+	Propagation time.Duration
+}
+
+// Result carries the measured distribution plus run telemetry.
+type Result struct {
+	Latency      *stats.Dist // publisher→application latency of target messages
+	TargetMsgs   int
+	TotalMsgs    int
+	DeliveredMsg int // messages processed by the subscriber host
+	MaxHostQueue int
+}
+
+// RunExperiment simulates one configuration and returns the latency
+// distribution of the target symbol's messages, publisher to subscriber
+// application — the quantity plotted in Figure 7.
+func RunExperiment(cfg ExperimentConfig) (*Result, error) {
+	if cfg.Mode == SwitchFiltering && cfg.Switch == nil {
+		return nil, fmt.Errorf("netsim: switch-filtering mode needs a pipeline.Switch")
+	}
+	if cfg.Host.NICGbps == 0 {
+		cfg.Host = DefaultHostConfig()
+	}
+	if cfg.Propagation == 0 {
+		cfg.Propagation = 250 * time.Nanosecond
+	}
+
+	sim := NewSim()
+	pubLink := NewLink(sim, cfg.Host.NICGbps, cfg.Propagation)    // publisher NIC -> switch
+	egressLink := NewLink(sim, cfg.Host.NICGbps, cfg.Propagation) // switch port -> subscriber NIC
+	hostCPU := NewServer(sim)
+
+	res := &Result{Latency: &stats.Dist{}}
+
+	var ex *itch.Extractor
+	var vals []uint64
+	if cfg.Mode == SwitchFiltering {
+		var err error
+		ex, err = itch.NewExtractor(cfg.Switch.Program())
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	pipeLatency := 600 * time.Nanosecond
+	if cfg.Switch != nil {
+		pipeLatency = cfg.Switch.Latency()
+	}
+
+	// deliverToHost models the subscriber: NIC receive queue then the CPU
+	// processing loop; matched messages record latency at completion.
+	deliverToHost := func(pubAt time.Duration, orders []itch.AddOrder) {
+		cost := cfg.Host.PerPacketCost + time.Duration(len(orders))*cfg.Host.PerMessageCost
+		hostCPU.Submit(cost, func() {
+			res.DeliveredMsg += len(orders)
+			for i := range orders {
+				if orders[i].StockSymbol() == cfg.TargetSymbol {
+					res.Latency.Add(sim.Now() - pubAt)
+				}
+			}
+		})
+	}
+
+	for _, fp := range cfg.Feed {
+		fp := fp
+		res.TotalMsgs += len(fp.Orders)
+		for i := range fp.Orders {
+			if fp.Orders[i].StockSymbol() == cfg.TargetSymbol {
+				res.TargetMsgs++
+			}
+		}
+		sim.Schedule(fp.At, func() {
+			wireBytes := packetBytes(len(fp.Orders))
+			pubLink.Send(wireBytes, func() {
+				// Switch ingress: the ASIC runs at line rate; after the
+				// fixed pipeline latency the forwarding decision is made.
+				sim.After(pipeLatency, func() {
+					switch cfg.Mode {
+					case Baseline:
+						egressLink.Send(wireBytes, func() {
+							deliverToHost(fp.At, fp.Orders)
+						})
+					case SwitchFiltering:
+						// Per-message filtering: only subscribed messages
+						// leave on the subscriber port.
+						var matched []itch.AddOrder
+						for i := range fp.Orders {
+							vals = ex.Values(&fp.Orders[i], vals)
+							r := cfg.Switch.Process(vals, sim.Now())
+							if !r.Dropped && containsPort(r.Ports, cfg.SubscriberPort) {
+								matched = append(matched, fp.Orders[i])
+							}
+						}
+						if len(matched) > 0 {
+							egressLink.Send(packetBytes(len(matched)), func() {
+								deliverToHost(fp.At, matched)
+							})
+						}
+					}
+				})
+			})
+		})
+	}
+	sim.Run()
+	res.MaxHostQueue = hostCPU.MaxQueue()
+	return res, nil
+}
+
+// packetBytes is the wire size of a Mold datagram with n add-orders.
+func packetBytes(n int) int {
+	return nethdr.EthernetLen + nethdr.IPv4MinLen + nethdr.UDPLen +
+		itch.MoldHeaderLen + n*(2+itch.AddOrderLen)
+}
+
+func containsPort(ports []int, p int) bool {
+	for _, x := range ports {
+		if x == p {
+			return true
+		}
+	}
+	return false
+}

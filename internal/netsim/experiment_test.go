@@ -1,0 +1,113 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"camus/internal/compiler"
+	"camus/internal/pipeline"
+	"camus/internal/workload"
+)
+
+func camusSwitch(t testing.TB, port int) *pipeline.Switch {
+	t.Helper()
+	sp := workload.ITCHSpec()
+	prog, err := compiler.CompileSource(sp, "stock == GOOGL : fwd(1)", compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := pipeline.New(prog, pipeline.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = port
+	return sw
+}
+
+func runPair(t testing.TB, feedCfg workload.FeedConfig) (camus, baseline *Result) {
+	t.Helper()
+	feed := workload.GenerateFeed(feedCfg)
+	sw := camusSwitch(t, 1)
+	camusRes, err := RunExperiment(ExperimentConfig{
+		Feed: feed, TargetSymbol: "GOOGL", Mode: SwitchFiltering,
+		Switch: sw, SubscriberPort: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRes, err := RunExperiment(ExperimentConfig{
+		Feed: feed, TargetSymbol: "GOOGL", Mode: Baseline,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return camusRes, baseRes
+}
+
+func TestFigure7aNasdaqShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	camus, base := runPair(t, workload.NasdaqTraceConfig())
+	t.Logf("nasdaq camus:    %s (hostQ=%d, delivered=%d/%d)", camus.Latency.Summary(), camus.MaxHostQueue, camus.DeliveredMsg, camus.TotalMsgs)
+	t.Logf("nasdaq baseline: %s (hostQ=%d, delivered=%d/%d)", base.Latency.Summary(), base.MaxHostQueue, base.DeliveredMsg, base.TotalMsgs)
+
+	if camus.Latency.Count() == 0 || base.Latency.Count() == 0 {
+		t.Fatal("no target messages measured")
+	}
+	// Both runs must see the same target messages.
+	if camus.Latency.Count() != base.Latency.Count() {
+		t.Fatalf("sample counts differ: %d vs %d", camus.Latency.Count(), base.Latency.Count())
+	}
+	// Camus must deliver only the filtered fraction to the host.
+	if camus.DeliveredMsg >= base.DeliveredMsg/10 {
+		t.Fatalf("switch filtering should slash host load: %d vs %d", camus.DeliveredMsg, base.DeliveredMsg)
+	}
+	// Figure 7a's shape: with Camus all messages arrive within ~50µs; the
+	// baseline tail stretches to hundreds of µs.
+	if got := camus.Latency.Max(); got > 50*time.Microsecond {
+		t.Errorf("camus max latency %v exceeds 50µs", got)
+	}
+	if got := base.Latency.Max(); got < 100*time.Microsecond {
+		t.Errorf("baseline tail %v implausibly small; burst queueing missing", got)
+	}
+	if base.Latency.Percentile(99) <= camus.Latency.Percentile(99) {
+		t.Error("baseline p99 should exceed camus p99")
+	}
+}
+
+func TestFigure7bSyntheticShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	camus, base := runPair(t, workload.SyntheticFeedConfig())
+	t.Logf("synthetic camus:    %s", camus.Latency.Summary())
+	t.Logf("synthetic baseline: %s", base.Latency.Summary())
+
+	// Figure 7b's shape: camus delivers ~99.5% within 20µs; the baseline
+	// only ~96.5% and its tail is several hundred µs.
+	cF := camus.Latency.FractionBelow(20 * time.Microsecond)
+	bF := base.Latency.FractionBelow(20 * time.Microsecond)
+	if cF < 0.99 {
+		t.Errorf("camus fraction under 20µs = %.4f, want >= 0.99", cF)
+	}
+	if bF >= cF {
+		t.Errorf("baseline (%.4f) should trail camus (%.4f) at 20µs", bF, cF)
+	}
+	if base.Latency.Max() < 100*time.Microsecond {
+		t.Errorf("baseline tail %v too small", base.Latency.Max())
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Baseline.String() != "baseline" || SwitchFiltering.String() != "switch-filtering" {
+		t.Fatal("mode names wrong")
+	}
+}
+
+func TestSwitchFilteringRequiresSwitch(t *testing.T) {
+	_, err := RunExperiment(ExperimentConfig{Mode: SwitchFiltering})
+	if err == nil {
+		t.Fatal("missing switch should error")
+	}
+}

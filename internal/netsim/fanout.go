@@ -1,0 +1,148 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"camus/internal/itch"
+	"camus/internal/pipeline"
+	"camus/internal/stats"
+	"camus/internal/workload"
+)
+
+// FanoutConfig describes the feed-splitting experiment behind the paper's
+// motivation (§4: "Many financial companies subscribe to the Nasdaq feed
+// and broadcast it to all of their servers ... broadcasting the feed
+// wastes resources"): one publisher, one switch, many subscriber hosts,
+// each with its own subscription set installed in the shared Camus
+// program.
+type FanoutConfig struct {
+	Feed   []workload.FeedPacket
+	Switch *pipeline.Switch // program containing every subscriber's rules
+	Ports  []int            // subscriber ports
+	Host   HostConfig
+	// Propagation is the one-way per-hop delay.
+	Propagation time.Duration
+	// Broadcast disables switch filtering: every packet goes to every
+	// port (the baseline fabric).
+	Broadcast bool
+}
+
+// PortStats aggregates one subscriber's view.
+type PortStats struct {
+	DeliveredMsgs  int
+	DeliveredBytes int
+	Latency        *stats.Dist // delivery latency of all its messages
+	MaxHostQueue   int
+}
+
+// FanoutResult is the outcome of one fan-out run.
+type FanoutResult struct {
+	PerPort   map[int]*PortStats
+	TotalMsgs int
+	// FabricBytes counts all bytes crossing switch→host links.
+	FabricBytes int
+}
+
+// DeliveredTotal sums messages over ports.
+func (r *FanoutResult) DeliveredTotal() int {
+	n := 0
+	for _, p := range r.PerPort {
+		n += p.DeliveredMsgs
+	}
+	return n
+}
+
+// RunFanout simulates the multi-subscriber topology and returns per-port
+// delivery statistics.
+func RunFanout(cfg FanoutConfig) (*FanoutResult, error) {
+	if cfg.Switch == nil {
+		return nil, fmt.Errorf("netsim: fan-out needs a switch")
+	}
+	if cfg.Host.NICGbps == 0 {
+		cfg.Host = DefaultHostConfig()
+	}
+	if cfg.Propagation == 0 {
+		cfg.Propagation = 250 * time.Nanosecond
+	}
+
+	sim := NewSim()
+	pubLink := NewLink(sim, cfg.Host.NICGbps, cfg.Propagation)
+
+	res := &FanoutResult{PerPort: make(map[int]*PortStats, len(cfg.Ports))}
+	links := make(map[int]*Link, len(cfg.Ports))
+	cpus := make(map[int]*Server, len(cfg.Ports))
+	for _, port := range cfg.Ports {
+		res.PerPort[port] = &PortStats{Latency: &stats.Dist{}}
+		links[port] = NewLink(sim, cfg.Host.NICGbps, cfg.Propagation)
+		cpus[port] = NewServer(sim)
+	}
+
+	ex, err := itch.NewExtractor(cfg.Switch.Program())
+	if err != nil {
+		return nil, err
+	}
+	var vals []uint64
+	pipeLatency := cfg.Switch.Latency()
+
+	deliver := func(port int, pubAt time.Duration, n int, bytes int) {
+		ps := res.PerPort[port]
+		cost := cfg.Host.PerPacketCost + time.Duration(n)*cfg.Host.PerMessageCost
+		cpus[port].Submit(cost, func() {
+			ps.DeliveredMsgs += n
+			ps.DeliveredBytes += bytes
+			ps.Latency.Add(sim.Now() - pubAt)
+		})
+	}
+
+	for _, fp := range cfg.Feed {
+		fp := fp
+		res.TotalMsgs += len(fp.Orders)
+		sim.Schedule(fp.At, func() {
+			wireBytes := packetBytes(len(fp.Orders))
+			pubLink.Send(wireBytes, func() {
+				sim.After(pipeLatency, func() {
+					if cfg.Broadcast {
+						for _, port := range cfg.Ports {
+							port := port
+							res.FabricBytes += wireBytes
+							links[port].Send(wireBytes, func() {
+								deliver(port, fp.At, len(fp.Orders), wireBytes)
+							})
+						}
+						return
+					}
+					// Switch filtering: evaluate each message once; the
+					// multicast engine replicates to matched ports.
+					perPort := make(map[int]int)
+					for i := range fp.Orders {
+						vals = ex.Values(&fp.Orders[i], vals)
+						r := cfg.Switch.Process(vals, sim.Now())
+						if r.Dropped {
+							continue
+						}
+						for _, port := range r.Ports {
+							perPort[port]++
+						}
+					}
+					for port, n := range perPort {
+						port, n := port, n
+						if _, ok := links[port]; !ok {
+							continue // unwired port
+						}
+						bytes := packetBytes(n)
+						res.FabricBytes += bytes
+						links[port].Send(bytes, func() {
+							deliver(port, fp.At, n, bytes)
+						})
+					}
+				})
+			})
+		})
+	}
+	sim.Run()
+	for port, cpu := range cpus {
+		res.PerPort[port].MaxHostQueue = cpu.MaxQueue()
+	}
+	return res, nil
+}

@@ -1,0 +1,74 @@
+package pipeline
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"camus/internal/compiler"
+)
+
+// TestLookupTableMatchesCompilerLookup checks the optimized runtime
+// lookup structures (hash maps + binary search) against the compiler's
+// reference linear-scan Lookup on random programs and probes.
+func TestLookupTableMatchesCompilerLookup(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		var b strings.Builder
+		for i := 0; i < 30; i++ {
+			sym := testSymbols[r.Intn(len(testSymbols))]
+			switch r.Intn(3) {
+			case 0:
+				fmt.Fprintf(&b, "stock == %s : fwd(%d)\n", sym, 1+r.Intn(8))
+			case 1:
+				fmt.Fprintf(&b, "stock == %s && price > %d : fwd(%d)\n", sym, r.Intn(1000), 1+r.Intn(8))
+			default:
+				fmt.Fprintf(&b, "price < %d && shares > %d : fwd(%d)\n", r.Intn(1000), r.Intn(500), 1+r.Intn(8))
+			}
+		}
+		sw, prog, _ := buildSwitch(t, b.String())
+		for fi, tab := range prog.Tables {
+			lt := sw.tables[fi]
+			for probe := 0; probe < 500; probe++ {
+				state := r.Intn(prog.NumStates() + 2)
+				value := r.Uint64()
+				if max := prog.Fields[fi].Max; max != ^uint64(0) {
+					value %= max + 1
+				}
+				wantE, wantOK := tab.Lookup(state, value)
+				gotNext, gotOK := lt.lookup(state, value)
+				if gotOK != wantOK {
+					t.Fatalf("trial %d table %s: hit mismatch at state=%d value=%d", trial, tab.Name, state, value)
+				}
+				if gotOK && gotNext != wantE.Next {
+					t.Fatalf("trial %d table %s: next %d != %d at state=%d value=%d",
+						trial, tab.Name, gotNext, wantE.Next, state, value)
+				}
+			}
+		}
+	}
+}
+
+// TestReinstallPreservesRegisters checks that a control-plane update does
+// not clear hardware register state.
+func TestReinstallPreservesRegisters(t *testing.T) {
+	sw, prog, sp := buildSwitch(t, "stock == GOOGL && avg(price) > 50 : fwd(1)")
+	googl := stockVal(t, sp, "GOOGL")
+	// Prime the average.
+	sw.Process(packetValues(prog, 0, googl, 100), 0)
+
+	newProg, err := compiler.CompileSource(prog.Spec,
+		"stock == GOOGL && avg(price) > 50 : fwd(1)\nstock == AAPL : fwd(2)\n", compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Reinstall(newProg); err != nil {
+		t.Fatal(err)
+	}
+	// The primed average must survive: next GOOGL forwards immediately.
+	res := sw.Process(packetValues(newProg, 0, googl, 100), 1000)
+	if res.Dropped {
+		t.Fatalf("register state lost across reinstall: %+v", res)
+	}
+}

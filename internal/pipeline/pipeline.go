@@ -1,0 +1,281 @@
+// Package pipeline models the programmable switching ASIC that Camus
+// compiles to — the Tofino stand-in of this reproduction.
+//
+// The model preserves the architectural properties the paper's evaluation
+// rests on: a fixed-length sequence of match-action stages (one table
+// lookup per stage, single matching entry wins by priority), per-packet
+// work that is independent of how many subscriptions are installed,
+// bounded SRAM/TCAM per stage, registers with tumbling windows for state
+// variables, and a multicast replication engine. Lookup structures are
+// hash maps for exact tables and sorted arrays for range tables, so the
+// simulator itself processes millions of messages per second.
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"camus/internal/compiler"
+)
+
+// Config sizes the modeled ASIC. The defaults approximate a 32-port
+// Tofino-class device (§4: "a 32-port Barefoot Tofino switch, which can
+// process packets at 3.25Tbps").
+type Config struct {
+	Ports        int           // number of front-panel ports
+	PortRateGbps float64       // per-port line rate
+	Stages       int           // match-action stages available
+	SRAMPerStage int           // exact-match entries per stage
+	TCAMPerStage int           // ternary/range entries per stage
+	PipeLatency  time.Duration // fixed port-to-port processing latency
+}
+
+// DefaultConfig models the 32-port switch used in the paper's testbed.
+func DefaultConfig() Config {
+	return Config{
+		Ports:        32,
+		PortRateGbps: 100,
+		Stages:       12,
+		SRAMPerStage: 120000,
+		TCAMPerStage: 6144,
+		PipeLatency:  600 * time.Nanosecond,
+	}
+}
+
+// BandwidthTbps returns the aggregate switching capacity.
+func (c Config) BandwidthTbps() float64 {
+	return float64(c.Ports) * c.PortRateGbps / 1000
+}
+
+// Result is the forwarding decision for one packet.
+type Result struct {
+	Ports   []int // output ports (shared slice; do not modify)
+	Dropped bool
+	Group   int // multicast group used, or -1
+}
+
+// Switch is an ASIC with a compiled Camus program installed.
+type Switch struct {
+	cfg    Config
+	prog   *compiler.Program
+	tables []lookupTable
+	leaf   map[int]int // state -> action index
+	groups [][]int
+	regs   *RegisterFile
+
+	packets uint64 // processed packet count (telemetry)
+}
+
+type exactKey struct {
+	state int
+	value uint64
+}
+
+// lookupTable is the runtime form of one compiler.Table.
+type lookupTable struct {
+	field  int
+	codec  *compiler.DomainCodec
+	exact  map[exactKey]int     // (state, value) -> next
+	wild   map[int]int          // state -> next
+	ranges map[int][]rangeEntry // state -> sorted disjoint ranges
+}
+
+type rangeEntry struct {
+	lo, hi uint64
+	next   int
+}
+
+// New builds a Switch for a compiled program, validating that the program
+// fits the device's table resources.
+func New(prog *compiler.Program, cfg Config) (*Switch, error) {
+	if cfg.Ports == 0 {
+		cfg = DefaultConfig()
+	}
+	if err := CheckResources(prog, cfg); err != nil {
+		return nil, err
+	}
+	sw := &Switch{
+		cfg:    cfg,
+		prog:   prog,
+		groups: prog.Groups,
+		leaf:   make(map[int]int, len(prog.Leaf.Entries)),
+		regs:   NewRegisterFile(),
+	}
+	for _, t := range prog.Tables {
+		sw.tables = append(sw.tables, buildLookup(t))
+	}
+	for _, e := range prog.Leaf.Entries {
+		sw.leaf[e.State] = e.Next
+	}
+	// Pre-create registers for state fields so reads before any update
+	// return zero (hardware registers power up zeroed).
+	for _, f := range prog.Fields {
+		if f.IsState {
+			sw.regs.Ensure(f.Name, fieldWindow(f))
+		}
+	}
+	return sw, nil
+}
+
+// AggWindow is the default tumbling-window length for aggregate state
+// variables (the paper's example uses a 100µs window).
+const AggWindow = 100 * time.Microsecond
+
+// fieldWindow returns a state field's declared tumbling window, falling
+// back to the default for implicit aggregates.
+func fieldWindow(f compiler.FieldInfo) time.Duration {
+	if f.WindowUS > 0 {
+		return time.Duration(f.WindowUS) * time.Microsecond
+	}
+	return AggWindow
+}
+
+func buildLookup(t *compiler.Table) lookupTable {
+	lt := lookupTable{
+		field:  t.Field,
+		codec:  t.Codec,
+		exact:  make(map[exactKey]int),
+		wild:   make(map[int]int),
+		ranges: make(map[int][]rangeEntry),
+	}
+	for _, e := range t.Entries {
+		switch e.Kind {
+		case compiler.EntryExact:
+			lt.exact[exactKey{e.State, e.Lo}] = e.Next
+		case compiler.EntryWild:
+			lt.wild[e.State] = e.Next
+		case compiler.EntryRange:
+			lt.ranges[e.State] = append(lt.ranges[e.State], rangeEntry{e.Lo, e.Hi, e.Next})
+		}
+	}
+	for st := range lt.ranges {
+		rs := lt.ranges[st]
+		sort.Slice(rs, func(i, j int) bool { return rs[i].lo < rs[j].lo })
+		lt.ranges[st] = rs
+	}
+	return lt
+}
+
+// lookup performs the single-stage table lookup: exact first (SRAM), then
+// ranges (TCAM), then the per-state wildcard default.
+func (lt *lookupTable) lookup(state int, value uint64) (int, bool) {
+	if lt.codec != nil {
+		value = lt.codec.Code(value)
+	}
+	if next, ok := lt.exact[exactKey{state, value}]; ok {
+		return next, true
+	}
+	if rs, ok := lt.ranges[state]; ok {
+		lo, hi := 0, len(rs)-1
+		for lo <= hi {
+			mid := (lo + hi) / 2
+			switch {
+			case value < rs[mid].lo:
+				hi = mid - 1
+			case value > rs[mid].hi:
+				lo = mid + 1
+			default:
+				return rs[mid].next, true
+			}
+		}
+	}
+	if next, ok := lt.wild[state]; ok {
+		return next, true
+	}
+	return 0, false
+}
+
+// Process runs one packet through the pipeline. values must contain the
+// packet's header field values in program field order; state-field slots
+// are overwritten with register reads. now is the packet's arrival time,
+// used for tumbling windows.
+func (sw *Switch) Process(values []uint64, now time.Duration) Result {
+	sw.packets++
+	fields := sw.prog.Fields
+	// Stage 0: state-variable reads populate metadata.
+	for i := range fields {
+		if fields[i].IsState {
+			values[i] = sw.regs.Read(fields[i].Name, fields[i].Agg, now)
+		}
+	}
+	// Match-action stages.
+	state := sw.prog.InitialState
+	for i := range sw.tables {
+		if next, ok := sw.tables[i].lookup(state, values[i]); ok {
+			state = next
+		}
+	}
+	// Leaf stage.
+	ai, ok := sw.leaf[state]
+	if !ok {
+		return Result{Dropped: true, Group: -1}
+	}
+	act := &sw.prog.Actions[ai]
+	// State updates execute in the action stage.
+	for _, u := range act.Updates {
+		arg := uint64(0)
+		if len(u.Args) > 0 {
+			if fi, err := sw.prog.FieldIndex(u.Args[0]); err == nil {
+				arg = values[fi]
+			}
+		}
+		sw.regs.Update(u.Var, u.Func, arg, now)
+	}
+	if len(act.Ports) == 0 {
+		return Result{Dropped: true, Group: -1}
+	}
+	return Result{Ports: act.Ports, Group: act.Group}
+}
+
+// Latency returns the fixed port-to-port latency of the pipeline. It does
+// not depend on the installed rule count — the property that lets Camus
+// filter at line rate.
+func (sw *Switch) Latency() time.Duration { return sw.cfg.PipeLatency }
+
+// Config returns the device configuration.
+func (sw *Switch) Config() Config { return sw.cfg }
+
+// Registers exposes the register file (tests, telemetry).
+func (sw *Switch) Registers() *RegisterFile { return sw.regs }
+
+// PacketsProcessed returns the number of packets run through the pipe.
+func (sw *Switch) PacketsProcessed() uint64 { return sw.packets }
+
+// Program returns the installed program.
+func (sw *Switch) Program() *compiler.Program { return sw.prog }
+
+// Reinstall atomically replaces the installed program (the control plane's
+// commit step). Register state is preserved across updates, as it would be
+// on hardware where registers are not cleared by table writes.
+func (sw *Switch) Reinstall(prog *compiler.Program) error {
+	if err := CheckResources(prog, sw.cfg); err != nil {
+		return err
+	}
+	tables := make([]lookupTable, 0, len(prog.Tables))
+	for _, t := range prog.Tables {
+		tables = append(tables, buildLookup(t))
+	}
+	leaf := make(map[int]int, len(prog.Leaf.Entries))
+	for _, e := range prog.Leaf.Entries {
+		leaf[e.State] = e.Next
+	}
+	sw.prog = prog
+	sw.tables = tables
+	sw.leaf = leaf
+	sw.groups = prog.Groups
+	for _, f := range prog.Fields {
+		if f.IsState {
+			sw.regs.Ensure(f.Name, fieldWindow(f))
+		}
+	}
+	return nil
+}
+
+// GroupPorts returns the port list of a multicast group.
+func (sw *Switch) GroupPorts(g int) ([]int, error) {
+	if g < 0 || g >= len(sw.groups) {
+		return nil, fmt.Errorf("multicast group %d not installed", g)
+	}
+	return sw.groups[g], nil
+}

@@ -1,0 +1,138 @@
+package pipeline
+
+import (
+	"sort"
+	"time"
+)
+
+// Register is one stateful cell: it accumulates packet field values within
+// a tumbling window and serves the aggregate configured by the reading
+// subscription. The static compiler pre-allocates a block of these; the
+// dynamic compiler links subscription actions to them (§3.1).
+type Register struct {
+	Window time.Duration
+
+	windowStart time.Duration
+	count       uint64
+	sum         uint64
+	min         uint64
+	max         uint64
+	last        uint64
+	started     bool
+}
+
+// roll resets the register when the tumbling window has elapsed.
+func (r *Register) roll(now time.Duration) {
+	if !r.started {
+		r.windowStart = now
+		r.started = true
+		return
+	}
+	if r.Window > 0 && now-r.windowStart >= r.Window {
+		// Tumbling (non-overlapping) window: state resets at each
+		// boundary. Skip forward over idle windows.
+		elapsed := now - r.windowStart
+		r.windowStart += elapsed - elapsed%r.Window
+		r.count, r.sum, r.min, r.max, r.last = 0, 0, 0, 0, 0
+	}
+}
+
+// Update folds a new sample into the register.
+func (r *Register) Update(v uint64, now time.Duration) {
+	r.roll(now)
+	if r.count == 0 {
+		r.min, r.max = v, v
+	} else {
+		if v < r.min {
+			r.min = v
+		}
+		if v > r.max {
+			r.max = v
+		}
+	}
+	r.count++
+	r.sum += v
+	r.last = v
+}
+
+// Value serves an aggregate over the current window. Unknown aggregates
+// return the last written value (plain register semantics).
+func (r *Register) Value(agg string, now time.Duration) uint64 {
+	r.roll(now)
+	switch agg {
+	case "count":
+		return r.count
+	case "sum":
+		return r.sum
+	case "min":
+		return r.min
+	case "max":
+		return r.max
+	case "avg":
+		if r.count == 0 {
+			return 0
+		}
+		return r.sum / r.count
+	default:
+		return r.last
+	}
+}
+
+// Count returns the number of samples in the current window.
+func (r *Register) Count(now time.Duration) uint64 {
+	r.roll(now)
+	return r.count
+}
+
+// RegisterFile is the switch's block of stateful registers, addressed by
+// state-variable name.
+type RegisterFile struct {
+	regs map[string]*Register
+}
+
+// NewRegisterFile returns an empty register file.
+func NewRegisterFile() *RegisterFile {
+	return &RegisterFile{regs: make(map[string]*Register)}
+}
+
+// Ensure allocates a register if absent and returns it.
+func (f *RegisterFile) Ensure(name string, window time.Duration) *Register {
+	if r, ok := f.regs[name]; ok {
+		return r
+	}
+	r := &Register{Window: window}
+	f.regs[name] = r
+	return r
+}
+
+// Read returns the aggregate value of a register, zero if the register
+// was never written.
+func (f *RegisterFile) Read(name, agg string, now time.Duration) uint64 {
+	r, ok := f.regs[name]
+	if !ok {
+		return 0
+	}
+	return r.Value(agg, now)
+}
+
+// Update folds a sample into a register, allocating it on first use (the
+// dynamic compiler's late linking of actions to the pre-allocated block).
+func (f *RegisterFile) Update(name, agg string, v uint64, now time.Duration) {
+	r := f.Ensure(name, AggWindow)
+	switch agg {
+	case "count":
+		r.Update(0, now) // count ignores the argument value
+	default:
+		r.Update(v, now)
+	}
+}
+
+// Names returns the allocated register names, sorted.
+func (f *RegisterFile) Names() []string {
+	out := make([]string, 0, len(f.regs))
+	for n := range f.regs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

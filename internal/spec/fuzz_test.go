@@ -1,0 +1,31 @@
+package spec
+
+import "testing"
+
+// FuzzParseSpec checks the spec parser never panics and that accepted
+// specs are stable under String() round-tripping.
+func FuzzParseSpec(f *testing.F) {
+	f.Add(`header_type t { fields { a: 8; } } header t h; @query_field(h.a)`)
+	f.Add(`header_type itch_add_order_t {
+    fields { shares: 32; stock: 64; price: 32; }
+}
+header itch_add_order_t add_order;
+@query_field(add_order.shares)
+@query_field_exact(add_order.stock)
+@query_counter(my_counter, 100)`)
+	f.Add("header_type { }")
+	f.Add("@query_field(")
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := Parse(src)
+		if err != nil {
+			return
+		}
+		s2, err := Parse(s.String())
+		if err != nil {
+			t.Fatalf("accepted spec does not re-parse: %v\n%s", err, s.String())
+		}
+		if s2.String() != s.String() {
+			t.Fatalf("String() unstable:\n%s\nvs\n%s", s.String(), s2.String())
+		}
+	})
+}

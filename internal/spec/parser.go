@@ -1,0 +1,382 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a Fig. 2-style specification: P4₁₄ header_type declarations,
+// header instance declarations, and @query_* annotations.
+//
+//	header_type itch_add_order_t {
+//	    fields {
+//	        shares: 32;
+//	        stock: 64;
+//	        price: 32;
+//	    }
+//	}
+//	header itch_add_order_t add_order;
+//
+//	@query_field(add_order.shares)
+//	@query_field(add_order.price)
+//	@query_field_exact(add_order.stock)
+//	@query_counter(my_counter, 100)
+func Parse(src string) (*Spec, error) {
+	p := &specParser{src: src, line: 1}
+	s := &Spec{}
+	for {
+		p.skipSpace()
+		if p.eof() {
+			break
+		}
+		switch {
+		case p.consumeWord("header_type"):
+			ht, err := p.parseHeaderType()
+			if err != nil {
+				return nil, err
+			}
+			s.Types = append(s.Types, ht)
+		case p.consumeWord("header"):
+			inst, err := p.parseInstance(s)
+			if err != nil {
+				return nil, err
+			}
+			s.Instances = append(s.Instances, inst)
+		case p.peekByte() == '@':
+			if err := p.parseAnnotation(s); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("expected 'header_type', 'header' or annotation")
+		}
+	}
+	s.index()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MustParse is Parse for known-good sources (tests, embedded specs).
+func MustParse(src string) *Spec {
+	s, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type specParser struct {
+	src  string
+	pos  int
+	line int
+}
+
+func (p *specParser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *specParser) peekByte() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *specParser) advance() byte {
+	c := p.src[p.pos]
+	p.pos++
+	if c == '\n' {
+		p.line++
+	}
+	return c
+}
+
+func (p *specParser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("spec line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *specParser) skipSpace() {
+	for !p.eof() {
+		c := p.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			p.advance()
+		case c == '#':
+			for !p.eof() && p.peekByte() != '\n' {
+				p.advance()
+			}
+		case c == '/' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '/':
+			for !p.eof() && p.peekByte() != '\n' {
+				p.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *specParser) consumeWord(w string) bool {
+	p.skipSpace()
+	end := p.pos + len(w)
+	if end > len(p.src) || p.src[p.pos:end] != w {
+		return false
+	}
+	// Must be followed by a non-identifier character.
+	if end < len(p.src) {
+		c := rune(p.src[end])
+		if c == '_' || unicode.IsLetter(c) || unicode.IsDigit(c) {
+			return false
+		}
+	}
+	p.pos = end
+	return true
+}
+
+func (p *specParser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for !p.eof() {
+		c := rune(p.peekByte())
+		if c == '_' || c == '.' || unicode.IsLetter(c) || unicode.IsDigit(c) {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", p.errf("expected identifier")
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *specParser) number() (uint64, error) {
+	p.skipSpace()
+	start := p.pos
+	for !p.eof() && p.peekByte() >= '0' && p.peekByte() <= '9' {
+		p.advance()
+	}
+	if p.pos == start {
+		return 0, p.errf("expected number")
+	}
+	n, err := strconv.ParseUint(p.src[start:p.pos], 10, 64)
+	if err != nil {
+		return 0, p.errf("bad number: %v", err)
+	}
+	return n, nil
+}
+
+func (p *specParser) expect(c byte) error {
+	p.skipSpace()
+	if p.eof() || p.peekByte() != c {
+		return p.errf("expected %q", string(c))
+	}
+	p.advance()
+	return nil
+}
+
+func (p *specParser) parseHeaderType() (*HeaderType, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect('{'); err != nil {
+		return nil, err
+	}
+	if !p.consumeWord("fields") {
+		return nil, p.errf("expected 'fields' block in header_type %s", name)
+	}
+	if err := p.expect('{'); err != nil {
+		return nil, err
+	}
+	ht := &HeaderType{Name: name}
+	offset := 0
+	for {
+		p.skipSpace()
+		if p.peekByte() == '}' {
+			p.advance()
+			break
+		}
+		fname, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(':'); err != nil {
+			return nil, err
+		}
+		bits, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if bits == 0 || bits > 4096 {
+			return nil, p.errf("field %s.%s: width %d out of range", name, fname, bits)
+		}
+		if err := p.expect(';'); err != nil {
+			return nil, err
+		}
+		ht.Fields = append(ht.Fields, Field{Name: fname, Bits: int(bits), Offset: offset})
+		offset += int(bits)
+	}
+	if err := p.expect('}'); err != nil {
+		return nil, err
+	}
+	return ht, nil
+}
+
+func (p *specParser) parseInstance(s *Spec) (*Instance, error) {
+	typeName, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	instName, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(';'); err != nil {
+		return nil, err
+	}
+	for _, ht := range s.Types {
+		if ht.Name == typeName {
+			return &Instance{Name: instName, Type: ht}, nil
+		}
+	}
+	return nil, p.errf("header %s: unknown header_type %s", instName, typeName)
+}
+
+func (p *specParser) parseAnnotation(s *Spec) error {
+	p.advance() // '@'
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if err := p.expect('('); err != nil {
+		return err
+	}
+	switch name {
+	case "query_field", "query_field_exact", "query_field_ternary":
+		field, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(')'); err != nil {
+			return err
+		}
+		kind := MatchRange
+		switch name {
+		case "query_field_exact":
+			kind = MatchExact
+		case "query_field_ternary":
+			kind = MatchTernary
+		}
+		return p.addQueryField(s, field, kind)
+	case "query_counter":
+		v, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(','); err != nil {
+			return err
+		}
+		window, err := p.number()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(')'); err != nil {
+			return err
+		}
+		s.States = append(s.States, StateVar{Name: v, Kind: StateCounter, WindowUS: window})
+		return nil
+	case "query_register":
+		v, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(','); err != nil {
+			return err
+		}
+		bits, err := p.number()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(')'); err != nil {
+			return err
+		}
+		if bits == 0 || bits > 64 {
+			return p.errf("register %s: width %d out of range (1..64)", v, bits)
+		}
+		s.States = append(s.States, StateVar{Name: v, Kind: StateRegister, Bits: int(bits)})
+		return nil
+	default:
+		return p.errf("unknown annotation @%s", name)
+	}
+}
+
+func (p *specParser) addQueryField(s *Spec, qualified string, kind MatchKind) error {
+	inst, field := splitQualified(qualified)
+	if inst == "" {
+		return p.errf("@query_field(%s): field must be qualified as instance.field", qualified)
+	}
+	var instance *Instance
+	for _, in := range s.Instances {
+		if in.Name == inst {
+			instance = in
+			break
+		}
+	}
+	if instance == nil {
+		return p.errf("@query_field(%s): unknown header instance %q", qualified, inst)
+	}
+	for _, f := range instance.Type.Fields {
+		if f.Name != field {
+			continue
+		}
+		if f.Bits > 64 {
+			return p.errf("@query_field(%s): %d-bit fields are wider than the 64-bit match limit", qualified, f.Bits)
+		}
+		q := QueryField{
+			Name: qualified, Bits: f.Bits, Match: kind,
+			Order: len(s.Queries), Instance: inst, Field: field,
+		}
+		if f.Offset%8 == 0 && f.Bits%8 == 0 {
+			q.ByteOffset = f.Offset / 8
+			q.ByteLen = f.Bits / 8
+		}
+		s.Queries = append(s.Queries, q)
+		return nil
+	}
+	return p.errf("@query_field(%s): header type %s has no field %q", qualified, instance.Type.Name, field)
+}
+
+// String renders the spec back to (canonical) Fig. 2 syntax.
+func (s *Spec) String() string {
+	var b strings.Builder
+	for _, ht := range s.Types {
+		fmt.Fprintf(&b, "header_type %s {\n    fields {\n", ht.Name)
+		for _, f := range ht.Fields {
+			fmt.Fprintf(&b, "        %s: %d;\n", f.Name, f.Bits)
+		}
+		b.WriteString("    }\n}\n")
+	}
+	for _, in := range s.Instances {
+		fmt.Fprintf(&b, "header %s %s;\n", in.Type.Name, in.Name)
+	}
+	for _, q := range s.Queries {
+		switch q.Match {
+		case MatchExact:
+			fmt.Fprintf(&b, "@query_field_exact(%s)\n", q.Name)
+		case MatchTernary:
+			fmt.Fprintf(&b, "@query_field_ternary(%s)\n", q.Name)
+		default:
+			fmt.Fprintf(&b, "@query_field(%s)\n", q.Name)
+		}
+	}
+	for _, v := range s.States {
+		switch v.Kind {
+		case StateCounter:
+			fmt.Fprintf(&b, "@query_counter(%s, %d)\n", v.Name, v.WindowUS)
+		case StateRegister:
+			fmt.Fprintf(&b, "@query_register(%s, %d)\n", v.Name, v.Bits)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,225 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"camus/internal/itch"
+)
+
+// FeedPacket is one MoldUDP64 datagram's worth of market data with its
+// publication time.
+type FeedPacket struct {
+	At     time.Duration
+	Orders []itch.AddOrder
+}
+
+// FeedConfig parameterizes a market-data feed. The two presets below
+// stand in for the paper's workloads: a Nasdaq trace from 2017-08-30
+// (bursty, 0.5% of messages for the watched symbol) and a synthetic feed
+// (steady high rate, 5% for the watched symbol).
+type FeedConfig struct {
+	Symbols        int     // number of stock symbols in the feed
+	TargetSymbol   string  // the symbol the subscriber cares about
+	TargetFraction float64 // fraction of messages carrying TargetSymbol
+
+	PacketRate    float64       // average datagrams per second (Poisson)
+	MsgsPerPacket int           // messages batched per datagram
+	Duration      time.Duration // feed length
+
+	// Burst model: bursts of back-to-back packets arrive at Poisson times
+	// with Pareto-distributed sizes — the microbursts that build queues at
+	// the subscriber in the baseline configuration.
+	BurstMeanInterval time.Duration
+	BurstMeanSize     int     // mean packets per burst
+	BurstAlpha        float64 // Pareto tail index (smaller = heavier)
+	BurstMaxMult      float64 // clamp burst size at BurstMeanSize*BurstMaxMult (0 = 50x)
+
+	Seed int64
+}
+
+// NasdaqTraceConfig is the stand-in for the paper's Nasdaq trace: the
+// watched symbol is 0.5% of add-order messages and arrivals are strongly
+// bursty (market-open style microbursts).
+func NasdaqTraceConfig() FeedConfig {
+	return FeedConfig{
+		Symbols:           100,
+		TargetSymbol:      "GOOGL",
+		TargetFraction:    0.005,
+		PacketRate:        50000,
+		MsgsPerPacket:     4,
+		Duration:          200 * time.Millisecond,
+		BurstMeanInterval: 5 * time.Millisecond,
+		BurstMeanSize:     150,
+		BurstAlpha:        1.8,
+		BurstMaxMult:      3,
+		Seed:              20170830,
+	}
+}
+
+// SyntheticFeedConfig is the stand-in for the paper's synthetic feed: 5%
+// of messages for the watched symbol at a steady, higher base rate with
+// milder bursts.
+func SyntheticFeedConfig() FeedConfig {
+	return FeedConfig{
+		Symbols:           100,
+		TargetSymbol:      "GOOGL",
+		TargetFraction:    0.05,
+		PacketRate:        150000,
+		MsgsPerPacket:     4,
+		Duration:          200 * time.Millisecond,
+		BurstMeanInterval: 8 * time.Millisecond,
+		BurstMeanSize:     100,
+		BurstAlpha:        1.5,
+		BurstMaxMult:      10,
+		Seed:              42,
+	}
+}
+
+// GenerateFeed produces the packet-timestamped feed for a config. Prices
+// follow a per-symbol random walk in ITCH fixed point; shares are round
+// lots. Packets inside a burst are spaced by wire serialization time.
+func GenerateFeed(cfg FeedConfig) []FeedPacket {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.MsgsPerPacket <= 0 {
+		cfg.MsgsPerPacket = 1
+	}
+
+	// Per-symbol price walks, fixed-point dollars.
+	price := make([]uint32, cfg.Symbols+1)
+	for i := range price {
+		price[i] = itch.PriceToFixed(20 + 980*r.Float64())
+	}
+	symName := make([]string, cfg.Symbols)
+	for i := range symName {
+		symName[i] = StockSymbol(i)
+	}
+
+	// Build the arrival time series: base Poisson process + bursts.
+	var times []time.Duration
+	t := time.Duration(0)
+	for t < cfg.Duration {
+		t += expDuration(r, cfg.PacketRate)
+		if t < cfg.Duration {
+			times = append(times, t)
+		}
+	}
+	if cfg.BurstMeanInterval > 0 && cfg.BurstMeanSize > 0 {
+		// Packets inside a burst are back-to-back at ~wire speed
+		// (a 190-byte datagram at 25 Gb/s is ~60ns; use 100ns spacing).
+		const burstSpacing = 100 * time.Nanosecond
+		bt := time.Duration(0)
+		for {
+			bt += time.Duration(r.ExpFloat64() * float64(cfg.BurstMeanInterval))
+			if bt >= cfg.Duration {
+				break
+			}
+			size := paretoInt(r, float64(cfg.BurstMeanSize), cfg.BurstAlpha, cfg.BurstMaxMult)
+			for i := 0; i < size; i++ {
+				ts := bt + time.Duration(i)*burstSpacing
+				if ts < cfg.Duration {
+					times = append(times, ts)
+				}
+			}
+		}
+		sortDurations(times)
+	}
+
+	var ref uint64 = 1
+	out := make([]FeedPacket, 0, len(times))
+	for _, at := range times {
+		pkt := FeedPacket{At: at, Orders: make([]itch.AddOrder, cfg.MsgsPerPacket)}
+		for m := 0; m < cfg.MsgsPerPacket; m++ {
+			var symIdx int
+			var name string
+			if r.Float64() < cfg.TargetFraction {
+				symIdx = cfg.Symbols // target's walk slot
+				name = cfg.TargetSymbol
+			} else {
+				symIdx = r.Intn(cfg.Symbols)
+				name = symName[symIdx]
+			}
+			// Random walk step: ±0.05% per trade.
+			step := 1 + 0.0005*(r.Float64()*2-1)
+			price[symIdx] = uint32(math.Max(10000, float64(price[symIdx])*step))
+			o := itch.AddOrder{
+				StockLocate: uint16(symIdx),
+				Timestamp:   uint64(at.Nanoseconds()),
+				OrderRef:    ref,
+				Side:        pickSide(r),
+				Shares:      uint32(100 * (1 + r.Intn(10))),
+				Price:       price[symIdx],
+			}
+			o.SetStock(name)
+			pkt.Orders[m] = o
+			ref++
+		}
+		out = append(out, pkt)
+	}
+	return out
+}
+
+// TargetCount returns how many messages in the feed carry the target
+// symbol (for calibration checks).
+func TargetCount(feed []FeedPacket, symbol string) (target, total int) {
+	for _, p := range feed {
+		for i := range p.Orders {
+			total++
+			if p.Orders[i].StockSymbol() == symbol {
+				target++
+			}
+		}
+	}
+	return
+}
+
+// WirePacket renders a feed packet as MoldUDP64 payload bytes.
+func WirePacket(p FeedPacket, session string, seq uint64) []byte {
+	var mp itch.MoldPacket
+	mp.Header.SetSession(session)
+	mp.Header.Sequence = seq
+	for i := range p.Orders {
+		mp.Append(p.Orders[i].Bytes())
+	}
+	return mp.Bytes()
+}
+
+func pickSide(r *rand.Rand) itch.Side {
+	if r.Intn(2) == 0 {
+		return itch.Buy
+	}
+	return itch.Sell
+}
+
+func expDuration(r *rand.Rand, ratePerSec float64) time.Duration {
+	if ratePerSec <= 0 {
+		return time.Hour
+	}
+	return time.Duration(r.ExpFloat64() / ratePerSec * float64(time.Second))
+}
+
+// paretoInt draws a Pareto-distributed integer with the given mean and
+// tail index alpha (> 1), clamped at mean*maxMult.
+func paretoInt(r *rand.Rand, mean, alpha, maxMult float64) int {
+	if alpha <= 1 {
+		alpha = 1.5
+	}
+	if maxMult <= 0 {
+		maxMult = 50
+	}
+	xm := mean * (alpha - 1) / alpha // scale for the requested mean
+	v := xm / math.Pow(r.Float64(), 1/alpha)
+	if v > mean*maxMult {
+		v = mean * maxMult
+	}
+	if v < 1 {
+		v = 1
+	}
+	return int(v)
+}
+
+func sortDurations(ds []time.Duration) {
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+}

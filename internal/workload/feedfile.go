@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"camus/internal/itch"
+)
+
+// Feed files (written by cmd/itchgen) are a sequence of records:
+//
+//	8 bytes big-endian  publication time, ns since feed start
+//	4 bytes big-endian  payload length
+//	N bytes             MoldUDP64 payload
+//
+// maxFeedRecord bounds a record's payload length; anything bigger than a
+// jumbo frame is corruption.
+const maxFeedRecord = 64 << 10
+
+// WriteFeed serializes a generated feed to w in the record format.
+func WriteFeed(w io.Writer, feed []FeedPacket, session string) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var hdr [12]byte
+	var seq uint64 = 1
+	for i, pkt := range feed {
+		payload := WirePacket(pkt, session, seq)
+		seq += uint64(len(pkt.Orders))
+		binary.BigEndian.PutUint64(hdr[0:8], uint64(pkt.At.Nanoseconds()))
+		binary.BigEndian.PutUint32(hdr[8:12], uint32(len(payload)))
+		if _, err := bw.Write(hdr[:]); err != nil {
+			return fmt.Errorf("workload: feed record %d: %w", i, err)
+		}
+		if _, err := bw.Write(payload); err != nil {
+			return fmt.Errorf("workload: feed record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFeed parses a feed file back into timestamped packets. Only
+// add-order messages are reconstructed (other message types in the file
+// are skipped, as the switch would skip them).
+func ReadFeed(r io.Reader) ([]FeedPacket, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var out []FeedPacket
+	var hdr [12]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("workload: feed record %d header: %w", len(out), err)
+		}
+		at := time.Duration(binary.BigEndian.Uint64(hdr[0:8]))
+		n := binary.BigEndian.Uint32(hdr[8:12])
+		if n == 0 || n > maxFeedRecord {
+			return nil, fmt.Errorf("workload: feed record %d: implausible length %d", len(out), n)
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return nil, fmt.Errorf("workload: feed record %d body: %w", len(out), err)
+		}
+		pkt := FeedPacket{At: at}
+		if err := itch.ForEachAddOrder(payload, func(o *itch.AddOrder) {
+			pkt.Orders = append(pkt.Orders, *o)
+		}); err != nil {
+			return nil, fmt.Errorf("workload: feed record %d: %w", len(out), err)
+		}
+		out = append(out, pkt)
+	}
+}

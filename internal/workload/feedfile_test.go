@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestFeedFileRoundTrip(t *testing.T) {
+	cfg := SyntheticFeedConfig()
+	cfg.Duration = 10 * time.Millisecond
+	feed := GenerateFeed(cfg)
+	if len(feed) == 0 {
+		t.Fatal("empty feed")
+	}
+	var buf bytes.Buffer
+	if err := WriteFeed(&buf, feed, "RT"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFeed(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(feed) {
+		t.Fatalf("packets: %d vs %d", len(got), len(feed))
+	}
+	for i := range feed {
+		if got[i].At != feed[i].At {
+			t.Fatalf("packet %d time %v vs %v", i, got[i].At, feed[i].At)
+		}
+		if len(got[i].Orders) != len(feed[i].Orders) {
+			t.Fatalf("packet %d orders %d vs %d", i, len(got[i].Orders), len(feed[i].Orders))
+		}
+		for j := range feed[i].Orders {
+			if got[i].Orders[j] != feed[i].Orders[j] {
+				t.Fatalf("packet %d order %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestReadFeedRejectsCorruption(t *testing.T) {
+	cfg := SyntheticFeedConfig()
+	cfg.Duration = time.Millisecond
+	feed := GenerateFeed(cfg)
+	var buf bytes.Buffer
+	if err := WriteFeed(&buf, feed, "X"); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Truncated body.
+	if _, err := ReadFeed(bytes.NewReader(data[:len(data)-3])); err == nil {
+		t.Fatal("truncated file should fail")
+	}
+	// Implausible length field.
+	bad := append([]byte(nil), data...)
+	bad[8], bad[9], bad[10], bad[11] = 0xff, 0xff, 0xff, 0xff
+	if _, err := ReadFeed(bytes.NewReader(bad)); err == nil {
+		t.Fatal("corrupt length should fail")
+	}
+	// Empty file is a valid empty feed.
+	got, err := ReadFeed(bytes.NewReader(nil))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty file: %v %d", err, len(got))
+	}
+}

@@ -1,0 +1,128 @@
+// Package workload generates the inputs of the paper's evaluation: the
+// Siena-style synthetic subscription workloads behind Figure 5a/5b, the
+// ITCH subscription workload behind Figure 5c, and the market-data feeds
+// (synthetic and Nasdaq-trace stand-in) behind Figure 7. All generators
+// are deterministic given a seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"camus/internal/lang"
+	"camus/internal/spec"
+)
+
+// SienaConfig parameterizes the Siena Synthetic Benchmark Generator
+// stand-in. The original generator (Carzaniga & Wolf) draws subscriptions
+// as conjunctions of predicates over a universe of typed attributes;
+// the knobs here mirror the ones the paper sweeps: the number of
+// subscriptions (Fig. 5a) and the number of predicates per subscription
+// (Fig. 5b).
+type SienaConfig struct {
+	Attributes     int     // total attribute universe
+	StringAttrs    int     // the first StringAttrs attributes are string-typed (exact match)
+	SymbolsPerAttr int     // alphabet size of each string attribute
+	IntMax         uint64  // numeric attribute domain [0, IntMax]
+	Predicates     int     // predicates per subscription (conjunction length)
+	Subscriptions  int     // number of subscriptions
+	Ports          int     // forwarding ports to draw actions from
+	Skew           float64 // Zipf s-parameter for attribute popularity; 0 = uniform
+	Seed           int64
+}
+
+// DefaultSienaConfig mirrors the workload scale of Fig. 5a/5b.
+func DefaultSienaConfig() SienaConfig {
+	return SienaConfig{
+		Attributes:     6,
+		StringAttrs:    3,
+		SymbolsPerAttr: 50,
+		IntMax:         10000,
+		Predicates:     3,
+		Subscriptions:  30,
+		Ports:          16,
+		Skew:           1.1,
+		Seed:           1,
+	}
+}
+
+// SienaSpec builds the message-format spec for a Siena workload: one
+// header with Attributes fields, string attributes 64-bit exact, numeric
+// attributes 32-bit range.
+func SienaSpec(cfg SienaConfig) *spec.Spec {
+	s := &spec.Spec{}
+	for i := 0; i < cfg.Attributes; i++ {
+		name := fmt.Sprintf("m.attr%02d", i)
+		if i < cfg.StringAttrs {
+			s.AddQueryField(name, 64, spec.MatchExact)
+		} else {
+			s.AddQueryField(name, 32, spec.MatchRange)
+		}
+	}
+	return s
+}
+
+// Siena generates a deterministic subscription workload. The returned
+// rules reference the fields of SienaSpec(cfg).
+func Siena(cfg SienaConfig) []lang.Rule {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	var zipf *rand.Zipf
+	if cfg.Skew > 1 {
+		zipf = rand.NewZipf(r, cfg.Skew, 1, uint64(cfg.Attributes-1))
+	}
+	pick := func() int {
+		if zipf != nil {
+			return int(zipf.Uint64())
+		}
+		return r.Intn(cfg.Attributes)
+	}
+
+	rules := make([]lang.Rule, 0, cfg.Subscriptions)
+	for s := 0; s < cfg.Subscriptions; s++ {
+		used := make(map[int]bool)
+		var cond lang.Expr
+		for p := 0; p < cfg.Predicates; p++ {
+			attr := pick()
+			// Prefer distinct attributes; once the universe is exhausted
+			// (more predicates than attributes) attributes repeat, like
+			// Siena's multi-constraint filters (price > a && price < b).
+			if len(used) < cfg.Attributes {
+				for used[attr] {
+					attr = (attr + 1) % cfg.Attributes
+				}
+			}
+			used[attr] = true
+			atom := sienaAtom(r, cfg, attr)
+			if cond == nil {
+				cond = atom
+			} else {
+				cond = lang.And{L: cond, R: atom}
+			}
+		}
+		rules = append(rules, lang.Rule{
+			ID:      s,
+			Cond:    cond,
+			Actions: []lang.Action{lang.Fwd(1 + r.Intn(cfg.Ports))},
+		})
+	}
+	return rules
+}
+
+func sienaAtom(r *rand.Rand, cfg SienaConfig, attr int) lang.Expr {
+	field := fmt.Sprintf("m.attr%02d", attr)
+	if attr < cfg.StringAttrs {
+		sym := fmt.Sprintf("V%04d", r.Intn(cfg.SymbolsPerAttr))
+		return lang.Cmp{LHS: lang.Operand{Field: field}, Op: lang.OpEq, RHS: lang.Symbol(sym)}
+	}
+	v := r.Uint64() % (cfg.IntMax + 1)
+	var op lang.CmpOp
+	switch r.Intn(3) {
+	case 0:
+		op = lang.OpEq
+	case 1:
+		op = lang.OpLt
+	default:
+		op = lang.OpGt
+	}
+	return lang.Cmp{LHS: lang.Operand{Field: field}, Op: op, RHS: lang.Number(v)}
+}

@@ -1,0 +1,213 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"camus/internal/compiler"
+	"camus/internal/itch"
+	"camus/internal/lang"
+)
+
+func TestSienaDeterministic(t *testing.T) {
+	cfg := DefaultSienaConfig()
+	a := Siena(cfg)
+	b := Siena(cfg)
+	if len(a) != cfg.Subscriptions || len(b) != len(a) {
+		t.Fatalf("lengths: %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("rule %d differs across runs with same seed", i)
+		}
+	}
+	cfg.Seed = 2
+	c := Siena(cfg)
+	same := true
+	for i := range a {
+		if a[i].String() != c[i].String() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seed should change the workload")
+	}
+}
+
+func TestSienaPredicateCount(t *testing.T) {
+	cfg := DefaultSienaConfig()
+	for _, k := range []int{1, 2, 5, 8} {
+		cfg.Predicates = k
+		for _, r := range Siena(cfg) {
+			if got := countAtoms(r.Cond); got != k {
+				t.Fatalf("predicates=%d: rule %q has %d atoms", k, r, got)
+			}
+		}
+	}
+}
+
+func countAtoms(e lang.Expr) int {
+	switch e := e.(type) {
+	case lang.And:
+		return countAtoms(e.L) + countAtoms(e.R)
+	case lang.Cmp:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func TestSienaCompiles(t *testing.T) {
+	cfg := DefaultSienaConfig()
+	cfg.Subscriptions = 40
+	sp := SienaSpec(cfg)
+	prog, err := compiler.Compile(sp, Siena(cfg), compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Stats.TableEntries == 0 {
+		t.Fatal("no entries generated")
+	}
+}
+
+func TestITCHSubscriptionsShape(t *testing.T) {
+	cfg := DefaultITCHSubsConfig()
+	cfg.Subscriptions = 1000
+	rules := ITCHSubscriptions(cfg)
+	if len(rules) != 1000 {
+		t.Fatalf("len = %d", len(rules))
+	}
+	for _, r := range rules {
+		and, ok := r.Cond.(lang.And)
+		if !ok {
+			t.Fatalf("rule not a conjunction: %s", r)
+		}
+		stock := and.L.(lang.Cmp)
+		price := and.R.(lang.Cmp)
+		if stock.LHS.Field != "stock" || stock.Op != lang.OpEq {
+			t.Fatalf("bad stock atom: %s", r)
+		}
+		if price.LHS.Field != "price" || price.Op != lang.OpGt {
+			t.Fatalf("bad price atom: %s", r)
+		}
+		if price.RHS.Num == 0 || price.RHS.Num >= cfg.PriceMax || price.RHS.Num%cfg.PriceGrid != 0 {
+			t.Fatalf("price threshold %d off grid", price.RHS.Num)
+		}
+		if len(r.Actions) != 1 || r.Actions[0].Kind != lang.ActFwd {
+			t.Fatalf("bad action: %s", r)
+		}
+		if p := r.Actions[0].Ports[0]; p < 1 || p > cfg.Hosts {
+			t.Fatalf("port %d out of range", p)
+		}
+	}
+}
+
+func TestITCHSubscriptionSourceParses(t *testing.T) {
+	cfg := DefaultITCHSubsConfig()
+	cfg.Subscriptions = 50
+	src := ITCHSubscriptionSource(cfg)
+	rules, err := lang.ParseRules(src)
+	if err != nil {
+		t.Fatalf("generated source does not parse: %v", err)
+	}
+	if len(rules) != 50 {
+		t.Fatalf("parsed %d rules", len(rules))
+	}
+}
+
+func TestITCHSpecFieldOrder(t *testing.T) {
+	sp := ITCHSpec()
+	q := sp.OrderedQueries()
+	if q[0].Field != "stock" || q[1].Field != "price" || q[2].Field != "shares" {
+		t.Fatalf("order: %s %s %s", q[0].Field, q[1].Field, q[2].Field)
+	}
+}
+
+func TestGenerateFeedCalibration(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  FeedConfig
+		want float64
+	}{
+		{"nasdaq", NasdaqTraceConfig(), 0.005},
+		{"synthetic", SyntheticFeedConfig(), 0.05},
+	} {
+		feed := GenerateFeed(tc.cfg)
+		if len(feed) == 0 {
+			t.Fatalf("%s: empty feed", tc.name)
+		}
+		target, total := TargetCount(feed, tc.cfg.TargetSymbol)
+		frac := float64(target) / float64(total)
+		if math.Abs(frac-tc.want) > tc.want*0.25 {
+			t.Errorf("%s: target fraction %.4f, want ~%.4f", tc.name, frac, tc.want)
+		}
+		// Packets must be time-ordered and within duration.
+		for i := 1; i < len(feed); i++ {
+			if feed[i].At < feed[i-1].At {
+				t.Fatalf("%s: feed not sorted at %d", tc.name, i)
+			}
+		}
+		if last := feed[len(feed)-1].At; last >= tc.cfg.Duration {
+			t.Fatalf("%s: packet at %v beyond duration %v", tc.name, last, tc.cfg.Duration)
+		}
+	}
+}
+
+func TestGenerateFeedDeterministic(t *testing.T) {
+	a := GenerateFeed(SyntheticFeedConfig())
+	b := GenerateFeed(SyntheticFeedConfig())
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].At != b[i].At || a[i].Orders[0] != b[i].Orders[0] {
+			t.Fatalf("packet %d differs", i)
+		}
+	}
+}
+
+func TestFeedPricesSane(t *testing.T) {
+	feed := GenerateFeed(SyntheticFeedConfig())
+	for _, p := range feed {
+		for i := range p.Orders {
+			o := &p.Orders[i]
+			if o.Price < 10000 { // >= $1.00 enforced by the walk floor
+				t.Fatalf("price %d below floor", o.Price)
+			}
+			if o.Shares == 0 || o.Shares%100 != 0 {
+				t.Fatalf("shares %d not a round lot", o.Shares)
+			}
+			if o.Side != 'B' && o.Side != 'S' {
+				t.Fatalf("side %q", o.Side)
+			}
+		}
+	}
+}
+
+func TestWirePacketDecodes(t *testing.T) {
+	feed := GenerateFeed(FeedConfig{
+		Symbols: 5, TargetSymbol: "GOOGL", TargetFraction: 0.2,
+		PacketRate: 100000, MsgsPerPacket: 3, Duration: 5 * time.Millisecond, Seed: 3,
+	})
+	if len(feed) == 0 {
+		t.Fatal("empty feed")
+	}
+	wire := WirePacket(feed[0], "TESTSESS", 77)
+	// Count add-orders round-tripped through the wire form.
+	n := 0
+	if err := itch.ForEachAddOrder(wire, func(*itch.AddOrder) { n++ }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("decoded %d orders, want 3", n)
+	}
+	var mp itch.MoldPacket
+	if err := mp.Decode(wire); err != nil {
+		t.Fatal(err)
+	}
+	if mp.Header.SessionString() != "TESTSESS" || mp.Header.Sequence != 77 {
+		t.Fatalf("header: %+v", mp.Header)
+	}
+}
