@@ -12,6 +12,7 @@ import (
 	"camus/internal/compiler"
 	"camus/internal/experiments"
 	"camus/internal/itch"
+	"camus/internal/lang"
 	"camus/internal/netsim"
 	"camus/internal/pipeline"
 	"camus/internal/workload"
@@ -27,6 +28,8 @@ func BenchmarkFig5aEntriesVsSubscriptions(b *testing.B) {
 			cfg.Subscriptions = n
 			rules := workload.Siena(cfg)
 			var entries int
+			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				prog, err := compiler.Compile(sp, rules, compiler.Options{})
 				if err != nil {
@@ -50,6 +53,8 @@ func BenchmarkFig5bEntriesVsPredicates(b *testing.B) {
 			cfg.Predicates = k
 			rules := workload.Siena(cfg)
 			var entries int
+			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				prog, err := compiler.Compile(sp, rules, compiler.Options{})
 				if err != nil {
@@ -74,6 +79,7 @@ func BenchmarkFig5cCompileTime(b *testing.B) {
 			cfg.Subscriptions = n
 			rules := workload.ITCHSubscriptions(cfg)
 			var st compiler.Stats
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				prog, err := compiler.Compile(sp, rules, compiler.Options{})
@@ -279,11 +285,98 @@ func BenchmarkBDDBuild(b *testing.B) {
 	cfg := workload.DefaultITCHSubsConfig()
 	cfg.Subscriptions = 1000
 	rules := workload.ITCHSubscriptions(cfg)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := compiler.Compile(sp, rules, compiler.Options{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCompileParallel measures the worker-pool speedup of the dynamic
+// compiler on the Fig. 5c 100K-subscription ITCH workload: workers-1 is
+// the fully serial baseline, workers-max uses every core. The outputs are
+// bit-identical (see TestParallelCompileMatchesSerialITCH); only the
+// wall-clock should differ.
+func BenchmarkCompileParallel(b *testing.B) {
+	sp := workload.ITCHSpec()
+	cfg := workload.DefaultITCHSubsConfig()
+	cfg.Subscriptions = 100000
+	rules := workload.ITCHSubscriptions(cfg)
+	for _, v := range []struct {
+		name    string
+		workers int
+	}{
+		{"workers-1", 1},
+		{"workers-max", 0}, // 0 = GOMAXPROCS
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := compiler.Compile(sp, rules, compiler.Options{Workers: v.workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkChurnIncremental measures a 1% subscription churn event
+// (remove 1%, add 1%, recompile) two ways: a full from-scratch compile of
+// the new rule set versus an incremental Session recompile that reuses
+// memoized sub-BDDs and persistent payload IDs.
+func BenchmarkChurnIncremental(b *testing.B) {
+	sp := workload.ITCHSpec()
+	for _, n := range []int{10000, 100000} {
+		cfg := workload.DefaultITCHSubsConfig()
+		cfg.Subscriptions = n
+		rules := workload.ITCHSubscriptions(cfg)
+		freshCfg := cfg
+		freshCfg.Seed = 7777
+		fresh := workload.ITCHSubscriptions(freshCfg)
+		churn := n / 100
+
+		b.Run(fmt.Sprintf("full/subs-%d", n), func(b *testing.B) {
+			// The post-churn rule set, compiled from scratch each time.
+			after := append(append([]lang.Rule(nil), rules[churn:]...), fresh[:churn]...)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := compiler.Compile(sp, after, compiler.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("incremental/subs-%d", n), func(b *testing.B) {
+			sess := compiler.NewSession(sp, compiler.Options{})
+			handles, err := sess.AddRules(rules)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sess.Recompile(); err != nil {
+				b.Fatal(err)
+			}
+			next := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sess.RemoveRules(handles[:churn]...); err != nil {
+					b.Fatal(err)
+				}
+				add := fresh[next*churn%len(fresh) : next*churn%len(fresh)+churn]
+				next++
+				nh, err := sess.AddRules(add)
+				if err != nil {
+					b.Fatal(err)
+				}
+				handles = append(handles[churn:], nh...)
+				if _, err := sess.Recompile(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -8,12 +8,15 @@
 //	camus-bench -fig 5a
 //	camus-bench -fig 5c -sizes 1000,10000,100000
 //	camus-bench -fig 7a -csv
+//	camus-bench -churn -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -23,12 +26,21 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "figure to regenerate: 5a, 5b, 5c, 7a, 7b, throughput, ablation, order, all")
-		sizes = flag.String("sizes", "", "comma-separated subscription counts (5c/throughput override)")
-		seed  = flag.Int64("seed", 1, "workload seed")
-		csv   = flag.Bool("csv", false, "emit CSV series instead of aligned tables")
+		fig      = flag.String("fig", "all", "figure to regenerate: 5a, 5b, 5c, 7a, 7b, throughput, ablation, order, churn, all")
+		sizes    = flag.String("sizes", "", "comma-separated subscription counts (5c/throughput/churn override)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		csv      = flag.Bool("csv", false, "emit CSV series instead of aligned tables")
+		churn    = flag.Bool("churn", false, "shorthand for -fig churn: compile-pipeline benchmark (serial/parallel, full/incremental)")
+		churnPct = flag.Float64("churn-pct", 1, "percentage of subscriptions replaced per churn event")
+		jsonOut  = flag.Bool("json", false, "emit the churn benchmark as JSON (BENCH_compile.json format)")
 	)
 	flag.Parse()
+	if *churn {
+		*fig = "churn"
+	}
+	if *churnPct <= 0 {
+		*churnPct = 1 // matches the experiment's own clamp, keeps the header honest
+	}
 
 	var sizeList []int
 	if *sizes != "" {
@@ -107,6 +119,32 @@ func main() {
 			pts, err := experiments.Fanout(16)
 			fatal(err)
 			fmt.Print(experiments.FormatFanout(pts))
+		case "churn":
+			pts, err := experiments.Churn(sizeList, *churnPct, *seed)
+			fatal(err)
+			if *jsonOut {
+				enc := json.NewEncoder(os.Stdout)
+				enc.SetIndent("", "  ")
+				fatal(enc.Encode(struct {
+					GOOS     string                   `json:"goos"`
+					GOARCH   string                   `json:"goarch"`
+					CPUs     int                      `json:"cpus"`
+					ChurnPct float64                  `json:"churn_pct"`
+					Seed     int64                    `json:"seed"`
+					Points   []experiments.ChurnPoint `json:"points"`
+				}{runtime.GOOS, runtime.GOARCH, runtime.NumCPU(), *churnPct, *seed, pts}))
+				return
+			}
+			if *csv {
+				fmt.Println("subscriptions,churn_rules,workers,serial_ms,parallel_ms,full_ms,inc_uniform_ms,inc_localized_ms,delta_writes,entries")
+				for _, p := range pts {
+					fmt.Printf("%d,%d,%d,%.1f,%.1f,%.1f,%.1f,%.1f,%d,%d\n",
+						p.Subscriptions, p.ChurnRules, p.Workers, p.SerialCompileMS, p.ParallelCompileMS,
+						p.FullRecompileMS, p.IncrementalUniformMS, p.IncrementalLocalizedMS, p.DeltaWrites, p.InstalledEntries)
+				}
+				return
+			}
+			fmt.Print(experiments.FormatChurn(pts, *churnPct))
 		default:
 			fmt.Fprintf(os.Stderr, "camus-bench: unknown figure %q\n", name)
 			os.Exit(2)

@@ -90,19 +90,61 @@ func (b *BDD) NumNodes() int { return len(b.nodes) }
 // NumInternal returns the number of predicate (non-terminal) nodes.
 func (b *BDD) NumInternal() int { return len(b.nodes) - len(b.terminals) }
 
-// builder holds construction state.
+// Builder is a persistent hash-cons arena that can be reused across Build
+// calls. All nodes live in the arena; the memo, node, and terminal tables
+// are keyed purely by content (predicate interval sets, context sets, and
+// the alive conjunctions' constraint/payload hashes), so a later Build
+// whose rule set shares conjunctions with an earlier one reuses the
+// unchanged sub-BDDs instead of re-expanding them — the compile-time
+// memoization §3 of the paper calls for under highly dynamic workloads.
+//
+// The arena is invalidated (Reset) automatically when the field list
+// changes between builds, since every content key is relative to the
+// variable order and domains. A Builder is not safe for concurrent use.
+type Builder struct {
+	fieldsKey  hash128
+	haveFields bool
+
+	memo     map[memoKey]*Node
+	nodeCons map[nodeKey]*Node
+	termCons map[hash128]*Node
+	nnodes   int // arena node counter; arena IDs are never reused
+}
+
+// NewBuilder returns an empty reusable arena.
+func NewBuilder() *Builder {
+	bl := &Builder{}
+	bl.Reset()
+	return bl
+}
+
+// Reset discards the arena: the next Build starts cold.
+func (bl *Builder) Reset() {
+	bl.memo = make(map[memoKey]*Node)
+	bl.nodeCons = make(map[nodeKey]*Node)
+	bl.termCons = make(map[hash128]*Node)
+	bl.nnodes = 0
+	bl.haveFields = false
+}
+
+// ArenaSize returns the number of nodes retained in the arena, counting
+// nodes from earlier builds that are no longer reachable. Callers can use
+// the ratio of ArenaSize to the live BDD size to decide when Reset pays.
+func (bl *Builder) ArenaSize() int { return bl.nnodes }
+
+// builder holds per-build construction state on top of a shared arena.
 type builder struct {
+	shared *Builder
+
 	fields []Field
 	conjs  []conjInfo
+	// conjHash[i] is a content hash of conjs[i] (payload + clamped
+	// constraint sets, in order); folding these over an alive set yields a
+	// memo key that is stable across builds.
+	conjHash []hash128
 	// preds[f] lists the distinct atomic predicates appearing on field f,
 	// in canonical order.
 	preds [][]pred
-
-	memo      map[memoKey]*Node
-	nodeCons  map[nodeKey]*Node
-	termCons  map[hash128]*Node
-	nodes     []*Node
-	terminals []*Node
 
 	// predSeen/predEpoch implement an epoch-stamped "seen" set for
 	// alivePreds, avoiding a map allocation per recursion step.
@@ -111,13 +153,16 @@ type builder struct {
 }
 
 // memoKey identifies a (sub)problem during construction. The alive
-// conjunction set and the field context are folded into 128-bit hashes;
-// with double 64-bit hashing the collision probability over even millions
-// of memo entries is negligible.
+// conjunction set, the chosen predicate, and the field context are folded
+// into 128-bit content hashes; with double 64-bit hashing the collision
+// probability over even millions of memo entries is negligible. Because
+// the key depends only on content (not on per-build conjunction or
+// predicate indices), entries remain valid across Build calls on the same
+// field list.
 type memoKey struct {
 	kind     uint8 // 'B' for branch problems, 'X' for field transitions
 	field    int32
-	pred     int32
+	pred     hash128
 	ctx      hash128
 	alive    hash128
 	aliveLen int32
@@ -159,6 +204,51 @@ func hashSet(s interval.Set) hash128 {
 	return hash128{h1, h2}
 }
 
+func hashString(s string) hash128 {
+	h1 := uint64(1469598103934665603)
+	h2 := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < len(s); i++ {
+		x := uint64(s[i])
+		h1 ^= x
+		h1 *= 1099511628211
+		h2 = (h2 ^ x) * 0xff51afd7ed558ccd
+		h2 ^= h2 >> 33
+	}
+	return hash128{h1, h2}
+}
+
+// mix128 folds x into h order-dependently.
+func mix128(h, x hash128) hash128 {
+	for _, v := range [2]uint64{x.a, x.b} {
+		h.a ^= v
+		h.a *= 1099511628211
+		h.b = (h.b ^ v) * 0xff51afd7ed558ccd
+		h.b ^= h.b >> 33
+	}
+	return h
+}
+
+// hashAlive folds the content hashes of the alive conjunctions, yielding a
+// key that identifies the same subproblem across builds.
+func (b *builder) hashAlive(alive []int) hash128 {
+	h := hash128{a: 0x9ddfea08eb382d69, b: 0xc2b2ae3d27d4eb4f}
+	for _, ci := range alive {
+		h = mix128(h, b.conjHash[ci])
+	}
+	return h
+}
+
+// hashFields keys the arena to a field list: name, domain, and order all
+// matter.
+func hashFields(fields []Field) hash128 {
+	h := hash128{a: 0x16a88fbbbd1ca4d9, b: 0x7fb5d329728ea185}
+	for _, f := range fields {
+		h = mix128(h, hashString(f.Name))
+		h = mix128(h, hash128{a: f.Max, b: uint64(len(f.Name))})
+	}
+	return h
+}
+
 type pred struct {
 	set   interval.Set
 	key   string
@@ -167,21 +257,38 @@ type pred struct {
 
 type conjInfo struct {
 	payload int
-	// req[f] is the intersection of the conjunction's constraints on f;
-	// fields without constraints are absent.
-	req map[int]interval.Set
+	// req[f] is the intersection of the conjunction's constraints on f,
+	// indexed densely by field. An empty set means "unconstrained": genuinely
+	// empty requirements never survive ingestion (unsatisfiable conjunctions
+	// are dropped), so emptiness is a safe absence sentinel, and the dense
+	// layout keeps the hot pruneDead/filterAlive loops on slice indexing
+	// instead of map probes.
+	req []interval.Set
 	// predIdx[f] lists indices into preds[f] used by this conjunction.
-	predIdx map[int][]int
+	predIdx [][]int
 }
 
 // Build constructs the reduced ordered multi-terminal BDD for the given
-// conjunctions over the given ordered fields.
+// conjunctions over the given ordered fields, using a fresh arena.
 func Build(fields []Field, conjs []Conj) (*BDD, error) {
+	return NewBuilder().Build(fields, conjs)
+}
+
+// Build constructs the reduced ordered multi-terminal BDD for the given
+// conjunctions, reusing sub-BDDs memoized by earlier builds on the same
+// arena. The returned BDD is an immutable snapshot: its nodes are copies
+// of the arena nodes with dense IDs in construction order, so earlier
+// returned BDDs stay valid and the output is bit-identical to a cold
+// build of the same inputs.
+func (bl *Builder) Build(fields []Field, conjs []Conj) (*BDD, error) {
+	if fk := hashFields(fields); !bl.haveFields || fk != bl.fieldsKey {
+		bl.Reset()
+		bl.fieldsKey = fk
+		bl.haveFields = true
+	}
 	b := &builder{
-		fields:   fields,
-		memo:     make(map[memoKey]*Node),
-		nodeCons: make(map[nodeKey]*Node),
-		termCons: make(map[hash128]*Node),
+		shared: bl,
+		fields: fields,
 	}
 	predKey := make([]map[string]int, len(fields))
 	for f := range predKey {
@@ -189,12 +296,19 @@ func Build(fields []Field, conjs []Conj) (*BDD, error) {
 	}
 	b.preds = make([][]pred, len(fields))
 
-	for _, c := range conjs {
+	// Dense per-conjunction tables, bulk-allocated: one backing array for
+	// all requirement rows instead of one map per conjunction.
+	reqBacking := make([]interval.Set, len(conjs)*len(fields))
+	idxBacking := make([][]int, len(conjs)*len(fields))
+
+	for k, c := range conjs {
 		info := conjInfo{
 			payload: c.Payload,
-			req:     make(map[int]interval.Set),
-			predIdx: make(map[int][]int),
+			req:     reqBacking[k*len(fields) : (k+1)*len(fields)],
+			predIdx: idxBacking[k*len(fields) : (k+1)*len(fields)],
 		}
+		ch := mix128(hash128{a: 0x87c37b91114253d5, b: 0x4cf5ad432745937f},
+			hash128{a: uint64(c.Payload), b: uint64(len(c.Constraints))})
 		sat := true
 		for _, con := range c.Constraints {
 			if con.Field < 0 || con.Field >= len(fields) {
@@ -206,7 +320,9 @@ func Build(fields []Field, conjs []Conj) (*BDD, error) {
 				sat = false
 				break
 			}
-			if prev, ok := info.req[con.Field]; ok {
+			ch = mix128(ch, hash128{a: uint64(con.Field), b: 0})
+			ch = mix128(ch, hashSet(set))
+			if prev := info.req[con.Field]; !prev.IsEmpty() {
 				set2 := prev.Intersect(set)
 				if set2.IsEmpty() {
 					sat = false
@@ -233,6 +349,7 @@ func Build(fields []Field, conjs []Conj) (*BDD, error) {
 			continue // unsatisfiable conjunction: drop (reduction of dead paths)
 		}
 		b.conjs = append(b.conjs, info)
+		b.conjHash = append(b.conjHash, ch)
 	}
 
 	// Canonical predicate order within each field: by (min, max, key).
@@ -250,8 +367,38 @@ func Build(fields []Field, conjs []Conj) (*BDD, error) {
 		alive[i] = i
 	}
 	root := b.build(0, interval.Set{}, alive)
-	bb := &BDD{Fields: fields, Root: root, nodes: b.nodes, terminals: b.terminals}
-	return bb, nil
+	nodes, terminals, pubRoot := extract(root)
+	return &BDD{Fields: fields, Root: pubRoot, nodes: nodes, terminals: terminals}, nil
+}
+
+// extract snapshots the sub-DAG reachable from the arena root into fresh
+// nodes with dense IDs. IDs are assigned in true-branch-first post-order —
+// exactly the order a cold builder creates nodes in (children complete
+// before their parent is consed, the true subtree before the false one) —
+// so a warm build's output is indistinguishable from a cold build's.
+func extract(root *Node) (nodes, terminals []*Node, pubRoot *Node) {
+	clones := make(map[int]*Node)
+	var walk func(n *Node) *Node
+	walk = func(n *Node) *Node {
+		if c, ok := clones[n.ID]; ok {
+			return c
+		}
+		var c *Node
+		if n.IsTerminal() {
+			c = &Node{ID: len(nodes), Field: -1, Payloads: n.Payloads}
+			nodes = append(nodes, c)
+			terminals = append(terminals, c)
+		} else {
+			t := walk(n.True)
+			e := walk(n.False)
+			c = &Node{ID: len(nodes), Field: n.Field, Set: n.Set, Label: n.Label, True: t, False: e}
+			nodes = append(nodes, c)
+		}
+		clones[n.ID] = c
+		return c
+	}
+	pubRoot = walk(root)
+	return nodes, terminals, pubRoot
 }
 
 // sortPreds orders each field's predicate list canonically and rewrites
@@ -319,8 +466,7 @@ func (b *builder) build(f int, ctx interval.Set, alive []int) *Node {
 	var nextPred pred
 	for _, pi := range b.alivePreds(f, alive) {
 		p := b.preds[f][pi]
-		inter := ctx.Intersect(p.set)
-		if inter.IsEmpty() || ctx.SubsetOf(p.set) {
+		if !ctx.Overlaps(p.set) || ctx.SubsetOf(p.set) {
 			continue // implied false / true: reduction (iii)
 		}
 		next = pi
@@ -332,20 +478,20 @@ func (b *builder) build(f int, ctx interval.Set, alive []int) *Node {
 		// Field f fully resolved for every alive conjunction: filter the
 		// alive set by this field's requirements and move on.
 		survivors := b.filterAlive(f, ctx, alive)
-		key := memoKey{kind: 'X', field: int32(f), alive: hashInts(survivors), aliveLen: int32(len(survivors))}
-		if n, ok := b.memo[key]; ok {
+		key := memoKey{kind: 'X', field: int32(f), alive: b.hashAlive(survivors), aliveLen: int32(len(survivors))}
+		if n, ok := b.shared.memo[key]; ok {
 			return n
 		}
 		n := b.build(f+1, interval.Set{}, survivors)
-		b.memo[key] = n
+		b.shared.memo[key] = n
 		return n
 	}
 
 	key := memoKey{
-		kind: 'B', field: int32(f), pred: int32(next),
-		ctx: hashSet(ctx), alive: hashInts(alive), aliveLen: int32(len(alive)),
+		kind: 'B', field: int32(f), pred: hashString(nextPred.key),
+		ctx: hashSet(ctx), alive: b.hashAlive(alive), aliveLen: int32(len(alive)),
 	}
-	if n, ok := b.memo[key]; ok {
+	if n, ok := b.shared.memo[key]; ok {
 		return n
 	}
 
@@ -360,26 +506,35 @@ func (b *builder) build(f int, ctx interval.Set, alive []int) *Node {
 	} else {
 		n = b.consNode(f, nextPred, t, e)
 	}
-	b.memo[key] = n
+	b.shared.memo[key] = n
 	return n
 }
 
 // alivePreds returns the sorted, deduplicated predicate indices on field f
 // used by alive conjunctions. Deduplication uses an epoch-stamped scratch
-// slice so no allocation is needed per call.
+// slice; the sorted order falls out of a scan over the (canonically
+// ordered) predicate table rather than a per-call sort.
 func (b *builder) alivePreds(f int, alive []int) []int {
 	b.predEpoch++
 	seen := b.predSeen[f]
-	var out []int
+	count := 0
 	for _, ci := range alive {
 		for _, pi := range b.conjs[ci].predIdx[f] {
 			if seen[pi] != b.predEpoch {
 				seen[pi] = b.predEpoch
-				out = append(out, pi)
+				count++
 			}
 		}
 	}
-	sort.Ints(out)
+	out := make([]int, 0, count)
+	for pi := range seen {
+		if seen[pi] == b.predEpoch {
+			out = append(out, pi)
+			if len(out) == count {
+				break
+			}
+		}
+	}
 	return out
 }
 
@@ -389,8 +544,8 @@ func (b *builder) pruneDead(f int, ctx interval.Set, alive []int) []int {
 	out := alive
 	copied := false
 	for i, ci := range alive {
-		req, ok := b.conjs[ci].req[f]
-		dead := ok && !ctx.Overlaps(req)
+		req := b.conjs[ci].req[f]
+		dead := !req.IsEmpty() && !ctx.Overlaps(req)
 		if dead && !copied {
 			out = append([]int(nil), alive[:i]...)
 			copied = true
@@ -408,8 +563,8 @@ func (b *builder) pruneDead(f int, ctx interval.Set, alive []int) []int {
 func (b *builder) filterAlive(f int, ctx interval.Set, alive []int) []int {
 	out := make([]int, 0, len(alive))
 	for _, ci := range alive {
-		req, ok := b.conjs[ci].req[f]
-		if ok && !ctx.SubsetOf(req) {
+		req := b.conjs[ci].req[f]
+		if !req.IsEmpty() && !ctx.SubsetOf(req) {
 			continue
 		}
 		out = append(out, ci)
@@ -434,25 +589,25 @@ func (b *builder) terminal(alive []int) *Node {
 	}
 	payloads = uniq
 	key := hashInts(payloads)
-	if n, ok := b.termCons[key]; ok {
+	if n, ok := b.shared.termCons[key]; ok {
 		return n
 	}
-	n := &Node{ID: len(b.nodes), Field: -1, Payloads: payloads}
-	b.nodes = append(b.nodes, n)
-	b.terminals = append(b.terminals, n)
-	b.termCons[key] = n
+	n := &Node{ID: b.shared.nnodes, Field: -1, Payloads: payloads}
+	b.shared.nnodes++
+	b.shared.termCons[key] = n
 	return n
 }
 
-// consNode hash-conses an internal node: reduction (i).
+// consNode hash-conses an internal node: reduction (i). Node IDs are
+// arena-wide and monotonic; the snapshot pass renumbers them per build.
 func (b *builder) consNode(f int, p pred, t, e *Node) *Node {
 	key := nodeKey{field: int32(f), predKey: p.key, trueID: t.ID, falseID: e.ID}
-	if n, ok := b.nodeCons[key]; ok {
+	if n, ok := b.shared.nodeCons[key]; ok {
 		return n
 	}
-	n := &Node{ID: len(b.nodes), Field: f, Set: p.set, Label: p.label, True: t, False: e}
-	b.nodes = append(b.nodes, n)
-	b.nodeCons[key] = n
+	n := &Node{ID: b.shared.nnodes, Field: f, Set: p.set, Label: p.label, True: t, False: e}
+	b.shared.nnodes++
+	b.shared.nodeCons[key] = n
 	return n
 }
 

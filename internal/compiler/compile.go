@@ -2,9 +2,11 @@ package compiler
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"camus/internal/bdd"
+	"camus/internal/conc"
 	"camus/internal/interval"
 	"camus/internal/lang"
 	"camus/internal/spec"
@@ -28,6 +30,11 @@ type Options struct {
 	// ignoring exact-match annotations — the "what if we couldn't use
 	// SRAM" ablation for §3.2's second resource optimization.
 	ForceRangeTables bool
+	// Workers bounds the worker pool used for DNF normalization, rule
+	// resolution, and the per-field table back end. 0 means GOMAXPROCS;
+	// 1 forces the fully serial path. Parallel output is bit-identical to
+	// serial output (enforced by differential tests).
+	Workers int
 }
 
 func (o Options) maxCodes() int {
@@ -44,11 +51,20 @@ func (o Options) minEntries() int {
 	return 16
 }
 
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Compile runs the dynamic compilation step: subscription rules are
 // normalized to DNF, resolved against the spec, folded into a
 // multi-terminal BDD, and lowered to table entries via Algorithm 1.
+// Normalization, resolution, and the per-field back end are chunked
+// across Options.Workers goroutines.
 func Compile(sp *spec.Spec, rules []lang.Rule, opts Options) (*Program, error) {
-	dnf, err := lang.NormalizeAll(rules)
+	dnf, err := lang.NormalizeAllParallel(rules, opts.workers())
 	if err != nil {
 		return nil, err
 	}
@@ -67,29 +83,73 @@ func CompileSource(sp *spec.Spec, ruleSrc string, opts Options) (*Program, error
 // CompileDNF compiles rules that are already in disjunctive normal form.
 func CompileDNF(sp *spec.Spec, rules []lang.DNFRule, opts Options) (*Program, error) {
 	res := newResolver(sp)
-	conjs, err := res.resolveRules(rules)
+	rcs, err := res.resolveRules(rules, opts.workers())
 	if err != nil {
 		return nil, err
 	}
+	return compileFromConjs(sp, res.fields, res.actions, flattenConjs(rcs), len(rules), opts, nil, nil)
+}
+
+// compileFromConjs is the compiler back end shared by one-shot compiles
+// and incremental Session recompiles: BDD construction (via the given
+// persistent builder, or a fresh arena when bl is nil), state assignment,
+// Algorithm 1, and the per-field lowering fan-out.
+//
+// Each field's table is independent once algorithm1 has sliced the BDD
+// into components, so lowering, exact-match re-typing, and domain
+// compression run concurrently across Options.Workers goroutines; results
+// land in a pre-sized slice, keeping the output bit-identical to serial.
+func compileFromConjs(sp *spec.Spec, fieldInfos []FieldInfo, actions [][]lang.Action,
+	conjs []bdd.Conj, nRules int, opts Options, bl *bdd.Builder, actMemo map[string]mergedActions) (*Program, error) {
+
+	// Copy the field table so option-driven rewrites (and later Session
+	// recompiles reusing the resolver) never alias a published Program.
+	fields := append([]FieldInfo(nil), fieldInfos...)
 	if opts.ForceRangeTables {
-		for i := range res.fields {
-			res.fields[i].Match = spec.MatchRange
+		for i := range fields {
+			fields[i].Match = spec.MatchRange
 		}
 	}
-	fields := res.bddFields()
-	b, err := bdd.Build(fields, conjs)
+	bddFields := make([]bdd.Field, len(fields))
+	for i, f := range fields {
+		bddFields[i] = bdd.Field{Name: f.Name, Max: f.Max}
+	}
+	var b *bdd.BDD
+	var err error
+	if bl != nil {
+		b, err = bl.Build(bddFields, conjs)
+	} else {
+		b, err = bdd.Build(bddFields, conjs)
+	}
 	if err != nil {
 		return nil, err
 	}
 
 	// Merge each terminal's rule actions up front; terminals whose merged
-	// actions coincide share one pipeline state.
+	// actions coincide share one pipeline state. Session recompiles pass an
+	// actMemo keyed by the terminal's exact payload set: payload IDs map to
+	// the same actions for the life of a session (the resolver is
+	// append-only), so a terminal whose subscriber set survived the churn
+	// reuses its merged ActionSet instead of re-merging and re-sorting.
 	termActs := make(map[int]ActionSet, len(b.Terminals()))
 	termKey := make(map[int]string, len(b.Terminals()))
+	var scratch []byte
 	for _, term := range b.Terminals() {
-		as := mergeActions(res.actions, term.Payloads)
-		termActs[term.ID] = as
-		termKey[term.ID] = as.Key()
+		var memo mergedActions
+		var ok bool
+		if actMemo != nil {
+			scratch = payloadKey(scratch[:0], term.Payloads)
+			memo, ok = actMemo[string(scratch)]
+		}
+		if !ok {
+			as := mergeActions(actions, term.Payloads)
+			memo = mergedActions{as: as, key: as.Key()}
+			if actMemo != nil {
+				actMemo[string(scratch)] = memo
+			}
+		}
+		termActs[term.ID] = memo.as
+		termKey[term.ID] = memo.key
 	}
 
 	states := assignStates(b, termKey)
@@ -97,36 +157,60 @@ func CompileDNF(sp *spec.Spec, rules []lang.DNFRule, opts Options) (*Program, er
 
 	prog := &Program{
 		Spec:    sp,
-		Fields:  res.fields,
+		Fields:  fields,
 		BDD:     b,
+		Tables:  make([]*Table, len(fields)),
 		stateOf: states,
 	}
 	prog.InitialState = states[b.Root.ID]
 
-	for f, fi := range res.fields {
+	errs := make([]error, len(fields))
+	conc.ForEach(len(fields), opts.workers(), func(f int) {
+		fi := fields[f]
 		entries, err := lowerEntries(fi, perField[f])
 		if err != nil {
-			return nil, err
+			errs[f] = err
+			return
 		}
 		t := &Table{Name: fi.Name, Field: f, Match: fi.Match, Entries: entries}
 		if !opts.DisableExactLowering && !opts.ForceRangeTables {
 			autoExactLower(t)
 		}
-		prog.Tables = append(prog.Tables, t)
+		if !opts.DisableCompression {
+			maybeCompress(t, fi, opts)
+		}
+		prog.Tables[f] = t
+	})
+	if err := conc.FirstError(errs); err != nil {
+		return nil, err
 	}
 
 	if err := prog.buildLeaf(termActs, states); err != nil {
 		return nil, err
 	}
 
-	if !opts.DisableCompression {
-		for _, t := range prog.Tables {
-			maybeCompress(t, prog.Fields[t.Field], opts)
-		}
-	}
-
-	prog.computeStats(len(rules), conjs, states)
+	prog.computeStats(nRules, conjs, states)
 	return prog, nil
+}
+
+// mergedActions is one actMemo entry: a terminal's merged ActionSet and
+// its canonical key, cached together so warm recompiles skip both the
+// merge-sort and the key formatting. The ActionSet's slices are treated as
+// immutable once memoized (published Programs never mutate them).
+type mergedActions struct {
+	as  ActionSet
+	key string
+}
+
+// payloadKey writes an exact (collision-free) encoding of a terminal's
+// payload ID set into buf — 4 bytes little-endian per ID (payload IDs are
+// dense small ints) — and returns the extended buffer. Callers look up the
+// memo with string(buf), which Go compiles to an allocation-free probe.
+func payloadKey(buf []byte, payloads []int) []byte {
+	for _, p := range payloads {
+		buf = append(buf, byte(p), byte(p>>8), byte(p>>16), byte(p>>24))
+	}
+	return buf
 }
 
 // autoExactLower applies the paper's second resource optimization: "the
@@ -203,11 +287,20 @@ func (p *Program) buildLeaf(termActs map[int]ActionSet, states map[int]int) erro
 // beats a drop when both appear (the packet is wanted by someone).
 func mergeActions(ruleActions [][]lang.Action, payloads []int) ActionSet {
 	as := ActionSet{Group: -1}
+	var seen map[int]bool // dedupe before sorting: unique ports ≪ total refs
 	for _, rid := range payloads {
 		for _, a := range ruleActions[rid] {
 			switch a.Kind {
 			case lang.ActFwd:
-				as.Ports = append(as.Ports, a.Ports...)
+				for _, pt := range a.Ports {
+					if seen == nil {
+						seen = make(map[int]bool, 8)
+					}
+					if !seen[pt] {
+						seen[pt] = true
+						as.Ports = append(as.Ports, pt)
+					}
+				}
 			case lang.ActDrop:
 				as.Drop = true
 			case lang.ActState:
@@ -218,14 +311,9 @@ func mergeActions(ruleActions [][]lang.Action, payloads []int) ActionSet {
 		}
 	}
 	sort.Ints(as.Ports)
-	uniq := as.Ports[:0]
-	for i, pt := range as.Ports {
-		if i == 0 || pt != as.Ports[i-1] {
-			uniq = append(uniq, pt)
-		}
-	}
-	as.Ports = uniq
-	if len(as.Ports) == 0 && len(as.Updates) == 0 {
+	if len(as.Ports) > 0 {
+		as.Drop = false // a forward beats a drop: the packet is wanted
+	} else if len(as.Updates) == 0 {
 		as.Drop = true
 	}
 	as.Updates = sortRuleActions(as.Updates)

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"camus/internal/bdd"
+	"camus/internal/conc"
 	"camus/internal/interval"
 	"camus/internal/lang"
 	"camus/internal/spec"
@@ -175,57 +176,116 @@ func (r *resolver) atomSet(fieldIdx int, a lang.Atom) (interval.Set, error) {
 	return interval.Set{}, fmt.Errorf("predicate %s: unknown operator", a)
 }
 
+// ruleConjs is the resolved form of one rule: its BDD conjunctions plus
+// the payload IDs allocated for the rule and (if it contains aggregate
+// predicates) its implicit state-update companion. The IDs index the
+// resolver's actions table and stay valid for the resolver's lifetime, so
+// a Session can cache resolved rules across recompiles.
+type ruleConjs struct {
+	RuleID   int
+	UpdateID int // -1 when the rule needs no companion
+	Conjs    []bdd.Conj
+}
+
 // resolveRules lowers DNF rules to BDD conjunctions. Rules containing
 // aggregate predicates are split per the paper's semantics ("the macro avg
 // stores the current average, which is updated when the rest of the rule
 // matches"): the aggregate's state-update rides on a companion rule whose
 // condition is the original minus the aggregate atoms.
-func (r *resolver) resolveRules(rules []lang.DNFRule) ([]bdd.Conj, error) {
-	var conjs []bdd.Conj
-	for _, rule := range rules {
-		ruleID := len(r.actions)
-		r.actions = append(r.actions, rule.Actions)
-		var updateRuleID = -1 // companion rule for implicit aggregate updates
+//
+// Resolution runs in two phases so the expensive part can fan out across
+// workers without losing determinism. Phase 1 walks rules serially and
+// performs every resolver mutation: payload-ID allocation, synthetic
+// state-field creation (order-sensitive), and companion-action
+// registration. Phase 2 converts atoms to interval sets — pure reads of
+// the now-frozen field table — in parallel, one rule per work item.
+// Output is position-stable, hence identical to a serial resolve.
+func (r *resolver) resolveRules(rules []lang.DNFRule, workers int) ([]ruleConjs, error) {
+	out := make([]ruleConjs, len(rules))
+	fieldIdx := make([][][]int, len(rules)) // rule -> conjunction -> atom -> field index
 
-		for _, c := range rule.Conjunctions {
-			full := bdd.Conj{Payload: ruleID}
-			rest := bdd.Conj{}
+	for ri := range rules {
+		rule := &rules[ri]
+		out[ri] = ruleConjs{RuleID: len(r.actions), UpdateID: -1}
+		r.actions = append(r.actions, rule.Actions)
+		fieldIdx[ri] = make([][]int, len(rule.Conjunctions))
+
+		for ci, c := range rule.Conjunctions {
+			idxs := make([]int, len(c))
 			var implicitUpdates []lang.Action
-			for _, atom := range c {
+			for ai, atom := range c {
 				idx, err := r.fieldIndex(atom.LHS)
 				if err != nil {
 					return nil, fmt.Errorf("rule %d: %w", rule.ID, err)
 				}
+				idxs[ai] = idx
+				if r.fields[idx].IsState && atom.LHS.IsAggregate() {
+					implicitUpdates = append(implicitUpdates,
+						lang.StateUpdate(r.fields[idx].Name, atom.LHS.Agg, r.fields[idx].BaseField))
+				}
+			}
+			fieldIdx[ri][ci] = idxs
+			if len(implicitUpdates) > 0 {
+				if out[ri].UpdateID < 0 {
+					out[ri].UpdateID = len(r.actions)
+					r.actions = append(r.actions, nil)
+				}
+				for _, u := range implicitUpdates {
+					if !containsAction(r.actions[out[ri].UpdateID], u) {
+						r.actions[out[ri].UpdateID] = append(r.actions[out[ri].UpdateID], u)
+					}
+				}
+			}
+		}
+	}
+
+	errs := make([]error, len(rules))
+	conc.ForEach(len(rules), workers, func(ri int) {
+		rule := &rules[ri]
+		rc := &out[ri]
+		for ci, c := range rule.Conjunctions {
+			full := bdd.Conj{Payload: rc.RuleID}
+			rest := bdd.Conj{Payload: rc.UpdateID}
+			hasAggregate := false
+			for ai, atom := range c {
+				idx := fieldIdx[ri][ci][ai]
 				set, err := r.atomSet(idx, atom)
 				if err != nil {
-					return nil, fmt.Errorf("rule %d: %w", rule.ID, err)
+					errs[ri] = fmt.Errorf("rule %d: %w", rule.ID, err)
+					return
 				}
 				con := bdd.Constraint{Field: idx, Set: set, Label: atom.String()}
 				full.Constraints = append(full.Constraints, con)
 				if r.fields[idx].IsState && atom.LHS.IsAggregate() {
-					implicitUpdates = append(implicitUpdates,
-						lang.StateUpdate(r.fields[idx].Name, atom.LHS.Agg, r.fields[idx].BaseField))
+					hasAggregate = true
 				} else {
 					rest.Constraints = append(rest.Constraints, con)
 				}
 			}
-			conjs = append(conjs, full)
-			if len(implicitUpdates) > 0 {
-				if updateRuleID < 0 {
-					updateRuleID = len(r.actions)
-					r.actions = append(r.actions, nil)
-				}
-				for _, u := range implicitUpdates {
-					if !containsAction(r.actions[updateRuleID], u) {
-						r.actions[updateRuleID] = append(r.actions[updateRuleID], u)
-					}
-				}
-				rest.Payload = updateRuleID
-				conjs = append(conjs, rest)
+			rc.Conjs = append(rc.Conjs, full)
+			if hasAggregate {
+				rc.Conjs = append(rc.Conjs, rest)
 			}
 		}
+	})
+	if err := conc.FirstError(errs); err != nil {
+		return nil, err
 	}
-	return conjs, nil
+	return out, nil
+}
+
+// flattenConjs concatenates per-rule conjunctions in rule order — the
+// exact sequence a serial single-pass resolve would emit.
+func flattenConjs(rcs []ruleConjs) []bdd.Conj {
+	total := 0
+	for _, rc := range rcs {
+		total += len(rc.Conjs)
+	}
+	out := make([]bdd.Conj, 0, total)
+	for _, rc := range rcs {
+		out = append(out, rc.Conjs...)
+	}
+	return out
 }
 
 func containsAction(list []lang.Action, a lang.Action) bool {
@@ -235,16 +295,6 @@ func containsAction(list []lang.Action, a lang.Action) bool {
 		}
 	}
 	return false
-}
-
-// bddFields converts the resolved field list into BDD variables, keeping
-// packet fields first (in spec order) and state fields after them.
-func (r *resolver) bddFields() []bdd.Field {
-	out := make([]bdd.Field, len(r.fields))
-	for i, f := range r.fields {
-		out[i] = bdd.Field{Name: f.Name, Max: f.Max}
-	}
-	return out
 }
 
 // sortRuleActions canonicalizes an action list for deduplication.

@@ -1,0 +1,143 @@
+package compiler
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSessionMatchesOneShotCompile: a session that adds all rules once and
+// recompiles must equal CompileSource output exactly.
+func TestSessionMatchesOneShotCompile(t *testing.T) {
+	sp := itchSpec(t)
+	src := `stock == GOOGL && price > 100 : fwd(1)
+stock == AAPL : fwd(2)
+price < 50 && shares > 10 : fwd(3)
+stock == MSFT && avg(price) > 70 : fwd(4)
+`
+	want := compileSrc(t, sp, src, Options{})
+
+	s := NewSession(sp, Options{})
+	if _, err := s.AddSource(src); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Recompile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Stats, got.Stats) {
+		t.Fatalf("stats differ:\n one-shot: %+v\n session:  %+v", want.Stats, got.Stats)
+	}
+	if w, g := want.Dump(), got.Dump(); w != g {
+		t.Fatalf("dumps differ:\n--- one-shot ---\n%s\n--- session ---\n%s", w, g)
+	}
+}
+
+// TestSessionRemoveSemantics: after removing a rule, packets only it
+// matched are dropped; packets other rules match are unaffected.
+func TestSessionRemoveSemantics(t *testing.T) {
+	sp := itchSpec(t)
+	s := NewSession(sp, Options{})
+	h1, err := s.AddSource("stock == GOOGL : fwd(1)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := s.AddSource("stock == AAPL : fwd(2)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := s.Recompile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	googl := encodeStock(t, sp, "GOOGL")
+	aapl := encodeStock(t, sp, "AAPL")
+	if as := prog.Evaluate(itchValues(prog, 1, googl, 10)); !reflect.DeepEqual(as.Ports, []int{1}) {
+		t.Fatalf("GOOGL before remove: %+v", as)
+	}
+
+	if err := s.RemoveRules(h1...); err != nil {
+		t.Fatal(err)
+	}
+	prog2, err := s.Recompile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as := prog2.Evaluate(itchValues(prog2, 1, googl, 10)); !as.Drop {
+		t.Fatalf("GOOGL after remove still forwarded: %+v", as)
+	}
+	if as := prog2.Evaluate(itchValues(prog2, 1, aapl, 10)); !reflect.DeepEqual(as.Ports, []int{2}) {
+		t.Fatalf("AAPL after unrelated remove: %+v", as)
+	}
+
+	// The earlier program object must be untouched by the recompile.
+	if as := prog.Evaluate(itchValues(prog, 1, googl, 10)); !reflect.DeepEqual(as.Ports, []int{1}) {
+		t.Fatalf("old program mutated by recompile: %+v", as)
+	}
+	_ = h2
+}
+
+// TestSessionRemoveErrors: unknown and duplicate handles are rejected
+// without corrupting the session.
+func TestSessionRemoveErrors(t *testing.T) {
+	sp := itchSpec(t)
+	s := NewSession(sp, Options{})
+	h, err := s.AddSource("stock == GOOGL : fwd(1)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveRules(12345); err == nil {
+		t.Fatal("removing unknown handle succeeded")
+	}
+	if err := s.RemoveRules(h[0], h[0]); err == nil {
+		t.Fatal("removing a handle twice in one call succeeded")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("failed removes changed live count to %d", s.Len())
+	}
+	if err := s.RemoveRules(h[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveRules(h[0]); err == nil {
+		t.Fatal("double remove across calls succeeded")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("live count %d after removing the only rule", s.Len())
+	}
+	if _, err := s.Recompile(); err != nil {
+		t.Fatalf("recompiling the empty session: %v", err)
+	}
+}
+
+// TestSessionArenaTrimmed: heavy churn must not grow the memo arena
+// without bound — Recompile resets it once stranded nodes dominate.
+func TestSessionArenaTrimmed(t *testing.T) {
+	sp := itchSpec(t)
+	s := NewSession(sp, Options{})
+	keep, err := s.AddSource("stock == GOOGL : fwd(1)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = keep
+	if _, err := s.Recompile(); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 40; round++ {
+		h, err := s.AddSource("stock == AAPL && price > 10 && shares < 500 : fwd(3)\nstock == MSFT && price < 900 : fwd(4)\n")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Recompile(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.RemoveRules(h...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prog, err := s.Recompile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ArenaNodes() > arenaSlack*prog.Stats.BDDNodes+4096 {
+		t.Fatalf("arena retains %d nodes for a %d-node live BDD", s.ArenaNodes(), prog.Stats.BDDNodes)
+	}
+}

@@ -1,0 +1,54 @@
+// Package conc holds the tiny concurrency helpers shared by the parallel
+// compilation pipeline. The compiler's parallelism is deliberately simple:
+// every fan-out is an index space handed out through an atomic counter, so
+// results land in pre-sized slices and the output is position-stable (the
+// parallel path produces bit-identical results to the serial one).
+package conc
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach invokes fn(i) for every i in [0, n) from up to workers
+// goroutines. With workers <= 1 it degenerates to a plain loop. fn must
+// write only to per-index state; ForEach returns when all calls finished.
+func ForEach(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// FirstError returns the lowest-index non-nil error, mirroring the error a
+// serial loop over the same work would have returned first.
+func FirstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

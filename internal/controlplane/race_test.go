@@ -1,0 +1,197 @@
+package controlplane
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"camus/internal/compiler"
+	"camus/internal/lang"
+	"camus/internal/pipeline"
+	"camus/internal/spec"
+)
+
+const raceSpecSrc = `
+header_type itch_add_order_t {
+    fields {
+        shares: 32;
+        stock: 64;
+        price: 32;
+    }
+}
+header itch_add_order_t add_order;
+
+@query_field(add_order.shares)
+@query_field(add_order.price)
+@query_field_exact(add_order.stock)
+`
+
+// TestProcessConcurrentWithUpdate exercises the read-mostly contract under
+// the race detector: many goroutines forward packets through the switch
+// while the control plane repeatedly compiles and installs new (stateless)
+// programs. The atomic program swap must keep every packet on one
+// consistent program version with no data races.
+func TestProcessConcurrentWithUpdate(t *testing.T) {
+	sp, err := spec.Parse(raceSpecSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := compiler.CompileSource(sp, "stock == GOOGL : fwd(1)\n", compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := pipeline.New(prog, pipeline.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := NewController(sw)
+
+	googl := encodeSym(t, sp, "GOOGL")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			values := make([]uint64, len(prog.Fields))
+			now := time.Duration(0)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Field layout is identical across the swapped programs
+				// (same spec, stateless), so the value vector stays valid
+				// whichever version the packet lands on.
+				for i, f := range prog.Fields {
+					switch f.Name {
+					case "add_order.stock":
+						values[i] = googl
+					case "add_order.price":
+						values[i] = 100
+					default:
+						values[i] = 1
+					}
+				}
+				res := sw.Process(values, now)
+				if !res.Dropped && len(res.Ports) == 0 {
+					t.Error("forwarded packet with no ports")
+					return
+				}
+				now += time.Microsecond
+			}
+		}()
+	}
+
+	srcs := []string{
+		"stock == GOOGL : fwd(1)\nprice > 50 : fwd(2)\n",
+		"stock == GOOGL : fwd(3)\nstock == AAPL : fwd(4)\nshares < 100 : fwd(5)\n",
+		"price < 10 : fwd(6)\n",
+		"stock == GOOGL : fwd(1)\n",
+	}
+	for round := 0; round < 25; round++ {
+		next, err := compiler.CompileSource(sp, srcs[round%len(srcs)], compiler.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ctl.Update(next); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// On a single-CPU host the update storm can finish before the packet
+	// goroutines are ever scheduled; give them until the deadline to run.
+	for deadline := time.Now().Add(5 * time.Second); sw.PacketsProcessed() == 0; {
+		if time.Now().After(deadline) {
+			break
+		}
+		runtime.Gosched()
+	}
+	close(stop)
+	wg.Wait()
+	if sw.PacketsProcessed() == 0 {
+		t.Fatal("no packets processed during the update storm")
+	}
+}
+
+// TestProcessConcurrentWithChurn repeats the race exercise through the
+// incremental SessionController path: Churn compiles deltas and installs
+// them while packets flow.
+func TestProcessConcurrentWithChurn(t *testing.T) {
+	sp, err := spec.Parse(raceSpecSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial, err := lang.ParseRules("stock == GOOGL : fwd(1)\nstock == AAPL : fwd(2)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := compiler.NewSession(sp, compiler.Options{})
+	ctl, handles, err := NewSessionController(sess, initial, pipeline.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := ctl.Switch()
+	prog := ctl.Program()
+
+	googl := encodeSym(t, sp, "GOOGL")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			values := make([]uint64, len(prog.Fields))
+			now := time.Duration(0)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i, f := range prog.Fields {
+					switch f.Name {
+					case "add_order.stock":
+						values[i] = googl
+					case "add_order.price":
+						values[i] = seed % 1000
+					default:
+						values[i] = seed % 500
+					}
+				}
+				sw.Process(values, now)
+				now += time.Microsecond
+				seed = seed*6364136223846793005 + 1
+			}
+		}(uint64(g) + 1)
+	}
+
+	rot := handles
+	for round := 0; round < 20; round++ {
+		add, err := lang.ParseRules("price > 10 : fwd(7)\nshares < 200 : fwd(8)\n")
+		if err != nil {
+			t.Fatal(err)
+		}
+		newHandles, _, err := ctl.Churn(add, rot[:1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		rot = append(rot[1:], newHandles...)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func encodeSym(t *testing.T, sp *spec.Spec, sym string) uint64 {
+	t.Helper()
+	q, err := sp.LookupField("stock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := spec.EncodeSymbol(q, sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}

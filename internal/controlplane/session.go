@@ -1,0 +1,78 @@
+package controlplane
+
+import (
+	"camus/internal/compiler"
+	"camus/internal/lang"
+	"camus/internal/pipeline"
+)
+
+// SessionController couples an incremental compiler.Session with the
+// delta-install machinery: the compile half of the paper's incremental
+// story (BDD memoization) feeds the install half (state alignment +
+// CoVisor-style entry diffing), so a churn event — a few subscriptions
+// joining or leaving a large live set — costs compile work proportional
+// to the change plus a delta of device writes, not a full reinstall.
+type SessionController struct {
+	sw      *pipeline.Switch
+	session *compiler.Session
+	prog    *compiler.Program
+}
+
+// NewSessionController builds a controller around an empty incremental
+// session, compiles the given initial rules, and installs the resulting
+// program on a fresh switch. Returned handles identify the initial rules
+// for later removal via Churn.
+func NewSessionController(sp *compiler.Session, initial []lang.Rule, cfg pipeline.Config) (*SessionController, []int, error) {
+	handles, err := sp.AddRules(initial)
+	if err != nil {
+		return nil, nil, err
+	}
+	prog, err := sp.Recompile()
+	if err != nil {
+		return nil, nil, err
+	}
+	sw, err := pipeline.New(prog, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &SessionController{sw: sw, session: sp, prog: prog}, handles, nil
+}
+
+// Switch returns the controlled switch.
+func (c *SessionController) Switch() *pipeline.Switch { return c.sw }
+
+// Program returns the currently installed program.
+func (c *SessionController) Program() *compiler.Program { return c.prog }
+
+// Session returns the underlying incremental compilation session.
+func (c *SessionController) Session() *compiler.Session { return c.session }
+
+// Churn applies one subscription churn event: remove rules by handle, add
+// new ones, recompile incrementally, and push only the entry delta to the
+// switch. It returns the handles of the added rules and the install delta.
+func (c *SessionController) Churn(add []lang.Rule, remove []int) ([]int, Delta, error) {
+	if len(remove) > 0 {
+		if err := c.session.RemoveRules(remove...); err != nil {
+			return nil, Delta{}, err
+		}
+	}
+	var handles []int
+	if len(add) > 0 {
+		var err error
+		handles, err = c.session.AddRules(add)
+		if err != nil {
+			return nil, Delta{}, err
+		}
+	}
+	newProg, err := c.session.Recompile()
+	if err != nil {
+		return handles, Delta{}, err
+	}
+	AlignStates(c.prog, newProg)
+	delta := DiffPrograms(c.prog, newProg)
+	if err := c.sw.Reinstall(newProg); err != nil {
+		return handles, Delta{}, err
+	}
+	c.prog = newProg
+	return handles, delta, nil
+}

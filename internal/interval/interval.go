@@ -269,6 +269,9 @@ func (s Set) Equal(t Set) bool {
 
 // Overlaps reports whether s and t share at least one value.
 func (s Set) Overlaps(t Set) bool {
+	if len(s.ivs) == 1 && len(t.ivs) == 1 {
+		return s.ivs[0].Lo <= t.ivs[0].Hi && t.ivs[0].Lo <= s.ivs[0].Hi
+	}
 	i, j := 0, 0
 	for i < len(s.ivs) && j < len(t.ivs) {
 		a, b := s.ivs[i], t.ivs[j]
@@ -284,9 +287,21 @@ func (s Set) Overlaps(t Set) bool {
 	return false
 }
 
-// SubsetOf reports whether every value in s is also in t.
+// SubsetOf reports whether every value in s is also in t. Because both
+// interval lists are sorted, disjoint, and non-adjacent, a contiguous
+// interval of s is covered iff it fits inside a single interval of t, so
+// one merge walk decides the question without allocating.
 func (s Set) SubsetOf(t Set) bool {
-	return s.Intersect(t).Equal(s)
+	j := 0
+	for _, a := range s.ivs {
+		for j < len(t.ivs) && t.ivs[j].Hi < a.Lo {
+			j++
+		}
+		if j == len(t.ivs) || t.ivs[j].Lo > a.Lo || a.Hi > t.ivs[j].Hi {
+			return false
+		}
+	}
+	return true
 }
 
 func (s Set) String() string {

@@ -3,6 +3,8 @@ package lang
 import (
 	"fmt"
 	"sort"
+
+	"camus/internal/conc"
 )
 
 // MaxDNFTerms caps the number of conjunctions a single rule may expand to
@@ -40,16 +42,37 @@ func ToDNF(r Rule) (DNFRule, error) {
 
 // NormalizeAll applies ToDNF to each rule.
 func NormalizeAll(rules []Rule) ([]DNFRule, error) {
-	out := make([]DNFRule, 0, len(rules))
-	for _, r := range rules {
-		d, err := ToDNF(r)
-		if err != nil {
-			return nil, err
+	return NormalizeAllParallel(rules, 1)
+}
+
+// NormalizeAllParallel normalizes rules across a worker pool. Each rule is
+// independent, so the output (and the first error, chosen by rule order)
+// is identical to the serial NormalizeAll.
+func NormalizeAllParallel(rules []Rule, workers int) ([]DNFRule, error) {
+	out := make([]DNFRule, len(rules))
+	if workers <= 1 || len(rules) < 2*minParallelRules {
+		for i, r := range rules {
+			d, err := ToDNF(r)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = d
 		}
-		out = append(out, d)
+		return out, nil
+	}
+	errs := make([]error, len(rules))
+	conc.ForEach(len(rules), workers, func(i int) {
+		out[i], errs[i] = ToDNF(rules[i])
+	})
+	if err := conc.FirstError(errs); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
+
+// minParallelRules is the per-worker batch below which goroutine fan-out
+// costs more than it saves.
+const minParallelRules = 256
 
 // dnf converts an expression in negation-normal form to DNF term lists.
 // Negations are pushed down on the fly (there is no separate NNF pass).

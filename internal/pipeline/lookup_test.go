@@ -29,7 +29,7 @@ func TestLookupTableMatchesCompilerLookup(t *testing.T) {
 		}
 		sw, prog, _ := buildSwitch(t, b.String())
 		for fi, tab := range prog.Tables {
-			lt := sw.tables[fi]
+			lt := sw.inst.Load().tables[fi]
 			for probe := 0; probe < 500; probe++ {
 				state := r.Intn(prog.NumStates() + 2)
 				value := r.Uint64()

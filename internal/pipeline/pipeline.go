@@ -14,6 +14,7 @@ package pipeline
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"camus/internal/compiler"
@@ -56,15 +57,31 @@ type Result struct {
 }
 
 // Switch is an ASIC with a compiled Camus program installed.
+//
+// The installed configuration (program, lookup tables, leaf, multicast
+// groups) is published through a single atomic pointer, mirroring the
+// hardware's all-or-nothing table commit: Process is safe to call from
+// many goroutines concurrently with Reinstall, and each packet sees one
+// consistent program version. The read-mostly contract the control plane
+// relies on: stateless programs (no aggregate/state fields) are fully
+// race-free; programs with state variables additionally mutate the shared
+// register file per packet, which — like the serialized register ALUs of
+// the real ASIC — requires packets to be serialized by the caller.
 type Switch struct {
-	cfg    Config
+	cfg  Config
+	inst atomic.Pointer[installed]
+	regs *RegisterFile
+
+	packets atomic.Uint64 // processed packet count (telemetry)
+}
+
+// installed is one immutable program version: everything Process needs,
+// swapped atomically by Reinstall.
+type installed struct {
 	prog   *compiler.Program
 	tables []lookupTable
 	leaf   map[int]int // state -> action index
 	groups [][]int
-	regs   *RegisterFile
-
-	packets uint64 // processed packet count (telemetry)
 }
 
 type exactKey struct {
@@ -96,17 +113,8 @@ func New(prog *compiler.Program, cfg Config) (*Switch, error) {
 		return nil, err
 	}
 	sw := &Switch{
-		cfg:    cfg,
-		prog:   prog,
-		groups: prog.Groups,
-		leaf:   make(map[int]int, len(prog.Leaf.Entries)),
-		regs:   NewRegisterFile(),
-	}
-	for _, t := range prog.Tables {
-		sw.tables = append(sw.tables, buildLookup(t))
-	}
-	for _, e := range prog.Leaf.Entries {
-		sw.leaf[e.State] = e.Next
+		cfg:  cfg,
+		regs: NewRegisterFile(),
 	}
 	// Pre-create registers for state fields so reads before any update
 	// return zero (hardware registers power up zeroed).
@@ -115,7 +123,25 @@ func New(prog *compiler.Program, cfg Config) (*Switch, error) {
 			sw.regs.Ensure(f.Name, fieldWindow(f))
 		}
 	}
+	sw.inst.Store(newInstalled(prog))
 	return sw, nil
+}
+
+// newInstalled builds the runtime form of a program.
+func newInstalled(prog *compiler.Program) *installed {
+	in := &installed{
+		prog:   prog,
+		tables: make([]lookupTable, 0, len(prog.Tables)),
+		leaf:   make(map[int]int, len(prog.Leaf.Entries)),
+		groups: prog.Groups,
+	}
+	for _, t := range prog.Tables {
+		in.tables = append(in.tables, buildLookup(t))
+	}
+	for _, e := range prog.Leaf.Entries {
+		in.leaf[e.State] = e.Next
+	}
+	return in
 }
 
 // AggWindow is the default tumbling-window length for aggregate state
@@ -191,8 +217,9 @@ func (lt *lookupTable) lookup(state int, value uint64) (int, bool) {
 // are overwritten with register reads. now is the packet's arrival time,
 // used for tumbling windows.
 func (sw *Switch) Process(values []uint64, now time.Duration) Result {
-	sw.packets++
-	fields := sw.prog.Fields
+	sw.packets.Add(1)
+	in := sw.inst.Load() // one consistent program version per packet
+	fields := in.prog.Fields
 	// Stage 0: state-variable reads populate metadata.
 	for i := range fields {
 		if fields[i].IsState {
@@ -200,23 +227,23 @@ func (sw *Switch) Process(values []uint64, now time.Duration) Result {
 		}
 	}
 	// Match-action stages.
-	state := sw.prog.InitialState
-	for i := range sw.tables {
-		if next, ok := sw.tables[i].lookup(state, values[i]); ok {
+	state := in.prog.InitialState
+	for i := range in.tables {
+		if next, ok := in.tables[i].lookup(state, values[i]); ok {
 			state = next
 		}
 	}
 	// Leaf stage.
-	ai, ok := sw.leaf[state]
+	ai, ok := in.leaf[state]
 	if !ok {
 		return Result{Dropped: true, Group: -1}
 	}
-	act := &sw.prog.Actions[ai]
+	act := &in.prog.Actions[ai]
 	// State updates execute in the action stage.
 	for _, u := range act.Updates {
 		arg := uint64(0)
 		if len(u.Args) > 0 {
-			if fi, err := sw.prog.FieldIndex(u.Args[0]); err == nil {
+			if fi, err := in.prog.FieldIndex(u.Args[0]); err == nil {
 				arg = values[fi]
 			}
 		}
@@ -240,42 +267,37 @@ func (sw *Switch) Config() Config { return sw.cfg }
 func (sw *Switch) Registers() *RegisterFile { return sw.regs }
 
 // PacketsProcessed returns the number of packets run through the pipe.
-func (sw *Switch) PacketsProcessed() uint64 { return sw.packets }
+func (sw *Switch) PacketsProcessed() uint64 { return sw.packets.Load() }
 
 // Program returns the installed program.
-func (sw *Switch) Program() *compiler.Program { return sw.prog }
+func (sw *Switch) Program() *compiler.Program { return sw.inst.Load().prog }
 
 // Reinstall atomically replaces the installed program (the control plane's
-// commit step). Register state is preserved across updates, as it would be
-// on hardware where registers are not cleared by table writes.
+// commit step). The new lookup structures are built off to the side and
+// published with a single pointer store, so concurrent Process calls see
+// either the old or the new program in full, never a mix. Register state is
+// preserved across updates, as it would be on hardware where registers are
+// not cleared by table writes.
 func (sw *Switch) Reinstall(prog *compiler.Program) error {
 	if err := CheckResources(prog, sw.cfg); err != nil {
 		return err
 	}
-	tables := make([]lookupTable, 0, len(prog.Tables))
-	for _, t := range prog.Tables {
-		tables = append(tables, buildLookup(t))
-	}
-	leaf := make(map[int]int, len(prog.Leaf.Entries))
-	for _, e := range prog.Leaf.Entries {
-		leaf[e.State] = e.Next
-	}
-	sw.prog = prog
-	sw.tables = tables
-	sw.leaf = leaf
-	sw.groups = prog.Groups
+	in := newInstalled(prog)
+	// Registers must exist before any packet can see the new program.
 	for _, f := range prog.Fields {
 		if f.IsState {
 			sw.regs.Ensure(f.Name, fieldWindow(f))
 		}
 	}
+	sw.inst.Store(in)
 	return nil
 }
 
 // GroupPorts returns the port list of a multicast group.
 func (sw *Switch) GroupPorts(g int) ([]int, error) {
-	if g < 0 || g >= len(sw.groups) {
+	in := sw.inst.Load()
+	if g < 0 || g >= len(in.groups) {
 		return nil, fmt.Errorf("multicast group %d not installed", g)
 	}
-	return sw.groups[g], nil
+	return in.groups[g], nil
 }
