@@ -13,6 +13,13 @@
 //
 // The -spec flag loads a custom message format; the default is the
 // paper's ITCH add-order spec.
+//
+// Delivery is fault tolerant: each port is re-sequenced as its own
+// MoldUDP64 session (-session sets the prefix), a bounded per-port store
+// (-retx-buffer) serves retransmission requests on a dedicated socket
+// (-retx), and idle ports heartbeat (-heartbeat). -fault-plan injects
+// seeded drop/duplication/reordering/delay on the dataplane sockets for
+// chaos testing.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"time"
 
 	"camus/internal/dataplane"
+	"camus/internal/faults"
 	"camus/internal/itch"
 	"camus/internal/spec"
 	"camus/internal/workload"
@@ -52,11 +60,16 @@ func (p portMap) Set(v string) error {
 func main() {
 	ports := portMap{}
 	var (
-		listen    = flag.String("listen", "127.0.0.1:26400", "ingress UDP address")
-		rulesPath = flag.String("rules", "", "subscription rules file")
-		specPath  = flag.String("spec", "", "message format spec file (default: ITCH add-order)")
-		demo      = flag.Bool("demo", false, "run a self-contained pub/sub demo and exit")
-		statsSec  = flag.Int("stats", 10, "print forwarding stats every N seconds (0 = off)")
+		listen     = flag.String("listen", "127.0.0.1:26400", "ingress UDP address")
+		retx       = flag.String("retx", "", "retransmission-request UDP address (default: random port on the ingress IP)")
+		rulesPath  = flag.String("rules", "", "subscription rules file")
+		specPath   = flag.String("spec", "", "message format spec file (default: ITCH add-order)")
+		demo       = flag.Bool("demo", false, "run a self-contained pub/sub demo and exit")
+		statsSec   = flag.Int("stats", 10, "print forwarding stats every N seconds (0 = off)")
+		session    = flag.String("session", "CAMUS", "egress MoldUDP64 session prefix (per-port suffix appended)")
+		retxBuffer = flag.Int("retx-buffer", 4096, "per-port retransmission store size in messages (negative disables)")
+		heartbeat  = flag.Duration("heartbeat", time.Second, "idle-heartbeat interval per port (0 disables)")
+		faultPlan  = flag.String("fault-plan", "", "inject faults on the dataplane sockets, e.g. seed=7,drop=0.01,dup=0.005,reorder=0.01,delay=0.002:500us")
 	)
 	flag.Var(ports, "port", "bind switch port to subscriber address, PORT=HOST:PORT (repeatable)")
 	flag.Parse()
@@ -80,15 +93,34 @@ func main() {
 		return
 	}
 
+	var wrap func(dataplane.Conn) dataplane.Conn
+	if *faultPlan != "" {
+		plan, err := faults.ParsePlan(*faultPlan)
+		fatal(err)
+		seed := plan.Seed
+		wrap = func(c dataplane.Conn) dataplane.Conn {
+			in, eg := plan, plan
+			in.Seed, eg.Seed = seed, seed+1
+			seed += 2
+			return faults.WrapConn(c, &in, &eg)
+		}
+		fmt.Fprintf(os.Stderr, "camus-switch: fault plan active: %s\n", *faultPlan)
+	}
+
 	sw, err := dataplane.Listen(dataplane.Config{
 		Ingress:       *listen,
+		Retx:          *retx,
 		Ports:         ports,
 		Spec:          sp,
 		Subscriptions: rules,
+		Session:       *session,
+		RetxBuffer:    *retxBuffer,
+		Heartbeat:     *heartbeat,
+		WrapConn:      wrap,
 	})
 	fatal(err)
-	fmt.Fprintf(os.Stderr, "camus-switch: listening on %s, %d ports bound, %d table entries installed\n",
-		sw.Addr(), len(ports), sw.Program().Stats.TableEntries)
+	fmt.Fprintf(os.Stderr, "camus-switch: listening on %s (retx %s), %d ports bound, %d table entries installed\n",
+		sw.Addr(), sw.RetxAddr(), len(ports), sw.Program().Stats.TableEntries)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -102,9 +134,11 @@ func main() {
 					return
 				case <-tick.C:
 					s := sw.Stats()
-					fmt.Fprintf(os.Stderr, "camus-switch: datagrams=%d msgs=%d matched=%d forwarded=%d errs=%d\n",
+					fmt.Fprintf(os.Stderr, "camus-switch: datagrams=%d msgs=%d matched=%d forwarded=%d unbound=%d hb=%d retx-req=%d retx-msgs=%d errs=%d\n",
 						s.Datagrams.Load(), s.Messages.Load(), s.Matched.Load(),
-						s.Forwarded.Load(), s.DecodeErrors.Load()+s.SendErrors.Load())
+						s.Forwarded.Load(), s.UnboundPort.Load(), s.Heartbeats.Load(),
+						s.RetxRequests.Load(), s.RetxMessages.Load(),
+						s.DecodeErrors.Load()+s.SendErrors.Load())
 				}
 			}
 		}()

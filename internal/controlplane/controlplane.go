@@ -12,9 +12,11 @@
 package controlplane
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"camus/internal/bdd"
 	"camus/internal/compiler"
@@ -48,28 +50,111 @@ func (d Delta) String() string {
 	return b.String()
 }
 
-// Controller manages the program installed on one switch.
-type Controller struct {
-	sw   *pipeline.Switch
-	prog *compiler.Program
+// Device is the fallible write interface the control plane installs
+// through. *pipeline.Switch satisfies it; tests wrap it with a flaky
+// device to exercise the retry/rollback path.
+type Device interface {
+	Program() *compiler.Program
+	Config() pipeline.Config
+	Reinstall(*compiler.Program) error
 }
 
-// NewController wraps a switch that already has its initial program
+// UpdatePolicy bounds the commit phase of an update: how often a
+// transient device-write failure is retried, and how the retry delay
+// grows. The zero value uses the defaults below.
+type UpdatePolicy struct {
+	MaxRetries    int                 // transient-failure retries (default 3)
+	Backoff       time.Duration       // initial retry delay (default 1ms)
+	BackoffFactor float64             // delay growth per retry (default 2)
+	MaxBackoff    time.Duration       // delay cap (default 50ms)
+	Sleep         func(time.Duration) // delay hook (default time.Sleep)
+}
+
+func (p UpdatePolicy) withDefaults() UpdatePolicy {
+	if p.MaxRetries <= 0 {
+		p.MaxRetries = 3
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = time.Millisecond
+	}
+	if p.BackoffFactor < 1 {
+		p.BackoffFactor = 2
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 50 * time.Millisecond
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// transient reports whether a device error advertises itself as worth
+// retrying (via a `Transient() bool` method anywhere in its chain).
+func transient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// commit pushes newProg to dev, retrying transient write failures per
+// policy. On permanent failure (or retry exhaustion) it rolls the device
+// back to oldProg with a compensating reinstall, so the device never
+// stays on a half-committed update.
+func commit(dev Device, pol UpdatePolicy, newProg, oldProg *compiler.Program) error {
+	pol = pol.withDefaults()
+	delay := pol.Backoff
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = dev.Reinstall(newProg); err == nil {
+			return nil
+		}
+		if !transient(err) || attempt >= pol.MaxRetries {
+			break
+		}
+		pol.Sleep(delay)
+		delay = time.Duration(float64(delay) * pol.BackoffFactor)
+		if delay > pol.MaxBackoff {
+			delay = pol.MaxBackoff
+		}
+	}
+	if rbErr := dev.Reinstall(oldProg); rbErr != nil {
+		return fmt.Errorf("controlplane: install failed (%v); rollback also failed: %w", err, rbErr)
+	}
+	return fmt.Errorf("controlplane: install failed, device rolled back to prior program: %w", err)
+}
+
+// Controller manages the program installed on one switch.
+type Controller struct {
+	dev  Device
+	prog *compiler.Program
+	// Policy bounds Update's commit phase; the zero value uses defaults.
+	Policy UpdatePolicy
+}
+
+// NewController wraps a device that already has its initial program
 // installed (pipeline.New installs at construction).
-func NewController(sw *pipeline.Switch) *Controller {
-	return &Controller{sw: sw, prog: sw.Program()}
+func NewController(dev Device) *Controller {
+	return &Controller{dev: dev, prog: dev.Program()}
 }
 
 // Program returns the currently installed program.
 func (c *Controller) Program() *compiler.Program { return c.prog }
 
-// Update aligns the new program's states with the installed one, computes
-// the entry delta, and commits the new program to the switch. The returned
+// Update installs newProg in two phases. Phase one admits the program:
+// it is checked against the device's TCAM/SRAM/group resources before a
+// single write is issued, so an oversized update is rejected with the
+// device untouched. Phase two aligns states, computes the entry delta,
+// and commits — retrying transient write failures per Policy and rolling
+// back to the prior program on permanent failure, so concurrent packets
+// always see a complete program (old or new, never half). The returned
 // Delta reports how much of the old configuration was reused.
 func (c *Controller) Update(newProg *compiler.Program) (Delta, error) {
+	if err := pipeline.CheckResources(newProg, c.dev.Config()); err != nil {
+		return Delta{}, fmt.Errorf("controlplane: update rejected at admission: %w", err)
+	}
 	AlignStates(c.prog, newProg)
 	delta := DiffPrograms(c.prog, newProg)
-	if err := c.sw.Reinstall(newProg); err != nil {
+	if err := commit(c.dev, c.Policy, newProg, c.prog); err != nil {
 		return Delta{}, err
 	}
 	c.prog = newProg

@@ -1,0 +1,278 @@
+package controlplane
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"camus/internal/compiler"
+	"camus/internal/faults"
+	"camus/internal/lang"
+	"camus/internal/pipeline"
+	"camus/internal/spec"
+)
+
+// probeVectors builds a few representative packet value vectors. The
+// field layout is identical across programs compiled from the same spec,
+// so the vectors stay valid across updates.
+func probeVectors(t *testing.T, sp *spec.Spec, prog *compiler.Program) [][]uint64 {
+	t.Helper()
+	googl := encodeSym(t, sp, "GOOGL")
+	aapl := encodeSym(t, sp, "AAPL")
+	var out [][]uint64
+	for _, pv := range []struct{ stock, price, shares uint64 }{
+		{googl, 100, 50}, {aapl, 5, 500}, {googl, 7, 1000},
+	} {
+		vals := make([]uint64, len(prog.Fields))
+		for i, f := range prog.Fields {
+			switch f.Name {
+			case "add_order.stock":
+				vals[i] = pv.stock
+			case "add_order.price":
+				vals[i] = pv.price
+			case "add_order.shares":
+				vals[i] = pv.shares
+			}
+		}
+		out = append(out, vals)
+	}
+	return out
+}
+
+// snapshot records the switch's forwarding decision for every probe — a
+// behavioral fingerprint of the installed program.
+func snapshot(sw *pipeline.Switch, vecs [][]uint64) string {
+	var b strings.Builder
+	for _, v := range vecs {
+		r := sw.Process(v, 0)
+		fmt.Fprintf(&b, "ports=%v dropped=%v group=%d; ", r.Ports, r.Dropped, r.Group)
+	}
+	return b.String()
+}
+
+func compileRace(t *testing.T, sp *spec.Spec, src string) *compiler.Program {
+	t.Helper()
+	prog, err := compiler.CompileSource(sp, src, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestUpdateRollbackUnderRace injects device write failures mid-Update
+// while packet goroutines hammer Process. After each failed update the
+// switch must serve the old program bit-identically (same forwarding
+// decisions on every probe), including when the faulty write landed
+// before erroring (dirty failure), which forces a compensating rollback
+// write. Every concurrent packet must see a complete program: forwarded
+// GOOGL packets go to the old or the new port set, never anything else.
+func TestUpdateRollbackUnderRace(t *testing.T) {
+	sp, err := spec.Parse(raceSpecSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldProg := compileRace(t, sp, "stock == GOOGL : fwd(1)\n")
+	sw, err := pipeline.New(oldProg, pipeline.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := faults.NewFlakyDevice(sw)
+	ctl := NewController(dev)
+	ctl.Policy.Sleep = func(time.Duration) {}
+
+	vecs := probeVectors(t, sp, oldProg)
+	before := snapshot(sw, vecs)
+
+	googl := encodeSym(t, sp, "GOOGL")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			values := make([]uint64, len(oldProg.Fields))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i, f := range oldProg.Fields {
+					if f.Name == "add_order.stock" {
+						values[i] = googl
+					} else {
+						values[i] = 1
+					}
+				}
+				res := sw.Process(values, 0)
+				if res.Dropped {
+					t.Error("GOOGL packet dropped mid-update")
+					return
+				}
+				for _, p := range res.Ports {
+					if p != 1 && p != 3 {
+						t.Errorf("packet saw torn program: ports %v", res.Ports)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Round 1: the write fails cleanly before landing.
+	dev.FailOn(dev.Calls()+1, false)
+	if _, err := ctl.Update(compileRace(t, sp, "stock == GOOGL : fwd(3)\n")); err == nil {
+		t.Fatal("update with permanent write failure succeeded")
+	}
+	if got := snapshot(sw, vecs); got != before {
+		t.Fatalf("after clean failure:\n got %s\nwant %s", got, before)
+	}
+
+	// Round 2: the write lands and then errors — rollback must issue a
+	// compensating write to restore the old program.
+	dev.FailDirtyOn(dev.Calls()+1, false)
+	if _, err := ctl.Update(compileRace(t, sp, "stock == GOOGL : fwd(3)\n")); err == nil {
+		t.Fatal("update with dirty write failure succeeded")
+	}
+	if got := snapshot(sw, vecs); got != before {
+		t.Fatalf("after dirty failure:\n got %s\nwant %s", got, before)
+	}
+	if ctl.Program() != oldProg {
+		t.Fatal("controller advanced past a failed update")
+	}
+
+	// Round 3: no faults — the same update goes through.
+	if _, err := ctl.Update(compileRace(t, sp, "stock == GOOGL : fwd(3)\n")); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if got := snapshot(sw, vecs); got == before {
+		t.Fatal("successful update changed nothing")
+	}
+}
+
+// TestUpdateRetriesTransient: transient write failures are retried with
+// exponential backoff and the update then succeeds with no rollback.
+func TestUpdateRetriesTransient(t *testing.T) {
+	sp, err := spec.Parse(raceSpecSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := pipeline.New(compileRace(t, sp, "stock == GOOGL : fwd(1)\n"), pipeline.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := faults.NewFlakyDevice(sw)
+	ctl := NewController(dev)
+	var sleeps []time.Duration
+	ctl.Policy.Sleep = func(d time.Duration) { sleeps = append(sleeps, d) }
+
+	dev.FailOn(1, true)
+	dev.FailOn(2, true)
+	if _, err := ctl.Update(compileRace(t, sp, "stock == GOOGL : fwd(2)\n")); err != nil {
+		t.Fatalf("transient failures not retried: %v", err)
+	}
+	if dev.Calls() != 3 {
+		t.Fatalf("device saw %d calls, want 3 (two transient failures + success)", dev.Calls())
+	}
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond}
+	if fmt.Sprint(sleeps) != fmt.Sprint(want) {
+		t.Fatalf("backoff schedule %v, want %v", sleeps, want)
+	}
+
+	// Exhausting the retry budget turns a transient failure permanent.
+	for call := dev.Calls() + 1; call <= dev.Calls()+10; call++ {
+		dev.FailOn(call, true)
+	}
+	if _, err := ctl.Update(compileRace(t, sp, "stock == GOOGL : fwd(3)\n")); err == nil {
+		t.Fatal("endless transient failures should exhaust retries")
+	}
+}
+
+// TestUpdateAdmissionLeavesDeviceUntouched: an update that cannot fit
+// the device is rejected in phase one, before a single device write.
+func TestUpdateAdmissionLeavesDeviceUntouched(t *testing.T) {
+	sp, err := spec.Parse(raceSpecSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny := pipeline.DefaultConfig()
+	tiny.SRAMPerStage = 16
+	tiny.TCAMPerStage = 16
+	tiny.Stages = 8
+	sw, err := pipeline.New(compileRace(t, sp, "stock == GOOGL : fwd(1)\n"), tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := faults.NewFlakyDevice(sw)
+	ctl := NewController(dev)
+
+	var big strings.Builder
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&big, "price > %d : fwd(%d)\n", i+1, i%8+1)
+	}
+	if _, err := ctl.Update(compileRace(t, sp, big.String())); err == nil {
+		t.Fatal("oversized update admitted")
+	}
+	if dev.Calls() != 0 {
+		t.Fatalf("admission rejection still issued %d device writes", dev.Calls())
+	}
+	vecs := probeVectors(t, sp, ctl.Program())
+	if got := snapshot(sw, vecs); !strings.Contains(got, "ports=[1]") {
+		t.Fatalf("device disturbed by rejected update: %s", got)
+	}
+}
+
+// TestChurnRollbackAndConvergence: a device failure mid-Churn leaves the
+// switch on the old program; the session keeps the new rule set, and the
+// next successful Churn converges device and session.
+func TestChurnRollbackAndConvergence(t *testing.T) {
+	sp, err := spec.Parse(raceSpecSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial, err := lang.ParseRules("stock == GOOGL : fwd(1)\nstock == AAPL : fwd(2)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := compiler.NewSession(sp, compiler.Options{})
+	ctl, handles, err := NewSessionController(sess, initial, pipeline.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := ctl.Switch()
+	dev := faults.NewFlakyDevice(sw)
+	ctl.SetDevice(dev)
+	ctl.Policy.Sleep = func(time.Duration) {}
+
+	vecs := probeVectors(t, sp, ctl.Program())
+	before := snapshot(sw, vecs)
+	oldProg := ctl.Program()
+
+	dev.FailDirtyOn(1, false)
+	add, err := lang.ParseRules("price > 10 : fwd(7)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ctl.Churn(add, handles[:1]); err == nil {
+		t.Fatal("churn with permanent device failure succeeded")
+	}
+	if got := snapshot(sw, vecs); got != before {
+		t.Fatalf("after failed churn:\n got %s\nwant %s", got, before)
+	}
+	if ctl.Program() != oldProg {
+		t.Fatal("session controller advanced past a failed churn")
+	}
+
+	// No new rule changes: the retry just pushes the already-recompiled
+	// session state, converging the device.
+	if _, _, err := ctl.Churn(nil, nil); err != nil {
+		t.Fatalf("convergence churn: %v", err)
+	}
+	if got := snapshot(sw, vecs); got == before {
+		t.Fatal("converged program identical to pre-churn program")
+	}
+}

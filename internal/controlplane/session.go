@@ -1,6 +1,8 @@
 package controlplane
 
 import (
+	"fmt"
+
 	"camus/internal/compiler"
 	"camus/internal/lang"
 	"camus/internal/pipeline"
@@ -14,8 +16,11 @@ import (
 // to the change plus a delta of device writes, not a full reinstall.
 type SessionController struct {
 	sw      *pipeline.Switch
+	dev     Device // write path; sw unless a test interposes SetDevice
 	session *compiler.Session
 	prog    *compiler.Program
+	// Policy bounds Churn's commit phase; the zero value uses defaults.
+	Policy UpdatePolicy
 }
 
 // NewSessionController builds a controller around an empty incremental
@@ -35,8 +40,12 @@ func NewSessionController(sp *compiler.Session, initial []lang.Rule, cfg pipelin
 	if err != nil {
 		return nil, nil, err
 	}
-	return &SessionController{sw: sw, session: sp, prog: prog}, handles, nil
+	return &SessionController{sw: sw, dev: sw, session: sp, prog: prog}, handles, nil
 }
+
+// SetDevice reroutes installs through dev (a fault-injection wrapper
+// around the switch); packets still flow through Switch() directly.
+func (c *SessionController) SetDevice(dev Device) { c.dev = dev }
 
 // Switch returns the controlled switch.
 func (c *SessionController) Switch() *pipeline.Switch { return c.sw }
@@ -49,7 +58,13 @@ func (c *SessionController) Session() *compiler.Session { return c.session }
 
 // Churn applies one subscription churn event: remove rules by handle, add
 // new ones, recompile incrementally, and push only the entry delta to the
-// switch. It returns the handles of the added rules and the install delta.
+// switch. The install follows the same two-phase discipline as
+// Controller.Update — admission check before any write, transient-failure
+// retry, rollback to the prior program on permanent failure. After a
+// failed Churn the session keeps the new rule set but the device keeps
+// serving the old program; the next successful Churn converges them,
+// since the delta is always computed against the installed program.
+// It returns the handles of the added rules and the install delta.
 func (c *SessionController) Churn(add []lang.Rule, remove []int) ([]int, Delta, error) {
 	if len(remove) > 0 {
 		if err := c.session.RemoveRules(remove...); err != nil {
@@ -68,9 +83,12 @@ func (c *SessionController) Churn(add []lang.Rule, remove []int) ([]int, Delta, 
 	if err != nil {
 		return handles, Delta{}, err
 	}
+	if err := pipeline.CheckResources(newProg, c.dev.Config()); err != nil {
+		return handles, Delta{}, fmt.Errorf("controlplane: churn rejected at admission: %w", err)
+	}
 	AlignStates(c.prog, newProg)
 	delta := DiffPrograms(c.prog, newProg)
-	if err := c.sw.Reinstall(newProg); err != nil {
+	if err := commit(c.dev, c.Policy, newProg, c.prog); err != nil {
 		return handles, Delta{}, err
 	}
 	c.prog = newProg

@@ -1,0 +1,269 @@
+package dataplane
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"camus/internal/faults"
+	"camus/internal/itch"
+	"camus/internal/spec"
+	"camus/internal/workload"
+)
+
+// chaosHarness wires a fault-injected switch to a gap-recovering
+// receiver over real loopback UDP.
+type chaosHarness struct {
+	sw  *Switch
+	rcv *Receiver
+	pub *net.UDPConn
+
+	mu    sync.Mutex
+	seqs  []uint64
+	gaps  [][2]uint64
+	eos   bool
+	runCh chan error
+}
+
+func startChaos(t *testing.T, plan faults.Plan, retxBuffer int, rcvTimeout time.Duration) *chaosHarness {
+	t.Helper()
+	h := &chaosHarness{runCh: make(chan error, 1)}
+
+	var rcvErr error
+	h.rcv, rcvErr = NewReceiver(ReceiverConfig{
+		RequestTimeout: rcvTimeout,
+		Seed:           3,
+		OnMessage: func(seq uint64, msg []byte) {
+			h.mu.Lock()
+			h.seqs = append(h.seqs, seq)
+			h.mu.Unlock()
+		},
+		OnGap: func(from, to uint64) {
+			h.mu.Lock()
+			h.gaps = append(h.gaps, [2]uint64{from, to})
+			h.mu.Unlock()
+		},
+		OnEndOfSession: func() {
+			h.mu.Lock()
+			h.eos = true
+			h.mu.Unlock()
+		},
+	})
+	if rcvErr != nil {
+		t.Fatal(rcvErr)
+	}
+	t.Cleanup(func() { h.rcv.Close() })
+
+	// Fresh injectors per socket and direction, all derived from the one
+	// seeded plan, so the whole chaos run is replayable.
+	mkWrap := func() func(Conn) Conn {
+		seed := plan.Seed
+		return func(c Conn) Conn {
+			in, eg := plan, plan
+			in.Seed, eg.Seed = seed, seed+1
+			seed += 2
+			return faults.WrapConn(c, &in, &eg)
+		}
+	}
+	sw, err := Listen(Config{
+		Spec:          spec.MustParse(workload.ITCHSpecSource),
+		Subscriptions: "stock == GOOGL : fwd(1)",
+		RetxBuffer:    retxBuffer,
+		Heartbeat:     20 * time.Millisecond,
+		WrapConn:      mkWrap(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.sw = sw
+	t.Cleanup(func() { sw.Close() })
+	if err := sw.BindPort(1, h.rcv.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The receiver learns the retransmission channel out of band.
+	h.rcv.retxAddr = sw.RetxAddr()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go func() { _ = sw.Run(ctx) }()
+	go func() { h.runCh <- h.rcv.Run(ctx) }()
+
+	pub, err := net.DialUDP("udp", nil, sw.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pub.Close() })
+	h.pub = pub
+	return h
+}
+
+// publish streams count GOOGL add-orders, several per datagram, pacing
+// lightly so loopback buffers keep up.
+func (h *chaosHarness) publish(t *testing.T, count, perDatagram int) {
+	t.Helper()
+	var seq uint64 = 1
+	sent := 0
+	for sent < count {
+		var mp itch.MoldPacket
+		mp.Header.SetSession("INGRESS")
+		mp.Header.Sequence = seq
+		n := perDatagram
+		if count-sent < n {
+			n = count - sent
+		}
+		for i := 0; i < n; i++ {
+			var o itch.AddOrder
+			o.SetStock("GOOGL")
+			o.Shares = uint32(sent + i + 1)
+			o.Side = itch.Buy
+			mp.Append(o.Bytes())
+		}
+		if _, err := h.pub.Write(mp.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+		seq += uint64(n)
+		sent += n
+		if sent%128 == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// stableMatched waits for the switch's matched counter to stop moving and
+// returns it: the ground truth of how many messages entered the egress
+// stream (ingress faults legitimately shrink it).
+func (h *chaosHarness) stableMatched(t *testing.T) uint64 {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	last := h.sw.Stats().Matched.Load()
+	stableSince := time.Now()
+	for time.Now().Before(deadline) {
+		time.Sleep(25 * time.Millisecond)
+		cur := h.sw.Stats().Matched.Load()
+		if cur != last {
+			last, stableSince = cur, time.Now()
+			continue
+		}
+		if time.Since(stableSince) > 300*time.Millisecond {
+			return cur
+		}
+	}
+	t.Fatal("matched counter never stabilized")
+	return 0
+}
+
+// TestChaosRecoveryFullStream is the headline chaos scenario: seeded
+// drop + duplication + reordering on both directions of the dataplane
+// sockets, and the receiver still surfaces 100% of the matched messages,
+// in order, with no gap declared lost.
+func TestChaosRecoveryFullStream(t *testing.T) {
+	total := 3000
+	if testing.Short() {
+		total = 600
+	}
+	plan := faults.Plan{Seed: 11, Drop: 0.01, Duplicate: 0.005, Reorder: 0.01}
+	h := startChaos(t, plan, 0 /* default store */, 15*time.Millisecond)
+	h.publish(t, total, 4)
+
+	matched := h.stableMatched(t)
+	if matched == 0 {
+		t.Fatal("nothing matched")
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for h.rcv.Stats().Delivered.Load() < matched && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if uint64(len(h.seqs)) != matched {
+		t.Fatalf("delivered %d of %d matched messages (gaps lost: %v)", len(h.seqs), matched, h.gaps)
+	}
+	for i, s := range h.seqs {
+		if s != uint64(i+1) {
+			t.Fatalf("delivery %d has sequence %d: stream not dense/in-order", i, s)
+		}
+	}
+	if len(h.gaps) != 0 {
+		t.Fatalf("gaps declared lost despite full store: %v", h.gaps)
+	}
+	if h.rcv.Stats().Recovered.Load() == 0 && h.sw.Stats().RetxRequests.Load() == 0 {
+		t.Fatal("chaos plan injected no recoverable loss; test is vacuous")
+	}
+}
+
+// TestChaosAgedOutStoreReportsGapLost: with a tiny retransmission store
+// and heavy loss, the receiver must not hang — unrecoverable ranges are
+// reported as explicit gap-lost events and delivery continues in order
+// past them, with delivered + lost covering the whole egress stream.
+func TestChaosAgedOutStoreReportsGapLost(t *testing.T) {
+	total := 1200
+	if testing.Short() {
+		total = 400
+	}
+	plan := faults.Plan{Seed: 23, Drop: 0.30}
+	h := startChaos(t, plan, 16 /* tiny store */, 15*time.Millisecond)
+	h.publish(t, total, 8)
+
+	matched := h.stableMatched(t)
+	deadline := time.Now().Add(20 * time.Second)
+	for h.rcv.NextSeq() <= matched && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if h.rcv.NextSeq() <= matched {
+		t.Fatalf("receiver hung at seq %d of %d", h.rcv.NextSeq(), matched)
+	}
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	lost := h.rcv.Stats().GapsLost.Load()
+	delivered := h.rcv.Stats().Delivered.Load()
+	if lost == 0 {
+		t.Fatal("no gap-lost events despite aged-out store")
+	}
+	if delivered+lost != matched {
+		t.Fatalf("delivered %d + lost %d != matched %d", delivered, lost, matched)
+	}
+	for i := 1; i < len(h.seqs); i++ {
+		if h.seqs[i] <= h.seqs[i-1] {
+			t.Fatalf("delivery order violated: %d after %d", h.seqs[i], h.seqs[i-1])
+		}
+	}
+}
+
+// TestReceiverEndOfSession: closing the switch announces end-of-session
+// and the receiver's Run returns cleanly once the stream is drained.
+func TestReceiverEndOfSession(t *testing.T) {
+	h := startChaos(t, faults.Plan{}, 0, 15*time.Millisecond)
+	h.publish(t, 10, 2)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for h.rcv.Stats().Delivered.Load() < 10 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := h.rcv.Stats().Delivered.Load(); got != 10 {
+		t.Fatalf("delivered %d before close", got)
+	}
+	if err := h.sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-h.runCh:
+		if err != nil {
+			t.Fatalf("receiver Run: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("receiver did not terminate on end-of-session")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.eos {
+		t.Fatal("OnEndOfSession not invoked")
+	}
+	if len(h.gaps) != 0 {
+		t.Fatalf("unexpected gaps: %v", h.gaps)
+	}
+}

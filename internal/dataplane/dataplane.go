@@ -8,6 +8,13 @@
 // compiled Program drives both. It exists so the system can be exercised
 // end-to-end over an actual network (see cmd/camus-switch), not just
 // inside the discrete-event simulator.
+//
+// Delivery is fault tolerant in the MoldUDP64 sense: every output port is
+// its own downstream session with a dense per-port sequence space, recent
+// egress messages are retained in a bounded retransmission store served
+// on a dedicated request socket, idle ports emit heartbeats, and shutdown
+// announces end-of-session. The subscriber half lives in Receiver, which
+// detects gaps and recovers them through the request channel.
 package dataplane
 
 import (
@@ -25,6 +32,19 @@ import (
 	"camus/internal/spec"
 )
 
+// Conn is the UDP socket surface the switch and receiver run on. It is
+// satisfied by *net.UDPConn and, structurally, by faults.Conn wrappers,
+// which is how chaos tests interpose loss, duplication, and reordering.
+type Conn interface {
+	ReadFromUDP(b []byte) (int, *net.UDPAddr, error)
+	WriteToUDP(b []byte, addr *net.UDPAddr) (int, error)
+	SetReadDeadline(t time.Time) error
+	Close() error
+	LocalAddr() net.Addr
+}
+
+var _ Conn = (*net.UDPConn)(nil)
+
 // Stats are the switch's forwarding counters. All fields are updated
 // atomically and may be read concurrently with Run.
 type Stats struct {
@@ -34,6 +54,10 @@ type Stats struct {
 	Forwarded    atomic.Uint64 // egress datagrams sent
 	DecodeErrors atomic.Uint64
 	SendErrors   atomic.Uint64
+	UnboundPort  atomic.Uint64 // egress datagrams black-holed on unbound ports
+	Heartbeats   atomic.Uint64 // idle heartbeats sent
+	RetxRequests atomic.Uint64 // retransmission requests served
+	RetxMessages atomic.Uint64 // messages resent from the store
 }
 
 // Config configures a dataplane switch.
@@ -41,6 +65,9 @@ type Config struct {
 	// Ingress is the UDP listen address ("127.0.0.1:26400"; empty chooses
 	// a random localhost port).
 	Ingress string
+	// Retx is the retransmission-request listen address (empty binds a
+	// random port on the ingress IP).
+	Retx string
 	// Ports maps Camus switch ports to subscriber UDP addresses.
 	Ports map[int]string
 	// Spec is the message format; Subscriptions the initial rule set.
@@ -50,22 +77,66 @@ type Config struct {
 	Options compiler.Options
 	// ReadBuffer sizes the datagram receive buffer (default 64 KiB).
 	ReadBuffer int
+	// Session is the egress session prefix; each port's session is the
+	// prefix padded to 7 bytes plus the 3-digit port number, giving every
+	// subscriber its own MoldUDP64 stream identity. Default "CAMUS".
+	Session string
+	// RetxBuffer is how many egress messages each port retains for
+	// retransmission (default 4096; negative disables the store).
+	RetxBuffer int
+	// Heartbeat is the idle-heartbeat interval per port (0 disables).
+	Heartbeat time.Duration
+	// WrapConn, when non-nil, wraps each socket the switch opens (data
+	// first, then retransmission) — the fault-injection hook.
+	WrapConn func(Conn) Conn
+}
+
+// defaultRetxBuffer is the per-port retransmission store size in messages.
+const defaultRetxBuffer = 4096
+
+// maxRetxDatagram caps one retransmission reply's wire size so recovery
+// traffic stays within a conventional MTU.
+const maxRetxDatagram = 1400
+
+// portState is one output port's delivery state: its own MoldUDP64
+// session with a dense sequence space and a bounded retransmission store.
+type portState struct {
+	port    int
+	session [10]byte
+
+	mu         sync.Mutex
+	addr       *net.UDPAddr
+	nextSeq    uint64 // sequence of the next egress message
+	store      *retxStore
+	lastEgress time.Time
+	scratch    itch.MoldPacket
 }
 
 // Switch is a running UDP dataplane.
 type Switch struct {
-	conn   *net.UDPConn
+	conn   Conn
+	retx   Conn
 	engine *core.PubSub
 
-	mu    sync.RWMutex
-	ports map[int]*net.UDPAddr
+	mu        sync.RWMutex
+	ports     map[int]*portState
+	bySession map[[10]byte]*portState
+
+	session   string
+	retxCap   int
+	heartbeat time.Duration
 
 	stats   Stats
 	readBuf int
+
+	closeMu   sync.Mutex
+	closed    bool
+	runActive bool
+	runDone   chan struct{}
 }
 
-// Listen binds the ingress socket and compiles/install the initial
-// subscription set.
+// Listen binds the ingress and retransmission sockets and
+// compiles/installs the initial subscription set.
 func Listen(cfg Config) (*Switch, error) {
 	if cfg.Spec == nil {
 		return nil, errors.New("dataplane: Config.Spec is required")
@@ -85,29 +156,64 @@ func Listen(cfg Config) (*Switch, error) {
 	// A deep socket buffer absorbs feed microbursts; best effort (the OS
 	// may clamp it).
 	_ = conn.SetReadBuffer(8 << 20)
+
+	retxAddr := cfg.Retx
+	if retxAddr == "" {
+		retxAddr = (&net.UDPAddr{IP: conn.LocalAddr().(*net.UDPAddr).IP}).String()
+	}
+	retxUDPAddr, err := net.ResolveUDPAddr("udp", retxAddr)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("dataplane: resolve retx: %w", err)
+	}
+	retx, err := net.ListenUDP("udp", retxUDPAddr)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("dataplane: listen retx: %w", err)
+	}
+
 	engine, err := core.NewPubSub(cfg.Spec, core.Config{Compiler: cfg.Options})
 	if err != nil {
 		conn.Close()
+		retx.Close()
 		return nil, err
 	}
 	sw := &Switch{
-		conn:    conn,
-		engine:  engine,
-		ports:   make(map[int]*net.UDPAddr, len(cfg.Ports)),
-		readBuf: cfg.ReadBuffer,
+		conn:      conn,
+		retx:      retx,
+		engine:    engine,
+		ports:     make(map[int]*portState, len(cfg.Ports)),
+		bySession: make(map[[10]byte]*portState, len(cfg.Ports)),
+		session:   cfg.Session,
+		retxCap:   cfg.RetxBuffer,
+		heartbeat: cfg.Heartbeat,
+		readBuf:   cfg.ReadBuffer,
+		runDone:   make(chan struct{}),
+	}
+	if sw.session == "" {
+		sw.session = "CAMUS"
+	}
+	if sw.retxCap == 0 {
+		sw.retxCap = defaultRetxBuffer
 	}
 	if sw.readBuf <= 0 {
 		sw.readBuf = 64 << 10
 	}
+	if cfg.WrapConn != nil {
+		sw.conn = cfg.WrapConn(sw.conn)
+		sw.retx = cfg.WrapConn(sw.retx)
+	}
 	for port, a := range cfg.Ports {
 		if err := sw.BindPort(port, a); err != nil {
-			conn.Close()
+			sw.conn.Close()
+			sw.retx.Close()
 			return nil, err
 		}
 	}
 	if cfg.Subscriptions != "" {
 		if _, err := engine.SetSubscriptions(cfg.Subscriptions); err != nil {
-			conn.Close()
+			sw.conn.Close()
+			sw.retx.Close()
 			return nil, err
 		}
 	}
@@ -117,19 +223,59 @@ func Listen(cfg Config) (*Switch, error) {
 // Addr returns the ingress socket address publishers should send to.
 func (sw *Switch) Addr() *net.UDPAddr { return sw.conn.LocalAddr().(*net.UDPAddr) }
 
+// RetxAddr returns the retransmission-request socket address subscribers
+// recover through.
+func (sw *Switch) RetxAddr() *net.UDPAddr { return sw.retx.LocalAddr().(*net.UDPAddr) }
+
 // Stats returns the forwarding counters.
 func (sw *Switch) Stats() *Stats { return &sw.stats }
 
+// PortSession returns the MoldUDP64 session identifier of an output port.
+func (sw *Switch) PortSession(port int) string {
+	var s [10]byte
+	sessionFor(&s, sw.session, port)
+	return string(s[:])
+}
+
+// sessionFor derives a port's session id: the base padded/truncated to 7
+// bytes plus the zero-padded port number.
+func sessionFor(dst *[10]byte, base string, port int) {
+	for i := 0; i < 7; i++ {
+		if i < len(base) {
+			dst[i] = base[i]
+		} else {
+			dst[i] = ' '
+		}
+	}
+	p := port % 1000
+	dst[7] = byte('0' + p/100)
+	dst[8] = byte('0' + (p/10)%10)
+	dst[9] = byte('0' + p%10)
+}
+
 // BindPort maps a Camus output port to a subscriber UDP address. Safe to
-// call while Run is active.
+// call while Run is active. Rebinding an existing port redirects its
+// stream without resetting the sequence space.
 func (sw *Switch) BindPort(port int, addr string) error {
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return fmt.Errorf("dataplane: port %d: %w", port, err)
 	}
 	sw.mu.Lock()
-	sw.ports[port] = udpAddr
-	sw.mu.Unlock()
+	defer sw.mu.Unlock()
+	if ps, ok := sw.ports[port]; ok {
+		ps.mu.Lock()
+		ps.addr = udpAddr
+		ps.mu.Unlock()
+		return nil
+	}
+	ps := &portState{port: port, addr: udpAddr, nextSeq: 1}
+	sessionFor(&ps.session, sw.session, port)
+	if sw.retxCap > 0 {
+		ps.store = newRetxStore(sw.retxCap)
+	}
+	sw.ports[port] = ps
+	sw.bySession[ps.session] = ps
 	return nil
 }
 
@@ -150,18 +296,80 @@ func (sw *Switch) Program() *compiler.Program {
 	return sw.engine.Program()
 }
 
-// Close shuts the ingress socket, unblocking Run.
-func (sw *Switch) Close() error { return sw.conn.Close() }
+// Close announces end-of-session on every bound port, shuts both sockets,
+// and — when Run is active — returns only after the read loops have
+// exited, so no goroutine is still touching the switch afterwards. Close
+// is idempotent; concurrent calls after the first return immediately.
+func (sw *Switch) Close() error {
+	sw.closeMu.Lock()
+	if sw.closed {
+		sw.closeMu.Unlock()
+		return nil
+	}
+	sw.closed = true
+	active := sw.runActive
+	sw.closeMu.Unlock()
 
-// Run processes ingress datagrams until ctx is canceled or the socket is
-// closed. Matched messages are re-framed per output port: each ingress
-// datagram produces at most one egress datagram per port, preserving the
-// Mold session and sequence numbers.
+	sw.endSession()
+	err := sw.conn.Close()
+	sw.retx.Close()
+	if active {
+		<-sw.runDone
+	}
+	return err
+}
+
+// endSession sends the MoldUDP64 end-of-session announcement to every
+// bound port (best effort).
+func (sw *Switch) endSession() {
+	sw.mu.RLock()
+	defer sw.mu.RUnlock()
+	for _, ps := range sw.ports {
+		ps.mu.Lock()
+		eos := itch.EndOfSessionBytes(ps.session, ps.nextSeq)
+		addr := ps.addr
+		ps.mu.Unlock()
+		_, _ = sw.conn.WriteToUDP(eos, addr)
+	}
+}
+
+// Run processes ingress datagrams until ctx is canceled or the switch is
+// closed, serving retransmission requests and emitting idle heartbeats on
+// the side. Matched messages are re-framed per output port: each port is
+// its own MoldUDP64 session with a dense sequence space, so subscribers
+// can detect and repair loss. Run may be called at most once.
 func (sw *Switch) Run(ctx context.Context) error {
+	sw.closeMu.Lock()
+	if sw.closed {
+		sw.closeMu.Unlock()
+		return nil
+	}
+	sw.runActive = true
+	sw.closeMu.Unlock()
+
+	var aux sync.WaitGroup
+	hbStop := make(chan struct{})
+	aux.Add(1)
+	go func() { defer aux.Done(); sw.serveRetx() }()
+	if sw.heartbeat > 0 {
+		aux.Add(1)
+		go func() { defer aux.Done(); sw.heartbeatLoop(hbStop) }()
+	}
 	go func() {
-		<-ctx.Done()
-		sw.conn.Close()
+		select {
+		case <-ctx.Done():
+			sw.Close()
+		case <-sw.runDone:
+		}
 	}()
+	defer func() {
+		close(hbStop)
+		sw.conn.Close()
+		sw.retx.Close()
+		aux.Wait()
+		close(sw.runDone)
+	}()
+
 	buf := make([]byte, sw.readBuf)
 	perPort := make(map[int]*itch.MoldPacket)
 	for {
@@ -180,11 +388,6 @@ func (sw *Switch) Run(ctx context.Context) error {
 // process evaluates one ingress datagram and emits the per-port egress
 // datagrams. perPort is reused across calls to avoid allocation.
 func (sw *Switch) process(datagram []byte, perPort map[int]*itch.MoldPacket) {
-	var hdr itch.MoldHeader
-	if err := hdr.DecodeFromBytes(datagram); err != nil {
-		sw.stats.DecodeErrors.Add(1)
-		return
-	}
 	for _, mp := range perPort {
 		mp.Messages = mp.Messages[:0]
 	}
@@ -220,16 +423,186 @@ func (sw *Switch) process(datagram []byte, perPort map[int]*itch.MoldPacket) {
 		if len(mp.Messages) == 0 {
 			continue
 		}
-		dst, ok := sw.ports[port]
+		ps, ok := sw.ports[port]
 		if !ok {
-			continue // port not bound: black-hole, like an unwired ASIC port
+			// Port not bound: black-hole, like an unwired ASIC port —
+			// but observable.
+			sw.stats.UnboundPort.Add(1)
+			continue
 		}
-		mp.Header = hdr
-		mp.Header.Count = uint16(len(mp.Messages))
-		if _, err := sw.conn.WriteToUDP(mp.Bytes(), dst); err != nil {
+		if err := sw.sendTo(ps, mp.Messages); err != nil {
 			sw.stats.SendErrors.Add(1)
 			continue
 		}
 		sw.stats.Forwarded.Add(1)
 	}
+}
+
+// sendTo frames msgs as the port's next egress datagram: the port's own
+// session, its next dense sequence number, an explicit count. The
+// messages enter the retransmission store before the datagram leaves, so
+// any request the send races with can already be served.
+func (sw *Switch) sendTo(ps *portState, msgs [][]byte) error {
+	ps.mu.Lock()
+	ps.scratch.Header.Session = ps.session
+	ps.scratch.Header.Sequence = ps.nextSeq
+	ps.scratch.Messages = append(ps.scratch.Messages[:0], msgs...)
+	wire := ps.scratch.Bytes()
+	if ps.store != nil {
+		for _, m := range msgs {
+			ps.store.add(m)
+		}
+	}
+	ps.nextSeq += uint64(len(msgs))
+	ps.lastEgress = time.Now()
+	addr := ps.addr
+	ps.mu.Unlock()
+	_, err := sw.conn.WriteToUDP(wire, addr)
+	return err
+}
+
+// heartbeatLoop emits a MoldUDP64 heartbeat on every port that has been
+// idle for at least one interval, so subscribers can detect tail loss.
+func (sw *Switch) heartbeatLoop(stop <-chan struct{}) {
+	tick := time.NewTicker(sw.heartbeat)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		sw.mu.RLock()
+		states := make([]*portState, 0, len(sw.ports))
+		for _, ps := range sw.ports {
+			states = append(states, ps)
+		}
+		sw.mu.RUnlock()
+		for _, ps := range states {
+			ps.mu.Lock()
+			idle := time.Since(ps.lastEgress) >= sw.heartbeat
+			hb := itch.HeartbeatBytes(ps.session, ps.nextSeq)
+			addr := ps.addr
+			ps.mu.Unlock()
+			if !idle {
+				continue
+			}
+			if _, err := sw.conn.WriteToUDP(hb, addr); err == nil {
+				sw.stats.Heartbeats.Add(1)
+			}
+		}
+	}
+}
+
+// serveRetx answers MoldUDP64 retransmission requests from the per-port
+// stores. A request for messages that have aged out is answered from the
+// oldest retained sequence onward — the reply's sequence number tells the
+// subscriber exactly which prefix is unrecoverable.
+func (sw *Switch) serveRetx() {
+	buf := make([]byte, 2048)
+	for {
+		n, raddr, err := sw.retx.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		var req itch.MoldRequest
+		if err := req.DecodeFromBytes(buf[:n]); err != nil {
+			sw.stats.DecodeErrors.Add(1)
+			continue
+		}
+		sw.mu.RLock()
+		ps := sw.bySession[req.Session]
+		sw.mu.RUnlock()
+		if ps == nil {
+			continue // unknown session: not our stream
+		}
+		sw.stats.RetxRequests.Add(1)
+		sw.replyRetx(ps, &req, raddr)
+	}
+}
+
+// replyRetx builds and sends one retransmission reply. The reply wire
+// bytes are serialized under the port lock: the store's ring slots are
+// recycled by concurrent sends, so the messages must be captured before
+// the lock is released.
+func (sw *Switch) replyRetx(ps *portState, req *itch.MoldRequest, raddr *net.UDPAddr) {
+	ps.mu.Lock()
+	var msgs [][]byte
+	from := ps.nextSeq
+	if ps.store != nil {
+		msgs, from = ps.store.get(req.Sequence, int(req.Count), maxRetxDatagram-itch.MoldHeaderLen)
+	}
+	var wire []byte
+	if len(msgs) == 0 {
+		// Nothing servable at or after the requested sequence: reply
+		// with an empty packet whose sequence is the next one we would
+		// serve, telling the subscriber the prefix is gone.
+		wire = itch.HeartbeatBytes(ps.session, from)
+	} else {
+		var mp itch.MoldPacket
+		mp.Header.Session = ps.session
+		mp.Header.Sequence = from
+		mp.Messages = msgs
+		wire = mp.Bytes()
+	}
+	ps.mu.Unlock()
+
+	if _, err := sw.retx.WriteToUDP(wire, raddr); err == nil && len(msgs) > 0 {
+		sw.stats.RetxMessages.Add(uint64(len(msgs)))
+	}
+}
+
+// retxStore is a bounded ring of the port's most recent egress messages,
+// indexed by sequence number. Sequences are dense, so position is just
+// seq modulo capacity.
+type retxStore struct {
+	msgs [][]byte
+	lo   uint64 // oldest retained sequence
+	hi   uint64 // next sequence to be stored
+}
+
+func newRetxStore(capacity int) *retxStore {
+	return &retxStore{msgs: make([][]byte, capacity), lo: 1, hi: 1}
+}
+
+// add retains one egress message (copied; callers reuse buffers).
+func (s *retxStore) add(m []byte) {
+	i := s.hi % uint64(len(s.msgs))
+	s.msgs[i] = append(s.msgs[i][:0], m...)
+	s.hi++
+	if s.hi-s.lo > uint64(len(s.msgs)) {
+		s.lo = s.hi - uint64(len(s.msgs))
+	}
+}
+
+// get returns up to count messages starting at the oldest retained
+// sequence >= from, bounded by maxBytes of wire payload, along with the
+// sequence of the first returned message. When nothing at or after from
+// is retained it returns (nil, hi).
+func (s *retxStore) get(from uint64, count int, maxBytes int) ([][]byte, uint64) {
+	start := from
+	if start < s.lo {
+		start = s.lo
+	}
+	if start >= s.hi || count <= 0 {
+		return nil, s.hi
+	}
+	end := from + uint64(count)
+	if end < from || end > s.hi { // overflow or clamp to newest
+		end = s.hi
+	}
+	if end <= start {
+		return nil, s.hi
+	}
+	var out [][]byte
+	bytes := 0
+	for seq := start; seq < end; seq++ {
+		m := s.msgs[seq%uint64(len(s.msgs))]
+		bytes += 2 + len(m)
+		if bytes > maxBytes && len(out) > 0 {
+			break
+		}
+		out = append(out, m)
+	}
+	return out, start
 }

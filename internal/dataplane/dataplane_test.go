@@ -113,8 +113,11 @@ stock == MSFT && shares >= 500 : fwd(2)
 	if !ok {
 		t.Fatal("subscriber 1 received nothing")
 	}
-	if got1.Header.SessionString() != "SESS" || got1.Header.Sequence != 100 {
-		t.Fatalf("session/seq not preserved: %+v", got1.Header)
+	// Egress is re-sequenced per port: each subscriber sees its own
+	// session identity and a dense sequence space starting at 1,
+	// regardless of the ingress numbering.
+	if got1.Header.SessionString() != sw.PortSession(1) || got1.Header.Sequence != 1 {
+		t.Fatalf("egress not re-sequenced per port: %+v", got1.Header)
 	}
 	if len(got1.Messages) != 1 {
 		t.Fatalf("subscriber 1 got %d messages", len(got1.Messages))
@@ -230,5 +233,111 @@ func TestUnboundPortBlackholes(t *testing.T) {
 	}
 	if sw.Stats().SendErrors.Load() != 0 {
 		t.Fatal("unbound port should not count as send error")
+	}
+	// The black-holed forward must be observable, not silent.
+	if sw.Stats().UnboundPort.Load() != 1 {
+		t.Fatalf("UnboundPort = %d, want 1", sw.Stats().UnboundPort.Load())
+	}
+}
+
+// TestPerPortSequenceDensity is the egress-framing regression test: every
+// port's sequence numbers are dense (1, 2, 3, ...) with Count matching
+// the per-datagram message count, even when ingress datagrams fan out
+// unevenly across ports.
+func TestPerPortSequenceDensity(t *testing.T) {
+	_, pub, sub1, sub2 := startSwitch(t, `
+stock == GOOGL : fwd(1)
+stock == MSFT : fwd(2)
+`)
+	// Uneven fan-out: datagram 1 has 2 GOOGL + 1 MSFT, datagram 2 has
+	// 1 GOOGL, datagram 3 has 3 MSFT.
+	sends := [][]itch.AddOrder{
+		{order("GOOGL", 1, 1), order("GOOGL", 2, 1), order("MSFT", 1, 1)},
+		{order("GOOGL", 3, 1)},
+		{order("MSFT", 2, 1), order("MSFT", 3, 1), order("MSFT", 4, 1)},
+	}
+	for i, orders := range sends {
+		if _, err := pub.Write(moldWith(t, "IGNORED", uint64(1000*i), orders...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	check := func(conn *net.UDPConn, wantCounts []int) {
+		t.Helper()
+		wantSeq := uint64(1)
+		for _, wantN := range wantCounts {
+			mp, ok := recvMold(t, conn, 2*time.Second)
+			if !ok {
+				t.Fatalf("missing egress datagram (want %d messages at seq %d)", wantN, wantSeq)
+			}
+			if mp.Header.Sequence != wantSeq {
+				t.Fatalf("sequence %d, want %d (density broken)", mp.Header.Sequence, wantSeq)
+			}
+			if int(mp.Header.Count) != wantN || len(mp.Messages) != wantN {
+				t.Fatalf("count %d/%d messages, want %d", mp.Header.Count, len(mp.Messages), wantN)
+			}
+			wantSeq += uint64(wantN)
+		}
+	}
+	check(sub1, []int{2, 1})
+	check(sub2, []int{1, 3})
+}
+
+// TestCloseSynchronizesWithRun: Close must return only after the Run
+// goroutines have exited, and must announce end-of-session on every port.
+func TestCloseSynchronizesWithRun(t *testing.T) {
+	sub1 := listenUDP(t)
+	sw, err := Listen(Config{
+		Spec:          spec.MustParse(workload.ITCHSpecSource),
+		Ports:         map[int]string{1: sub1.LocalAddr().String()},
+		Subscriptions: "stock == GOOGL : fwd(1)",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- sw.Run(context.Background()) }()
+
+	// Give Run a moment to be active, then Close from the outside.
+	pub, err := net.DialUDP("udp", nil, sw.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if _, err := pub.Write(moldWith(t, "S", 1, order("GOOGL", 1, 1))); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvMold(t, sub1, 2*time.Second); !ok {
+		t.Fatal("no forwarding before close")
+	}
+
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Run must already have exited when Close returned.
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	default:
+		t.Fatal("Close returned while Run was still active")
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	// The subscriber got the end-of-session announcement.
+	for {
+		mp, ok := recvMold(t, sub1, 2*time.Second)
+		if !ok {
+			t.Fatal("no end-of-session announcement")
+		}
+		if mp.Header.IsEndOfSession() {
+			if mp.Header.Sequence != 2 {
+				t.Fatalf("end-of-session seq %d, want 2", mp.Header.Sequence)
+			}
+			return
+		}
 	}
 }

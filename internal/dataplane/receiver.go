@@ -1,0 +1,413 @@
+package dataplane
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"camus/internal/itch"
+)
+
+// ReceiverStats count the subscriber side of the recovery protocol.
+type ReceiverStats struct {
+	Datagrams    atomic.Uint64 // datagrams received (data + control)
+	Delivered    atomic.Uint64 // messages handed to OnMessage, in order
+	Duplicates   atomic.Uint64 // already-delivered messages discarded
+	Heartbeats   atomic.Uint64 // heartbeats observed
+	Requests     atomic.Uint64 // retransmission requests sent
+	Recovered    atomic.Uint64 // messages delivered from retransmissions
+	GapsLost     atomic.Uint64 // messages declared unrecoverable
+	DecodeErrors atomic.Uint64
+}
+
+// ReceiverConfig configures a gap-recovering MoldUDP64 subscriber.
+type ReceiverConfig struct {
+	// Listen is the UDP address to receive the stream on (empty chooses
+	// a random localhost port). Bind the switch port to Receiver.Addr().
+	Listen string
+	// Retx is the switch's retransmission-request address. Empty
+	// disables recovery: gaps are declared lost after RequestTimeout.
+	Retx string
+	// StartSeq is the first expected sequence number (default 1, the
+	// start of a per-port re-sequenced stream).
+	StartSeq uint64
+	// RequestTimeout is the initial retransmission-request timeout
+	// (default 20ms). Each retry backs off exponentially with jitter.
+	RequestTimeout time.Duration
+	// BackoffFactor multiplies the timeout per retry (default 2).
+	BackoffFactor float64
+	// MaxBackoff caps the per-retry timeout (default 1s).
+	MaxBackoff time.Duration
+	// MaxRetries bounds request retries before the gap is declared lost
+	// (default 8).
+	MaxRetries int
+	// Seed drives the retry jitter (0 behaves like 1).
+	Seed int64
+	// ReadBuffer sizes the datagram receive buffer (default 64 KiB).
+	ReadBuffer int
+	// WrapConn, when non-nil, wraps the subscriber socket — the
+	// fault-injection hook.
+	WrapConn func(Conn) Conn
+
+	// OnMessage receives every stream message exactly once, in sequence
+	// order with no gaps (unless OnGap reported the missing range).
+	OnMessage func(seq uint64, msg []byte)
+	// OnGap reports that messages [from, to) are unrecoverable (the
+	// store aged out or the request channel failed MaxRetries times).
+	OnGap func(from, to uint64)
+	// OnEndOfSession fires when the stream's end-of-session announcement
+	// has been reached with no gap outstanding; Run then returns.
+	OnEndOfSession func()
+}
+
+// Receiver is a subscriber endpoint that turns the lossy UDP stream back
+// into an ordered, gap-free message sequence using the MoldUDP64
+// retransmission protocol: it detects sequence gaps (including tail loss,
+// via heartbeats), requests missing ranges with exponential backoff and
+// jitter, and surfaces an explicit gap-lost event when the switch's store
+// no longer covers the range.
+type Receiver struct {
+	conn     Conn
+	retxAddr *net.UDPAddr
+	cfg      ReceiverConfig
+	rng      *rand.Rand
+	stats    ReceiverStats
+
+	// Stream state (owned by Run's goroutine).
+	next      uint64 // next sequence to deliver
+	highest   uint64 // one past the highest sequence known to exist
+	pending   map[uint64][]byte
+	sess      [10]byte
+	sessKnown bool
+	eosSeq    uint64
+	eosSeen   bool
+
+	// Recovery state machine.
+	inFlight   bool
+	reqSeq     uint64
+	retries    int
+	curTimeout time.Duration
+	deadline   time.Time
+}
+
+// NewReceiver binds the subscriber socket.
+func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
+	if cfg.OnMessage == nil {
+		return nil, errors.New("dataplane: ReceiverConfig.OnMessage is required")
+	}
+	if cfg.StartSeq == 0 {
+		cfg.StartSeq = 1
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 20 * time.Millisecond
+	}
+	if cfg.BackoffFactor < 1 {
+		cfg.BackoffFactor = 2
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = time.Second
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 8
+	}
+	if cfg.ReadBuffer <= 0 {
+		cfg.ReadBuffer = 64 << 10
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	addr := cfg.Listen
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dataplane: receiver listen: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("dataplane: receiver listen: %w", err)
+	}
+	r := &Receiver{
+		conn:       conn,
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(seed)),
+		next:       cfg.StartSeq,
+		highest:    cfg.StartSeq,
+		pending:    make(map[uint64][]byte),
+		curTimeout: cfg.RequestTimeout,
+	}
+	if cfg.Retx != "" {
+		r.retxAddr, err = net.ResolveUDPAddr("udp", cfg.Retx)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("dataplane: receiver retx: %w", err)
+		}
+	}
+	if cfg.WrapConn != nil {
+		r.conn = cfg.WrapConn(r.conn)
+	}
+	return r, nil
+}
+
+// Addr returns the address the switch port should be bound to.
+func (r *Receiver) Addr() *net.UDPAddr { return r.conn.LocalAddr().(*net.UDPAddr) }
+
+// Stats returns the recovery counters.
+func (r *Receiver) Stats() *ReceiverStats { return &r.stats }
+
+// Close shuts the subscriber socket, unblocking Run.
+func (r *Receiver) Close() error { return r.conn.Close() }
+
+// NextSeq returns the next sequence number the receiver expects; all
+// earlier messages have been delivered or declared lost.
+func (r *Receiver) NextSeq() uint64 { return atomic.LoadUint64(&r.next) }
+
+// Run drives the receive/recover loop until ctx is canceled, the socket
+// is closed, or end-of-session is reached with nothing outstanding.
+func (r *Receiver) Run(ctx context.Context) error {
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			r.conn.Close()
+		case <-stop:
+		}
+	}()
+
+	buf := make([]byte, r.cfg.ReadBuffer)
+	for {
+		if r.eosSeen && atomic.LoadUint64(&r.next) >= r.eosSeq {
+			if r.cfg.OnEndOfSession != nil {
+				r.cfg.OnEndOfSession()
+			}
+			return nil
+		}
+		r.scheduleRecovery()
+
+		wait := 100 * time.Millisecond
+		if r.inFlight {
+			if until := time.Until(r.deadline); until < wait {
+				wait = until
+			}
+			if wait < time.Millisecond {
+				wait = time.Millisecond
+			}
+		}
+		r.conn.SetReadDeadline(time.Now().Add(wait))
+		n, raddr, err := r.conn.ReadFromUDP(buf)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				r.onTimeout()
+				continue
+			}
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("dataplane: receiver read: %w", err)
+		}
+		r.handle(buf[:n], raddr)
+	}
+}
+
+// scheduleRecovery sends a retransmission request when a gap is open and
+// none is in flight.
+func (r *Receiver) scheduleRecovery() {
+	next := atomic.LoadUint64(&r.next)
+	if r.highest <= next {
+		// Fully caught up: reset the recovery machine.
+		r.inFlight = false
+		r.retries = 0
+		r.curTimeout = r.cfg.RequestTimeout
+		return
+	}
+	if r.inFlight {
+		return
+	}
+	r.sendRequest(next)
+	r.inFlight = true
+	r.reqSeq = next
+	r.deadline = time.Now().Add(r.jittered(r.curTimeout))
+}
+
+// sendRequest asks the switch for the open gap (no-op without a
+// retransmission channel or before the session id is learned; the
+// timeout machinery still runs so the gap is eventually declared lost).
+func (r *Receiver) sendRequest(next uint64) {
+	if r.retxAddr == nil || !r.sessKnown {
+		return
+	}
+	gap := r.highest - next
+	if gap > 65535 {
+		gap = 65535
+	}
+	req := itch.MoldRequest{Session: r.sess, Sequence: next, Count: uint16(gap)}
+	if _, err := r.conn.WriteToUDP(req.Bytes(), r.retxAddr); err == nil {
+		r.stats.Requests.Add(1)
+	}
+}
+
+// jittered adds uniform jitter of up to a quarter of d.
+func (r *Receiver) jittered(d time.Duration) time.Duration {
+	return d + time.Duration(r.rng.Int63n(int64(d)/4+1))
+}
+
+// onTimeout advances the recovery state machine after a read deadline.
+func (r *Receiver) onTimeout() {
+	if !r.inFlight || time.Now().Before(r.deadline) {
+		return
+	}
+	r.retries++
+	if r.retries > r.cfg.MaxRetries {
+		// The request channel is not answering: declare the gap up to
+		// the first buffered (or known) sequence unrecoverable and move
+		// on rather than hanging.
+		r.advanceTo(r.lowestKnown())
+		r.inFlight = false
+		r.retries = 0
+		r.curTimeout = r.cfg.RequestTimeout
+		return
+	}
+	r.curTimeout = time.Duration(float64(r.curTimeout) * r.cfg.BackoffFactor)
+	if r.curTimeout > r.cfg.MaxBackoff {
+		r.curTimeout = r.cfg.MaxBackoff
+	}
+	r.inFlight = false // scheduleRecovery resends with the longer timeout
+}
+
+// lowestKnown returns the lowest sequence at or after next that the
+// receiver has evidence for: a buffered message, or the stream frontier.
+func (r *Receiver) lowestKnown() uint64 {
+	next := atomic.LoadUint64(&r.next)
+	low := r.highest
+	for seq := range r.pending {
+		if seq > next && seq < low {
+			low = seq
+		}
+	}
+	return low
+}
+
+// handle processes one datagram.
+func (r *Receiver) handle(data []byte, raddr *net.UDPAddr) {
+	r.stats.Datagrams.Add(1)
+	var mp itch.MoldPacket
+	if err := mp.Decode(data); err != nil {
+		r.stats.DecodeErrors.Add(1)
+		return
+	}
+	if !r.sessKnown {
+		r.sess = mp.Header.Session
+		r.sessKnown = true
+	} else if mp.Header.Session != r.sess {
+		return // foreign stream
+	}
+
+	seq := mp.Header.Sequence
+	next := atomic.LoadUint64(&r.next)
+
+	if mp.Header.IsEndOfSession() {
+		r.eosSeq = seq
+		r.eosSeen = true
+		if seq > r.highest {
+			r.highest = seq
+		}
+		return
+	}
+	fromRetx := r.retxAddr != nil && raddr != nil &&
+		raddr.Port == r.retxAddr.Port && raddr.IP.Equal(r.retxAddr.IP)
+	if fromRetx && seq > next {
+		// The store starts after what we asked for: the prefix
+		// [next, seq) has aged out and is unrecoverable.
+		r.advanceTo(seq)
+		next = atomic.LoadUint64(&r.next)
+	}
+	if mp.Header.IsHeartbeat() {
+		r.stats.Heartbeats.Add(1)
+		if seq > r.highest {
+			r.highest = seq
+		}
+		return
+	}
+
+	// Data: stash undelivered messages, then drain in order.
+	progress := false
+	for i, m := range mp.Messages {
+		s := seq + uint64(i)
+		if s < next {
+			r.stats.Duplicates.Add(1)
+			continue
+		}
+		if _, dup := r.pending[s]; !dup {
+			r.pending[s] = append([]byte(nil), m...)
+			progress = true
+		}
+	}
+	if end := seq + uint64(len(mp.Messages)); end > r.highest {
+		r.highest = end
+	}
+	if fromRetx && progress {
+		r.stats.Recovered.Add(uint64(len(mp.Messages)))
+	}
+	if r.drain() || progress {
+		// New data arrived: restart recovery fresh for any remaining gap.
+		r.inFlight = false
+		r.retries = 0
+		r.curTimeout = r.cfg.RequestTimeout
+	}
+}
+
+// drain delivers buffered messages while the sequence stays dense.
+func (r *Receiver) drain() bool {
+	next := atomic.LoadUint64(&r.next)
+	progressed := false
+	for {
+		m, ok := r.pending[next]
+		if !ok {
+			break
+		}
+		delete(r.pending, next)
+		r.cfg.OnMessage(next, m)
+		r.stats.Delivered.Add(1)
+		next++
+		progressed = true
+	}
+	atomic.StoreUint64(&r.next, next)
+	return progressed
+}
+
+// advanceTo moves the delivery frontier to bound, delivering buffered
+// messages where present and reporting each contiguous missing range as
+// lost.
+func (r *Receiver) advanceTo(bound uint64) {
+	next := atomic.LoadUint64(&r.next)
+	for next < bound {
+		if m, ok := r.pending[next]; ok {
+			delete(r.pending, next)
+			r.cfg.OnMessage(next, m)
+			r.stats.Delivered.Add(1)
+			next++
+			continue
+		}
+		lostFrom := next
+		for next < bound {
+			if _, ok := r.pending[next]; ok {
+				break
+			}
+			next++
+		}
+		r.stats.GapsLost.Add(next - lostFrom)
+		if r.cfg.OnGap != nil {
+			r.cfg.OnGap(lostFrom, next)
+		}
+	}
+	atomic.StoreUint64(&r.next, next)
+	r.drain()
+}

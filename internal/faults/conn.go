@@ -1,0 +1,139 @@
+package faults
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Conn is the slice of *net.UDPConn the dataplane runs on; it is
+// structurally identical to dataplane.Conn so a wrapped conn slots into
+// either side without an import cycle.
+type Conn interface {
+	ReadFromUDP(b []byte) (int, *net.UDPAddr, error)
+	WriteToUDP(b []byte, addr *net.UDPAddr) (int, error)
+	SetReadDeadline(t time.Time) error
+	Close() error
+	LocalAddr() net.Addr
+}
+
+var _ Conn = (*net.UDPConn)(nil)
+
+// datagram is one buffered packet inside the wrapper.
+type datagram struct {
+	b    []byte
+	addr *net.UDPAddr
+}
+
+// faultConn injects a Plan on each direction of a UDP socket. The egress
+// plan applies to WriteToUDP, the ingress plan to ReadFromUDP.
+//
+// Semantics: Drop discards; Duplicate delivers the packet twice
+// back-to-back; Reorder holds the packet and releases it after the next
+// one passes (a held packet at stream end is released by the next
+// traffic, mirroring real single-packet inversions); Delay re-delivers an
+// egress packet DelayBy later from a timer (on the ingress path delay
+// degenerates to reorder, since a blocking read cannot time-shift a
+// single packet without delaying its successors).
+type faultConn struct {
+	Conn
+	ingress *Injector
+	egress  *Injector
+
+	wmu       sync.Mutex
+	heldWrite *datagram
+
+	rmu      sync.Mutex
+	rqueue   []datagram // packets ready to deliver before reading the socket
+	heldRead *datagram
+	rbuf     []byte
+}
+
+// WrapConn applies fault plans to a UDP socket. Either plan may be nil or
+// disabled, leaving that direction transparent.
+func WrapConn(c Conn, ingress, egress *Plan) Conn {
+	fc := &faultConn{Conn: c}
+	if ingress != nil && ingress.Enabled() {
+		fc.ingress = NewInjector(*ingress)
+	}
+	if egress != nil && egress.Enabled() {
+		fc.egress = NewInjector(*egress)
+	}
+	if fc.ingress == nil && fc.egress == nil {
+		return c
+	}
+	fc.rbuf = make([]byte, 64<<10)
+	return fc
+}
+
+func (fc *faultConn) WriteToUDP(b []byte, addr *net.UDPAddr) (int, error) {
+	if fc.egress == nil {
+		return fc.Conn.WriteToUDP(b, addr)
+	}
+	d := fc.egress.Next()
+	if d.Drop {
+		return len(b), nil // swallowed by the network
+	}
+	if d.Delay {
+		cp := append([]byte(nil), b...)
+		time.AfterFunc(fc.egress.DelayBy(), func() {
+			_, _ = fc.Conn.WriteToUDP(cp, addr)
+		})
+		return len(b), nil
+	}
+	fc.wmu.Lock()
+	defer fc.wmu.Unlock()
+	if d.Reorder && fc.heldWrite == nil {
+		fc.heldWrite = &datagram{b: append([]byte(nil), b...), addr: addr}
+		return len(b), nil
+	}
+	n, err := fc.Conn.WriteToUDP(b, addr)
+	if held := fc.heldWrite; held != nil {
+		fc.heldWrite = nil
+		_, _ = fc.Conn.WriteToUDP(held.b, held.addr)
+	}
+	if err != nil {
+		return n, err
+	}
+	if d.Duplicate {
+		_, _ = fc.Conn.WriteToUDP(b, addr)
+	}
+	return n, err
+}
+
+func (fc *faultConn) ReadFromUDP(b []byte) (int, *net.UDPAddr, error) {
+	if fc.ingress == nil {
+		return fc.Conn.ReadFromUDP(b)
+	}
+	fc.rmu.Lock()
+	defer fc.rmu.Unlock()
+	for {
+		if len(fc.rqueue) > 0 {
+			q := fc.rqueue[0]
+			fc.rqueue = fc.rqueue[1:]
+			n := copy(b, q.b)
+			return n, q.addr, nil
+		}
+		n, addr, err := fc.Conn.ReadFromUDP(fc.rbuf)
+		if err != nil {
+			return 0, nil, err
+		}
+		d := fc.ingress.Next()
+		if d.Drop {
+			continue
+		}
+		if (d.Reorder || d.Delay) && fc.heldRead == nil {
+			fc.heldRead = &datagram{b: append([]byte(nil), fc.rbuf[:n]...), addr: addr}
+			continue
+		}
+		if held := fc.heldRead; held != nil {
+			fc.heldRead = nil
+			fc.rqueue = append(fc.rqueue, *held)
+		}
+		if d.Duplicate {
+			fc.rqueue = append(fc.rqueue, datagram{b: append([]byte(nil), fc.rbuf[:n]...), addr: addr})
+		}
+		m := copy(b, fc.rbuf[:n])
+		return m, addr, nil
+	}
+}

@@ -1,0 +1,113 @@
+package faults
+
+import (
+	"fmt"
+	"sync"
+
+	"camus/internal/compiler"
+	"camus/internal/pipeline"
+)
+
+// Device is the fallible switch-write interface the control plane
+// installs through (structurally identical to controlplane.Device, and
+// satisfied by *pipeline.Switch).
+type Device interface {
+	Program() *compiler.Program
+	Config() pipeline.Config
+	Reinstall(*compiler.Program) error
+}
+
+var _ Device = (*pipeline.Switch)(nil)
+
+// WriteError is a failed device write. Transient errors model driver
+// timeouts and busy channels (worth retrying); permanent ones model
+// rejected writes (roll back).
+type WriteError struct {
+	Call      int // 1-based Reinstall call number that failed
+	Retryable bool
+	Dirty     bool // whether the write landed before the error was reported
+}
+
+func (e *WriteError) Error() string {
+	kind := "permanent"
+	if e.Retryable {
+		kind = "transient"
+	}
+	return fmt.Sprintf("faults: injected %s device write failure (call %d, dirty=%v)", kind, e.Call, e.Dirty)
+}
+
+// Transient reports whether the failed write is worth retrying. It is the
+// classification hook controlplane's retry loop looks for.
+func (e *WriteError) Transient() bool { return e.Retryable }
+
+// writeFault is one scripted failure.
+type writeFault struct {
+	transient bool
+	// dirty failures apply the write to the device and then report an
+	// error — the "driver timed out but the write landed" case that
+	// forces the control plane to issue compensating writes on rollback.
+	dirty bool
+}
+
+// FlakyDevice wraps a Device with a deterministic failure script keyed by
+// Reinstall call number. Unscripted calls pass straight through.
+type FlakyDevice struct {
+	dev Device
+
+	mu     sync.Mutex
+	calls  int
+	script map[int]writeFault
+}
+
+// NewFlakyDevice wraps dev with an empty failure script.
+func NewFlakyDevice(dev Device) *FlakyDevice {
+	return &FlakyDevice{dev: dev, script: make(map[int]writeFault)}
+}
+
+// FailOn schedules the nth Reinstall call (1-based, counted across the
+// device's lifetime) to fail before any write lands.
+func (d *FlakyDevice) FailOn(call int, transient bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.script[call] = writeFault{transient: transient}
+}
+
+// FailDirtyOn schedules the nth Reinstall call to apply its writes and
+// then report failure — the half-updated device the control plane must
+// repair by reinstalling the prior program.
+func (d *FlakyDevice) FailDirtyOn(call int, transient bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.script[call] = writeFault{transient: transient, dirty: true}
+}
+
+// Calls returns how many Reinstall calls the device has seen.
+func (d *FlakyDevice) Calls() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.calls
+}
+
+// Program returns the wrapped device's installed program.
+func (d *FlakyDevice) Program() *compiler.Program { return d.dev.Program() }
+
+// Config returns the wrapped device's configuration.
+func (d *FlakyDevice) Config() pipeline.Config { return d.dev.Config() }
+
+// Reinstall applies the failure script, then delegates.
+func (d *FlakyDevice) Reinstall(p *compiler.Program) error {
+	d.mu.Lock()
+	d.calls++
+	call := d.calls
+	fault, scripted := d.script[call]
+	d.mu.Unlock()
+	if !scripted {
+		return d.dev.Reinstall(p)
+	}
+	if fault.dirty {
+		if err := d.dev.Reinstall(p); err != nil {
+			return err
+		}
+	}
+	return &WriteError{Call: call, Retryable: fault.transient, Dirty: fault.dirty}
+}

@@ -16,10 +16,15 @@ func FuzzMoldDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(make([]byte, MoldHeaderLen))
 	f.Add([]byte("garbage that is long enough to look like a header...."))
+	f.Add(HeartbeatBytes(good.Header.Session, 42))
+	f.Add(EndOfSessionBytes(good.Header.Session, 99))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var mp MoldPacket
 		if err := mp.Decode(data); err == nil {
+			if mp.Header.IsEndOfSession() && len(mp.Messages) != 0 {
+				t.Fatalf("end-of-session packet decoded %d messages", len(mp.Messages))
+			}
 			// Whatever decoded must re-serialize to at least the same
 			// message count.
 			re := mp.Bytes()
@@ -35,6 +40,69 @@ func FuzzMoldDecode(f *testing.F) {
 			_ = o.StockSymbol()
 			_ = o.StockValue()
 		})
+	})
+}
+
+// FuzzMoldRequestDecode checks the retransmission-request codec: never
+// panic on arbitrary bytes, and anything that decodes round-trips
+// bit-identically.
+func FuzzMoldRequestDecode(f *testing.F) {
+	var req MoldRequest
+	req.SetSession("SEED")
+	req.Sequence = 1234
+	req.Count = 17
+	f.Add(req.Bytes())
+	f.Add([]byte{})
+	f.Add(make([]byte, MoldRequestLen))
+	f.Add(make([]byte, MoldRequestLen-1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r MoldRequest
+		if err := r.DecodeFromBytes(data); err == nil {
+			out := r.Bytes()
+			if len(out) != MoldRequestLen {
+				t.Fatalf("serialized length %d", len(out))
+			}
+			var r2 MoldRequest
+			if err := r2.DecodeFromBytes(out); err != nil || r2 != r {
+				t.Fatalf("round trip: %v %+v %+v", err, r, r2)
+			}
+			_ = r.SessionString()
+		}
+	})
+}
+
+// FuzzMoldControlDecode feeds heartbeat- and end-of-session-shaped inputs
+// (and mutations of them) through the downstream decoder: control packets
+// must decode with zero messages and never panic.
+func FuzzMoldControlDecode(f *testing.F) {
+	var sess [10]byte
+	copy(sess[:], "CTRLSESS  ")
+	f.Add(HeartbeatBytes(sess, 0))
+	f.Add(HeartbeatBytes(sess, ^uint64(0)))
+	f.Add(EndOfSessionBytes(sess, 1))
+	f.Add(EndOfSessionBytes(sess, ^uint64(0)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var mp MoldPacket
+		if err := mp.Decode(data); err != nil {
+			return
+		}
+		if mp.Header.IsHeartbeat() || mp.Header.IsEndOfSession() {
+			if len(mp.Messages) != 0 {
+				t.Fatalf("control packet decoded %d messages", len(mp.Messages))
+			}
+			// Rebuilding the control packet from its header must
+			// round-trip the header fields.
+			var re []byte
+			if mp.Header.IsEndOfSession() {
+				re = EndOfSessionBytes(mp.Header.Session, mp.Header.Sequence)
+			} else {
+				re = HeartbeatBytes(mp.Header.Session, mp.Header.Sequence)
+			}
+			var h2 MoldHeader
+			if err := h2.DecodeFromBytes(re); err != nil || h2 != mp.Header {
+				t.Fatalf("control round trip: %v %+v %+v", err, mp.Header, h2)
+			}
+		}
 	})
 }
 

@@ -11,6 +11,12 @@ import (
 // messages, each prefixed with a 16-bit length.
 const MoldHeaderLen = 20
 
+// EndOfSessionCount is the sentinel message count (0xFFFF) that marks a
+// downstream packet as the MoldUDP64 end-of-session announcement: the
+// sender is done, Sequence is the next sequence number that will never be
+// used. End-of-session packets carry no messages.
+const EndOfSessionCount = 0xFFFF
+
 // MoldHeader is the MoldUDP64 downstream packet header.
 type MoldHeader struct {
 	Session  [10]byte
@@ -50,6 +56,33 @@ func (h *MoldHeader) SerializeTo(b []byte) {
 	copy(b[0:10], h.Session[:])
 	binary.BigEndian.PutUint64(b[10:18], h.Sequence)
 	binary.BigEndian.PutUint16(b[18:20], h.Count)
+}
+
+// IsHeartbeat reports whether the header frames an idle heartbeat: a
+// downstream packet with zero messages whose Sequence advertises the next
+// sequence number the sender will use.
+func (h *MoldHeader) IsHeartbeat() bool { return h.Count == 0 }
+
+// IsEndOfSession reports whether the header frames the end-of-session
+// announcement.
+func (h *MoldHeader) IsEndOfSession() bool { return h.Count == EndOfSessionCount }
+
+// HeartbeatBytes builds an idle-heartbeat datagram for a session whose
+// next unsent sequence number is nextSeq.
+func HeartbeatBytes(session [10]byte, nextSeq uint64) []byte {
+	h := MoldHeader{Session: session, Sequence: nextSeq, Count: 0}
+	b := make([]byte, MoldHeaderLen)
+	h.SerializeTo(b)
+	return b
+}
+
+// EndOfSessionBytes builds the end-of-session datagram: nextSeq is the
+// first sequence number that will never be sent.
+func EndOfSessionBytes(session [10]byte, nextSeq uint64) []byte {
+	h := MoldHeader{Session: session, Sequence: nextSeq, Count: EndOfSessionCount}
+	b := make([]byte, MoldHeaderLen)
+	h.SerializeTo(b)
+	return b
 }
 
 // MoldPacket is a MoldUDP64 datagram payload under construction or after
@@ -95,6 +128,9 @@ func (p *MoldPacket) Decode(data []byte) error {
 		return err
 	}
 	p.Messages = p.Messages[:0]
+	if p.Header.IsEndOfSession() {
+		return nil // end-of-session carries no messages
+	}
 	off := MoldHeaderLen
 	for i := 0; i < int(p.Header.Count); i++ {
 		if off+2 > len(data) {
@@ -118,6 +154,9 @@ func ForEachAddOrder(data []byte, fn func(*AddOrder)) error {
 	var hdr MoldHeader
 	if err := hdr.DecodeFromBytes(data); err != nil {
 		return err
+	}
+	if hdr.IsEndOfSession() {
+		return nil
 	}
 	var msg AddOrder
 	off := MoldHeaderLen

@@ -1,0 +1,62 @@
+package itch
+
+import (
+	"encoding/binary"
+	"strings"
+)
+
+// MoldRequestLen is the fixed size of a MoldUDP64 retransmission request:
+// 10-byte session, 64-bit first requested sequence number, 16-bit message
+// count. Requests travel on the retransmission socket (never the
+// downstream one), so the shared layout with the downstream header is
+// unambiguous.
+const MoldRequestLen = 20
+
+// MoldRequest is the MoldUDP64 upstream retransmission request: "resend
+// Count messages of Session starting at Sequence".
+type MoldRequest struct {
+	Session  [10]byte
+	Sequence uint64
+	Count    uint16
+}
+
+// SetSession writes a session identifier (ASCII, space-padded).
+func (r *MoldRequest) SetSession(s string) {
+	for i := 0; i < 10; i++ {
+		if i < len(s) {
+			r.Session[i] = s[i]
+		} else {
+			r.Session[i] = ' '
+		}
+	}
+}
+
+// SessionString returns the session identifier with padding trimmed.
+func (r *MoldRequest) SessionString() string {
+	return strings.TrimRight(string(r.Session[:]), " ")
+}
+
+// DecodeFromBytes parses a retransmission request.
+func (r *MoldRequest) DecodeFromBytes(data []byte) error {
+	if len(data) < MoldRequestLen {
+		return ErrTruncated
+	}
+	copy(r.Session[:], data[0:10])
+	r.Sequence = binary.BigEndian.Uint64(data[10:18])
+	r.Count = binary.BigEndian.Uint16(data[18:20])
+	return nil
+}
+
+// SerializeTo writes the request into b (MoldRequestLen bytes).
+func (r *MoldRequest) SerializeTo(b []byte) {
+	copy(b[0:10], r.Session[:])
+	binary.BigEndian.PutUint64(b[10:18], r.Sequence)
+	binary.BigEndian.PutUint16(b[18:20], r.Count)
+}
+
+// Bytes serializes the request into a fresh buffer.
+func (r *MoldRequest) Bytes() []byte {
+	b := make([]byte, MoldRequestLen)
+	r.SerializeTo(b)
+	return b
+}

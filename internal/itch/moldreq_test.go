@@ -1,0 +1,63 @@
+package itch
+
+import "testing"
+
+func TestMoldRequestRoundTrip(t *testing.T) {
+	var req MoldRequest
+	req.SetSession("CAMUS  001")
+	req.Sequence = 777
+	req.Count = 32
+	b := req.Bytes()
+	if len(b) != MoldRequestLen {
+		t.Fatalf("request length %d, want %d", len(b), MoldRequestLen)
+	}
+	var got MoldRequest
+	if err := got.DecodeFromBytes(b); err != nil {
+		t.Fatal(err)
+	}
+	if got != req {
+		t.Fatalf("round trip: %+v != %+v", got, req)
+	}
+	if got.SessionString() != "CAMUS  001" {
+		t.Fatalf("session %q", got.SessionString())
+	}
+	if err := got.DecodeFromBytes(b[:MoldRequestLen-1]); err == nil {
+		t.Fatal("truncated request decoded")
+	}
+}
+
+func TestHeartbeatAndEndOfSessionFraming(t *testing.T) {
+	var sess [10]byte
+	copy(sess[:], []byte("FEED      "))
+
+	hb := HeartbeatBytes(sess, 41)
+	var mp MoldPacket
+	if err := mp.Decode(hb); err != nil {
+		t.Fatal(err)
+	}
+	if !mp.Header.IsHeartbeat() || mp.Header.IsEndOfSession() {
+		t.Fatalf("heartbeat misclassified: %+v", mp.Header)
+	}
+	if mp.Header.Sequence != 41 || len(mp.Messages) != 0 {
+		t.Fatalf("heartbeat decode: %+v msgs=%d", mp.Header, len(mp.Messages))
+	}
+
+	eos := EndOfSessionBytes(sess, 42)
+	if err := mp.Decode(eos); err != nil {
+		t.Fatal(err)
+	}
+	if !mp.Header.IsEndOfSession() || mp.Header.IsHeartbeat() {
+		t.Fatalf("end-of-session misclassified: %+v", mp.Header)
+	}
+	if mp.Header.Sequence != 42 || len(mp.Messages) != 0 {
+		t.Fatalf("end-of-session decode: %+v msgs=%d", mp.Header, len(mp.Messages))
+	}
+
+	// ForEachAddOrder must treat both as empty, not as truncated packets.
+	for _, b := range [][]byte{hb, eos} {
+		calls := 0
+		if err := ForEachAddOrder(b, func(*AddOrder) { calls++ }); err != nil || calls != 0 {
+			t.Fatalf("control packet: err=%v calls=%d", err, calls)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"camus/internal/faults"
 	"camus/internal/itch"
 	"camus/internal/pipeline"
 	"camus/internal/stats"
@@ -26,6 +27,11 @@ type FanoutConfig struct {
 	// Broadcast disables switch filtering: every packet goes to every
 	// port (the baseline fabric).
 	Broadcast bool
+	// Faults, when enabled, injects deterministic drop / duplication /
+	// reordering / delay on every switch→host link. Each port gets its
+	// own injector seeded Faults.Seed+port, so runs are replayable and
+	// ports fail independently.
+	Faults *faults.Plan
 }
 
 // PortStats aggregates one subscriber's view.
@@ -34,6 +40,7 @@ type PortStats struct {
 	DeliveredBytes int
 	Latency        *stats.Dist // delivery latency of all its messages
 	MaxHostQueue   int
+	LinkFaults     FaultStats // zero unless FanoutConfig.Faults is set
 }
 
 // FanoutResult is the outcome of one fan-out run.
@@ -70,11 +77,21 @@ func RunFanout(cfg FanoutConfig) (*FanoutResult, error) {
 	pubLink := NewLink(sim, cfg.Host.NICGbps, cfg.Propagation)
 
 	res := &FanoutResult{PerPort: make(map[int]*PortStats, len(cfg.Ports))}
-	links := make(map[int]*Link, len(cfg.Ports))
+	links := make(map[int]Carrier, len(cfg.Ports))
+	faulty := make(map[int]*FaultyLink)
 	cpus := make(map[int]*Server, len(cfg.Ports))
 	for _, port := range cfg.Ports {
 		res.PerPort[port] = &PortStats{Latency: &stats.Dist{}}
-		links[port] = NewLink(sim, cfg.Host.NICGbps, cfg.Propagation)
+		link := NewLink(sim, cfg.Host.NICGbps, cfg.Propagation)
+		if cfg.Faults != nil && cfg.Faults.Enabled() {
+			plan := *cfg.Faults
+			plan.Seed += int64(port)
+			fl := NewFaultyLink(sim, link, plan)
+			faulty[port] = fl
+			links[port] = fl
+		} else {
+			links[port] = link
+		}
 		cpus[port] = NewServer(sim)
 	}
 
@@ -143,6 +160,9 @@ func RunFanout(cfg FanoutConfig) (*FanoutResult, error) {
 	sim.Run()
 	for port, cpu := range cpus {
 		res.PerPort[port].MaxHostQueue = cpu.MaxQueue()
+	}
+	for port, fl := range faulty {
+		res.PerPort[port].LinkFaults = fl.Stats()
 	}
 	return res, nil
 }

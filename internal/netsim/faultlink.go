@@ -1,0 +1,106 @@
+package netsim
+
+import (
+	"time"
+
+	"camus/internal/faults"
+)
+
+// Carrier is the send side of a simulated link. Both *Link and
+// *FaultyLink satisfy it, so topologies can be wired with or without
+// fault injection.
+type Carrier interface {
+	Send(bytes int, deliver func())
+	MaxQueue() int
+}
+
+var (
+	_ Carrier = (*Link)(nil)
+	_ Carrier = (*FaultyLink)(nil)
+)
+
+// FaultStats counts what the injector did to a link's traffic.
+type FaultStats struct {
+	Sent       uint64 // packets offered to the link
+	Dropped    uint64
+	Duplicated uint64
+	Reordered  uint64
+	Delayed    uint64
+}
+
+// FaultyLink wraps a Link with a seeded, deterministic fault injector:
+// the same plan over the same traffic produces the same losses at the
+// same simulated times, so chaos experiments in the simulator are
+// replayable. Decisions come from faults.Injector, one per link.
+type FaultyLink struct {
+	sim   *Sim
+	link  *Link
+	inj   *faults.Injector
+	stats FaultStats
+
+	// One packet may be held back to swap with the next send; a timed
+	// release bounds the hold so a tail packet is never stranded.
+	held    func()
+	heldGen uint64
+}
+
+// reorderHold bounds how long a reordered packet waits for a successor
+// before being released anyway.
+const reorderHold = 10 * time.Microsecond
+
+// NewFaultyLink wraps link with the given plan.
+func NewFaultyLink(sim *Sim, link *Link, plan faults.Plan) *FaultyLink {
+	return &FaultyLink{sim: sim, link: link, inj: faults.NewInjector(plan)}
+}
+
+// Stats returns the injector's tally for this link.
+func (l *FaultyLink) Stats() FaultStats { return l.stats }
+
+// MaxQueue exposes the underlying link's transmit-queue high-water mark.
+func (l *FaultyLink) MaxQueue() int { return l.link.MaxQueue() }
+
+// Send consults the fault plan, then transmits on the underlying link.
+func (l *FaultyLink) Send(bytes int, deliver func()) {
+	d := l.inj.Next()
+	l.stats.Sent++
+	if d.Drop {
+		l.stats.Dropped++
+		return
+	}
+	if d.Delay {
+		l.stats.Delayed++
+		orig := deliver
+		deliver = func() { l.sim.After(l.inj.DelayBy(), orig) }
+	}
+	send := func() { l.link.Send(bytes, deliver) }
+	if d.Duplicate {
+		l.stats.Duplicated++
+		orig := send
+		send = func() { orig(); orig() }
+	}
+
+	if d.Reorder && l.held == nil {
+		// Hold this packet; the next send (or the timed release) lets
+		// it go, so it arrives behind its successor.
+		l.stats.Reordered++
+		l.held = send
+		l.heldGen++
+		gen := l.heldGen
+		l.sim.After(reorderHold, func() {
+			if l.held != nil && l.heldGen == gen {
+				l.releaseHeld()
+			}
+		})
+		return
+	}
+	send()
+	if l.held != nil {
+		l.releaseHeld()
+	}
+}
+
+func (l *FaultyLink) releaseHeld() {
+	h := l.held
+	l.held = nil
+	h()
+}

@@ -1,0 +1,142 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"camus/internal/compiler"
+	"camus/internal/faults"
+	"camus/internal/pipeline"
+	"camus/internal/workload"
+)
+
+func TestFaultyLinkDrop(t *testing.T) {
+	sim := NewSim()
+	fl := NewFaultyLink(sim, NewLink(sim, 10, time.Microsecond), faults.Plan{Seed: 2, Drop: 0.5})
+	delivered := 0
+	for i := 0; i < 1000; i++ {
+		fl.Send(100, func() { delivered++ })
+	}
+	sim.Run()
+	st := fl.Stats()
+	if st.Sent != 1000 || st.Dropped == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if uint64(delivered) != 1000-st.Dropped {
+		t.Fatalf("delivered %d, dropped %d", delivered, st.Dropped)
+	}
+	if delivered < 300 || delivered > 700 {
+		t.Fatalf("delivered %d, want ~500", delivered)
+	}
+}
+
+func TestFaultyLinkDuplicate(t *testing.T) {
+	sim := NewSim()
+	fl := NewFaultyLink(sim, NewLink(sim, 10, time.Microsecond), faults.Plan{Seed: 1, Duplicate: 1})
+	delivered := 0
+	for i := 0; i < 10; i++ {
+		fl.Send(100, func() { delivered++ })
+	}
+	sim.Run()
+	if delivered != 20 {
+		t.Fatalf("delivered %d, want 20 (every packet duplicated)", delivered)
+	}
+}
+
+func TestFaultyLinkReorderSwapsNeighbors(t *testing.T) {
+	sim := NewSim()
+	fl := NewFaultyLink(sim, NewLink(sim, 10, time.Microsecond), faults.Plan{Seed: 1, Reorder: 1})
+	var got []int
+	for i := 0; i < 6; i++ {
+		i := i
+		fl.Send(100, func() { got = append(got, i) })
+	}
+	sim.Run()
+	want := []int{1, 0, 3, 2, 5, 4}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("delivery order %v, want %v", got, want)
+	}
+}
+
+func TestFaultyLinkReorderReleasesTail(t *testing.T) {
+	// A held packet with no successor must still arrive via the timed
+	// release — a reordered tail is late, never lost.
+	sim := NewSim()
+	fl := NewFaultyLink(sim, NewLink(sim, 10, time.Microsecond), faults.Plan{Seed: 1, Reorder: 1})
+	delivered := false
+	fl.Send(100, func() { delivered = true })
+	sim.Run()
+	if !delivered {
+		t.Fatal("reordered tail packet was stranded")
+	}
+}
+
+func TestFaultyLinkDelay(t *testing.T) {
+	sim := NewSim()
+	fl := NewFaultyLink(sim, NewLink(sim, 10, 0), faults.Plan{Seed: 1, Delay: 1, DelayBy: time.Millisecond})
+	var at time.Duration
+	fl.Send(100, func() { at = sim.Now() })
+	sim.Run()
+	if at < time.Millisecond {
+		t.Fatalf("delivered at %v, want >= 1ms extra delay", at)
+	}
+}
+
+func faultFanout(t *testing.T, plan *faults.Plan) *FanoutResult {
+	t.Helper()
+	sp := workload.ITCHSpec()
+	rules := ""
+	for s := 0; s < 4; s++ {
+		rules += fmt.Sprintf("stock == %s : fwd(%d)\n", workload.StockSymbol(s), s+1)
+	}
+	prog, err := compiler.CompileSource(sp, rules, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := pipeline.New(prog, pipeline.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedCfg := workload.SyntheticFeedConfig()
+	feedCfg.Duration = 10 * time.Millisecond
+	r, err := RunFanout(FanoutConfig{
+		Feed:   workload.GenerateFeed(feedCfg),
+		Switch: sw,
+		Ports:  []int{1, 2, 3, 4},
+		Faults: plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestFanoutFaultsDeterministicAndLossy(t *testing.T) {
+	clean := faultFanout(t, nil)
+	plan := &faults.Plan{Seed: 9, Drop: 0.2, Duplicate: 0.05, Reorder: 0.1}
+	a := faultFanout(t, plan)
+	b := faultFanout(t, plan)
+
+	if a.DeliveredTotal() != b.DeliveredTotal() || a.FabricBytes != b.FabricBytes {
+		t.Fatalf("same seed diverged: %d/%d msgs, %d/%d bytes",
+			a.DeliveredTotal(), b.DeliveredTotal(), a.FabricBytes, b.FabricBytes)
+	}
+	totalDropped := uint64(0)
+	for port, ps := range a.PerPort {
+		bps := b.PerPort[port]
+		if ps.DeliveredMsgs != bps.DeliveredMsgs || ps.LinkFaults != bps.LinkFaults {
+			t.Fatalf("port %d diverged: %+v vs %+v", port, ps.LinkFaults, bps.LinkFaults)
+		}
+		totalDropped += ps.LinkFaults.Dropped
+	}
+	if totalDropped == 0 {
+		t.Fatal("20%% drop plan dropped nothing")
+	}
+	if a.DeliveredTotal() >= clean.DeliveredTotal() {
+		t.Fatalf("faulty run delivered %d >= clean %d", a.DeliveredTotal(), clean.DeliveredTotal())
+	}
+	if clean.PerPort[1].LinkFaults != (FaultStats{}) {
+		t.Fatal("clean run reported link faults")
+	}
+}
