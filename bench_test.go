@@ -15,6 +15,7 @@ import (
 	"camus/internal/lang"
 	"camus/internal/netsim"
 	"camus/internal/pipeline"
+	"camus/internal/telemetry"
 	"camus/internal/workload"
 )
 
@@ -137,6 +138,19 @@ func BenchmarkFig7bSyntheticTrace(b *testing.B) {
 // fixed-length pipeline property behind "full switch bandwidth of
 // 6.5Tbps").
 func BenchmarkLineRatePipeline(b *testing.B) {
+	benchLineRate(b, false)
+}
+
+// BenchmarkLineRatePipelineTelemetry is the same workload with the full
+// telemetry layer enabled (per-table hit/miss counters, register-read and
+// packet counters). The acceptance bar is <=5% over the uninstrumented
+// run — the per-stage instruments are single atomic adds, matching how a
+// real ASIC's counters ride along with the match stages.
+func BenchmarkLineRatePipelineTelemetry(b *testing.B) {
+	benchLineRate(b, true)
+}
+
+func benchLineRate(b *testing.B, instrumented bool) {
 	sp := workload.ITCHSpec()
 	cfg := workload.DefaultITCHSubsConfig()
 	feed := workload.GenerateFeed(workload.SyntheticFeedConfig())
@@ -151,7 +165,11 @@ func BenchmarkLineRatePipeline(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			sw, err := pipeline.New(prog, pipeline.DefaultConfig())
+			pcfg := pipeline.DefaultConfig()
+			if instrumented {
+				pcfg.Telemetry = telemetry.NewRegistry()
+			}
+			sw, err := pipeline.New(prog, pcfg)
 			if err != nil {
 				b.Fatal(err)
 			}

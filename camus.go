@@ -34,6 +34,8 @@
 package camus
 
 import (
+	"net/http"
+
 	"camus/internal/compiler"
 	"camus/internal/controlplane"
 	"camus/internal/core"
@@ -43,7 +45,71 @@ import (
 	"camus/internal/p4gen"
 	"camus/internal/pipeline"
 	"camus/internal/spec"
+	"camus/internal/telemetry"
 )
+
+// Observability. Every layer of the toolchain — compiler, control plane,
+// switch model, UDP dataplane — records into one shared Telemetry: atomic
+// counters and gauges, fixed-bucket latency histograms, and a ring of
+// recent control-plane install spans. Create one with NewTelemetry, hand
+// it to the constructors below via WithTelemetry (or embed it in their
+// Config), and read it back either programmatically (Snapshot) or over
+// HTTP (ServeAdmin: Prometheus text at /metrics, a JSON Snapshot at
+// /debug/camus, pprof under /debug/pprof/).
+type (
+	// Telemetry bundles a metrics Registry with a span Tracer.
+	Telemetry = telemetry.Telemetry
+	// Registry is a set of named counter/gauge/histogram series.
+	Registry = telemetry.Registry
+	// Snapshot is the unified point-in-time view of a registry: every
+	// counter, gauge, and histogram plus recent install spans. The same
+	// shape is served at /debug/camus and embedded in camus-bench output.
+	Snapshot = telemetry.Snapshot
+	// SpanRecord is one recorded control-plane operation.
+	SpanRecord = telemetry.SpanRecord
+	// AdminServer is a running observability HTTP endpoint.
+	AdminServer = telemetry.AdminServer
+)
+
+// NewTelemetry creates an empty telemetry bundle (registry + tracer).
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// TelemetryHandler serves /metrics, /debug/camus, and /debug/pprof/ for
+// a telemetry bundle; mount it on any mux.
+func TelemetryHandler(t *Telemetry) http.Handler { return telemetry.Handler(t) }
+
+// ServeAdmin starts the observability endpoint on addr in the
+// background; Close the returned server to stop it.
+func ServeAdmin(addr string, t *Telemetry) (*AdminServer, error) { return telemetry.Serve(addr, t) }
+
+// Option configures a facade constructor.
+type Option func(*facadeOpts)
+
+type facadeOpts struct{ tel *Telemetry }
+
+// WithTelemetry routes the constructed component's metrics and spans
+// through t. Passing nil is a no-op (the component stays uninstrumented).
+func WithTelemetry(t *Telemetry) Option {
+	return func(o *facadeOpts) { o.tel = t }
+}
+
+// WithRegistry is WithTelemetry for callers that only have a bare metric
+// registry; spans are recorded nowhere but counters/histograms land in r.
+func WithRegistry(r *Registry) Option {
+	return func(o *facadeOpts) {
+		if r != nil {
+			o.tel = &Telemetry{Registry: r}
+		}
+	}
+}
+
+func applyOpts(opts []Option) facadeOpts {
+	var o facadeOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
 
 // Language front end.
 type (
@@ -96,13 +162,20 @@ type (
 	Stats = compiler.Stats
 )
 
-// Compile compiles parsed rules against a spec.
-func Compile(sp *Spec, rules []Rule, opts CompileOptions) (*Program, error) {
+// Compile compiles parsed rules against a spec. WithTelemetry records
+// the compile's duration and BDD statistics.
+func Compile(sp *Spec, rules []Rule, opts CompileOptions, o ...Option) (*Program, error) {
+	if fo := applyOpts(o); fo.tel != nil {
+		opts.Telemetry = fo.tel.Registry
+	}
 	return compiler.Compile(sp, rules, opts)
 }
 
 // CompileSource parses and compiles subscription source text.
-func CompileSource(sp *Spec, src string, opts CompileOptions) (*Program, error) {
+func CompileSource(sp *Spec, src string, opts CompileOptions, o ...Option) (*Program, error) {
+	if fo := applyOpts(o); fo.tel != nil {
+		opts.Telemetry = fo.tel.Registry
+	}
 	return compiler.CompileSource(sp, src, opts)
 }
 
@@ -130,11 +203,26 @@ type (
 // DefaultSwitchConfig models the paper's 32-port Tofino-class device.
 func DefaultSwitchConfig() SwitchConfig { return pipeline.DefaultConfig() }
 
-// NewSwitch instantiates a switch with a program installed.
-func NewSwitch(p *Program, cfg SwitchConfig) (*Switch, error) { return pipeline.New(p, cfg) }
+// NewSwitch instantiates a switch with a program installed. WithTelemetry
+// enables the device's hardware-style counters: per-table hit/miss,
+// register reads, occupancy gauges.
+func NewSwitch(p *Program, cfg SwitchConfig, o ...Option) (*Switch, error) {
+	if fo := applyOpts(o); fo.tel != nil {
+		cfg.Telemetry = fo.tel.Registry
+	}
+	return pipeline.New(p, cfg)
+}
 
-// NewController manages incremental updates for a switch.
-func NewController(sw *Switch) *Controller { return controlplane.NewController(sw) }
+// NewController manages incremental updates for a switch. WithTelemetry
+// records one controlplane_install span per Update, with retry counts
+// and ok/rolled_back/rollback_failed outcomes.
+func NewController(sw *Switch, o ...Option) *Controller {
+	ctl := controlplane.NewController(sw)
+	if fo := applyOpts(o); fo.tel != nil {
+		ctl.SetTelemetry(fo.tel)
+	}
+	return ctl
+}
 
 // In-network pub/sub engine (the paper's case study).
 type (
@@ -146,8 +234,15 @@ type (
 	Delivery = core.Delivery
 )
 
-// NewPubSub creates a pub/sub deployment for a spec.
-func NewPubSub(sp *Spec, cfg PubSubConfig) (*PubSub, error) { return core.NewPubSub(sp, cfg) }
+// NewPubSub creates a pub/sub deployment for a spec. WithTelemetry
+// instruments every layer of the deployment through one shared registry;
+// read it back with PubSub.Snapshot.
+func NewPubSub(sp *Spec, cfg PubSubConfig, o ...Option) (*PubSub, error) {
+	if fo := applyOpts(o); fo.tel != nil {
+		cfg.Telemetry = fo.tel
+	}
+	return core.NewPubSub(sp, cfg)
+}
 
 // ITCH market-data protocol.
 type (
@@ -193,5 +288,12 @@ type (
 )
 
 // ListenUDP binds the dataplane's ingress socket and installs the initial
-// subscription set.
-func ListenUDP(cfg UDPSwitchConfig) (*UDPSwitch, error) { return dataplane.Listen(cfg) }
+// subscription set. WithTelemetry instruments the whole stack — socket
+// counters, processing latency, and the embedded engine's metrics — and
+// makes the switch servable via ServeAdmin.
+func ListenUDP(cfg UDPSwitchConfig, o ...Option) (*UDPSwitch, error) {
+	if fo := applyOpts(o); fo.tel != nil {
+		cfg.Telemetry = fo.tel
+	}
+	return dataplane.Listen(cfg)
+}

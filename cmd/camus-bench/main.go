@@ -22,6 +22,7 @@ import (
 
 	"camus/internal/experiments"
 	"camus/internal/pipeline"
+	"camus/internal/telemetry"
 )
 
 func main() {
@@ -120,19 +121,24 @@ func main() {
 			fatal(err)
 			fmt.Print(experiments.FormatFanout(pts))
 		case "churn":
-			pts, err := experiments.Churn(sizeList, *churnPct, *seed)
+			reg := telemetry.NewRegistry()
+			pts, err := experiments.ChurnInstrumented(sizeList, *churnPct, *seed, reg)
 			fatal(err)
 			if *jsonOut {
 				enc := json.NewEncoder(os.Stdout)
 				enc.SetIndent("", "  ")
+				// Telemetry is the same Snapshot schema a live switch
+				// serves at /debug/camus, so bench output and production
+				// metrics can be diffed directly.
 				fatal(enc.Encode(struct {
-					GOOS     string                   `json:"goos"`
-					GOARCH   string                   `json:"goarch"`
-					CPUs     int                      `json:"cpus"`
-					ChurnPct float64                  `json:"churn_pct"`
-					Seed     int64                    `json:"seed"`
-					Points   []experiments.ChurnPoint `json:"points"`
-				}{runtime.GOOS, runtime.GOARCH, runtime.NumCPU(), *churnPct, *seed, pts}))
+					GOOS      string                   `json:"goos"`
+					GOARCH    string                   `json:"goarch"`
+					CPUs      int                      `json:"cpus"`
+					ChurnPct  float64                  `json:"churn_pct"`
+					Seed      int64                    `json:"seed"`
+					Points    []experiments.ChurnPoint `json:"points"`
+					Telemetry telemetry.Snapshot       `json:"telemetry"`
+				}{runtime.GOOS, runtime.GOARCH, runtime.NumCPU(), *churnPct, *seed, pts, reg.Snapshot()}))
 				return
 			}
 			if *csv {

@@ -31,12 +31,14 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"camus/internal/dataplane"
 	"camus/internal/faults"
 	"camus/internal/itch"
 	"camus/internal/spec"
+	"camus/internal/telemetry"
 	"camus/internal/workload"
 )
 
@@ -70,6 +72,7 @@ func main() {
 		retxBuffer = flag.Int("retx-buffer", 4096, "per-port retransmission store size in messages (negative disables)")
 		heartbeat  = flag.Duration("heartbeat", time.Second, "idle-heartbeat interval per port (0 disables)")
 		faultPlan  = flag.String("fault-plan", "", "inject faults on the dataplane sockets, e.g. seed=7,drop=0.01,dup=0.005,reorder=0.01,delay=0.002:500us")
+		admin      = flag.String("admin", "", "observability HTTP address (e.g. :9090): Prometheus /metrics, JSON /debug/camus, pprof /debug/pprof/")
 	)
 	flag.Var(ports, "port", "bind switch port to subscriber address, PORT=HOST:PORT (repeatable)")
 	flag.Parse()
@@ -107,6 +110,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "camus-switch: fault plan active: %s\n", *faultPlan)
 	}
 
+	tel := telemetry.New()
 	sw, err := dataplane.Listen(dataplane.Config{
 		Ingress:       *listen,
 		Retx:          *retx,
@@ -117,12 +121,23 @@ func main() {
 		RetxBuffer:    *retxBuffer,
 		Heartbeat:     *heartbeat,
 		WrapConn:      wrap,
+		Telemetry:     tel,
 	})
 	fatal(err)
 	fmt.Fprintf(os.Stderr, "camus-switch: listening on %s (retx %s), %d ports bound, %d table entries installed\n",
 		sw.Addr(), sw.RetxAddr(), len(ports), sw.Program().Stats.TableEntries)
+	fmt.Fprintf(os.Stderr, "camus-switch: config: rules=%s spec=%s session=%q retx-buffer=%d heartbeat=%s stats=%ds fault-plan=%q admin=%q\n",
+		orDefault(*rulesPath, "<built-in>"), orDefault(*specPath, "<itch-add-order>"),
+		*session, *retxBuffer, *heartbeat, *statsSec, *faultPlan, *admin)
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	if *admin != "" {
+		srv, err := telemetry.Serve(*admin, tel)
+		fatal(err)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "camus-switch: admin endpoint on http://%s (/metrics, /debug/camus, /debug/pprof/)\n", srv.Addr())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if *statsSec > 0 {
 		go func() {
@@ -143,7 +158,21 @@ func main() {
 			}
 		}()
 	}
-	fatal(sw.Run(ctx))
+	err = sw.Run(ctx)
+	// Final metrics snapshot on shutdown (SIGINT/SIGTERM or socket close),
+	// so a terminated switch leaves its counters in the log.
+	if snap, merr := tel.Snapshot().MarshalIndent(); merr == nil {
+		fmt.Fprintf(os.Stderr, "camus-switch: final metrics snapshot:\n%s\n", snap)
+	}
+	fatal(err)
+}
+
+// orDefault substitutes def for an empty flag value in the config log.
+func orDefault(v, def string) string {
+	if v == "" {
+		return def
+	}
+	return v
 }
 
 // runDemo spins up the switch, two subscriber sockets and a publisher in

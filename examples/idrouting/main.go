@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -77,7 +78,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	delta, err := ctl.Update(newProg)
+	delta, err := ctl.Update(context.Background(), newProg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -93,7 +94,7 @@ ip.dst == 10.0.0.100 && udp.dport == 80 && udp.sport >= 32768 : fwd(4)
 	if err != nil {
 		log.Fatal(err)
 	}
-	delta, err := ctl.Update(newProg)
+	delta, err := ctl.Update(context.Background(), newProg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -98,7 +99,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	delta, err := ctl.Update(newProg)
+	delta, err := ctl.Update(context.Background(), newProg)
 	if err != nil {
 		log.Fatal(err)
 	}

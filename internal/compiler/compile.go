@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"time"
 
 	"camus/internal/bdd"
 	"camus/internal/conc"
 	"camus/internal/interval"
 	"camus/internal/lang"
 	"camus/internal/spec"
+	"camus/internal/telemetry"
 )
 
 // Options tune the dynamic compilation step.
@@ -35,6 +37,10 @@ type Options struct {
 	// 1 forces the fully serial path. Parallel output is bit-identical to
 	// serial output (enforced by differential tests).
 	Workers int
+	// Telemetry, when non-nil, receives compile metrics: recompile
+	// durations, BDD node counts, and the Session memo hit rate. It has
+	// no effect on compilation output.
+	Telemetry *telemetry.Registry
 }
 
 func (o Options) maxCodes() int {
@@ -82,12 +88,21 @@ func CompileSource(sp *spec.Spec, ruleSrc string, opts Options) (*Program, error
 
 // CompileDNF compiles rules that are already in disjunctive normal form.
 func CompileDNF(sp *spec.Spec, rules []lang.DNFRule, opts Options) (*Program, error) {
+	start := time.Now()
 	res := newResolver(sp)
 	rcs, err := res.resolveRules(rules, opts.workers())
 	if err != nil {
 		return nil, err
 	}
-	return compileFromConjs(sp, res.fields, res.actions, flattenConjs(rcs), len(rules), opts, nil, nil)
+	prog, err := compileFromConjs(sp, res.fields, res.actions, flattenConjs(rcs), len(rules), opts, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	if tel := opts.Telemetry; tel != nil {
+		tel.Counter("camus_compiler_compiles_total").Inc()
+		tel.Histogram("camus_compiler_compile_seconds").Observe(time.Since(start))
+	}
+	return prog, nil
 }
 
 // compileFromConjs is the compiler back end shared by one-shot compiles
@@ -134,6 +149,7 @@ func compileFromConjs(sp *spec.Spec, fieldInfos []FieldInfo, actions [][]lang.Ac
 	termActs := make(map[int]ActionSet, len(b.Terminals()))
 	termKey := make(map[int]string, len(b.Terminals()))
 	var scratch []byte
+	var memoHits, memoMisses uint64
 	for _, term := range b.Terminals() {
 		var memo mergedActions
 		var ok bool
@@ -142,14 +158,21 @@ func compileFromConjs(sp *spec.Spec, fieldInfos []FieldInfo, actions [][]lang.Ac
 			memo, ok = actMemo[string(scratch)]
 		}
 		if !ok {
+			memoMisses++
 			as := mergeActions(actions, term.Payloads)
 			memo = mergedActions{as: as, key: as.Key()}
 			if actMemo != nil {
 				actMemo[string(scratch)] = memo
 			}
+		} else {
+			memoHits++
 		}
 		termActs[term.ID] = memo.as
 		termKey[term.ID] = memo.key
+	}
+	if opts.Telemetry != nil && actMemo != nil {
+		opts.Telemetry.Counter("camus_compiler_memo_hits_total").Add(memoHits)
+		opts.Telemetry.Counter("camus_compiler_memo_misses_total").Add(memoMisses)
 	}
 
 	states := assignStates(b, termKey)

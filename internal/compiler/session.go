@@ -2,6 +2,7 @@ package compiler
 
 import (
 	"fmt"
+	"time"
 
 	"camus/internal/bdd"
 	"camus/internal/lang"
@@ -137,13 +138,22 @@ func (s *Session) RemoveRules(handles ...int) error {
 // sub-BDDs from previous recompiles. The result is a fully independent
 // Program: earlier returned programs remain valid (the control plane
 // diffs old against new).
+//
+// When Options.Telemetry is set, each Recompile observes its duration in
+// camus_compiler_recompile_seconds and refreshes the
+// camus_compiler_{rules,bdd_nodes,arena_nodes} gauges, so a dashboard
+// over /metrics shows churn cost the way Fig. 5c plots it.
 func (s *Session) Recompile() (*Program, error) {
+	start := time.Now()
 	if s.builder.ArenaSize() > arenaSlack*s.lastLiveNodes+4096 {
 		s.builder.Reset()
 		// The action memo never goes stale (payload→action bindings are
 		// append-only), but it strands entries for payload sets that no
 		// longer occur; trim it on the same schedule as the arena.
 		s.actMemo = make(map[string]mergedActions)
+		if s.opts.Telemetry != nil {
+			s.opts.Telemetry.Counter("camus_compiler_arena_resets_total").Inc()
+		}
 	}
 	total := 0
 	for _, h := range s.order {
@@ -158,5 +168,13 @@ func (s *Session) Recompile() (*Program, error) {
 		return nil, err
 	}
 	s.lastLiveNodes = prog.Stats.BDDNodes
+	if tel := s.opts.Telemetry; tel != nil {
+		tel.Counter("camus_compiler_recompiles_total").Inc()
+		tel.Histogram("camus_compiler_recompile_seconds").Observe(time.Since(start))
+		tel.Gauge("camus_compiler_rules").Set(int64(len(s.order)))
+		tel.Gauge("camus_compiler_bdd_nodes").Set(int64(prog.Stats.BDDNodes))
+		tel.Gauge("camus_compiler_arena_nodes").Set(int64(s.builder.ArenaSize()))
+		tel.Gauge("camus_compiler_table_entries").Set(int64(prog.Stats.TableEntries))
+	}
 	return prog, nil
 }

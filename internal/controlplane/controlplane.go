@@ -12,6 +12,7 @@
 package controlplane
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -21,6 +22,7 @@ import (
 	"camus/internal/bdd"
 	"camus/internal/compiler"
 	"camus/internal/pipeline"
+	"camus/internal/telemetry"
 )
 
 // TableDelta counts entry changes for one table.
@@ -97,29 +99,41 @@ func transient(err error) bool {
 }
 
 // commit pushes newProg to dev, retrying transient write failures per
-// policy. On permanent failure (or retry exhaustion) it rolls the device
-// back to oldProg with a compensating reinstall, so the device never
-// stays on a half-committed update.
-func commit(dev Device, pol UpdatePolicy, newProg, oldProg *compiler.Program) error {
+// policy until ctx is done. On permanent failure, retry exhaustion, or
+// cancellation it rolls the device back to oldProg with a compensating
+// reinstall, so the device never stays on a half-committed update. The
+// span, when non-nil, records each retry and the final outcome.
+func commit(ctx context.Context, dev Device, pol UpdatePolicy, newProg, oldProg *compiler.Program, span *telemetry.Span) error {
 	pol = pol.withDefaults()
 	delay := pol.Backoff
 	var err error
+	retries := 0
 	for attempt := 0; ; attempt++ {
 		if err = dev.Reinstall(newProg); err == nil {
+			span.SetLabel("retries", fmt.Sprint(retries))
+			span.End(nil)
 			return nil
 		}
 		if !transient(err) || attempt >= pol.MaxRetries {
 			break
 		}
+		if ctx.Err() != nil {
+			err = fmt.Errorf("%w (last write error: %v)", ctx.Err(), err)
+			break
+		}
+		retries++
 		pol.Sleep(delay)
 		delay = time.Duration(float64(delay) * pol.BackoffFactor)
 		if delay > pol.MaxBackoff {
 			delay = pol.MaxBackoff
 		}
 	}
+	span.SetLabel("retries", fmt.Sprint(retries))
 	if rbErr := dev.Reinstall(oldProg); rbErr != nil {
+		span.EndOutcome("rollback_failed", rbErr)
 		return fmt.Errorf("controlplane: install failed (%v); rollback also failed: %w", err, rbErr)
 	}
+	span.EndOutcome("rolled_back", err)
 	return fmt.Errorf("controlplane: install failed, device rolled back to prior program: %w", err)
 }
 
@@ -127,6 +141,7 @@ func commit(dev Device, pol UpdatePolicy, newProg, oldProg *compiler.Program) er
 type Controller struct {
 	dev  Device
 	prog *compiler.Program
+	tel  *telemetry.Telemetry
 	// Policy bounds Update's commit phase; the zero value uses defaults.
 	Policy UpdatePolicy
 }
@@ -137,6 +152,10 @@ func NewController(dev Device) *Controller {
 	return &Controller{dev: dev, prog: dev.Program()}
 }
 
+// SetTelemetry routes install spans and counters through t. Safe to call
+// once, before the controller is shared.
+func (c *Controller) SetTelemetry(t *telemetry.Telemetry) { c.tel = t }
+
 // Program returns the currently installed program.
 func (c *Controller) Program() *compiler.Program { return c.prog }
 
@@ -144,20 +163,31 @@ func (c *Controller) Program() *compiler.Program { return c.prog }
 // it is checked against the device's TCAM/SRAM/group resources before a
 // single write is issued, so an oversized update is rejected with the
 // device untouched. Phase two aligns states, computes the entry delta,
-// and commits — retrying transient write failures per Policy and rolling
-// back to the prior program on permanent failure, so concurrent packets
-// always see a complete program (old or new, never half). The returned
-// Delta reports how much of the old configuration was reused.
-func (c *Controller) Update(newProg *compiler.Program) (Delta, error) {
+// and commits — retrying transient write failures per Policy (between
+// retries the context is consulted, so a canceled install stops retrying
+// and rolls back) and rolling back to the prior program on permanent
+// failure, so concurrent packets always see a complete program (old or
+// new, never half). The whole operation is recorded as a
+// `controlplane_install` span with an outcome label and the delta's
+// write count. The returned Delta reports how much of the old
+// configuration was reused.
+func (c *Controller) Update(ctx context.Context, newProg *compiler.Program) (Delta, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	span := c.tel.Trc().Start(ctx, "controlplane_install")
 	if err := pipeline.CheckResources(newProg, c.dev.Config()); err != nil {
+		span.EndOutcome("admission_rejected", err)
 		return Delta{}, fmt.Errorf("controlplane: update rejected at admission: %w", err)
 	}
 	AlignStates(c.prog, newProg)
 	delta := DiffPrograms(c.prog, newProg)
-	if err := commit(c.dev, c.Policy, newProg, c.prog); err != nil {
+	span.SetLabel("writes", fmt.Sprint(delta.Writes()))
+	if err := commit(ctx, c.dev, c.Policy, newProg, c.prog, span); err != nil {
 		return Delta{}, err
 	}
 	c.prog = newProg
+	c.tel.Reg().Counter("camus_controlplane_device_writes_total").Add(uint64(delta.Writes()))
 	return delta, nil
 }
 

@@ -1,6 +1,7 @@
 package controlplane
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -115,7 +116,7 @@ func TestControllerUpdatePreservesSemantics(t *testing.T) {
 	ctl := NewController(sw)
 
 	newProg := compile(t, "stock == GOOGL : fwd(1)\nstock == AAPL : fwd(2)\n")
-	d, err := ctl.Update(newProg)
+	d, err := ctl.Update(context.Background(), newProg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +209,7 @@ func TestUpdateRejectedWhenTooBig(t *testing.T) {
 	for i := 0; i < 500; i++ {
 		fmt.Fprintf(&b, "stock == S%03d && price > %d : fwd(%d)\n", i%100, i, 1+i%8)
 	}
-	if _, err := ctl.Update(compile(t, b.String())); err == nil {
+	if _, err := ctl.Update(context.Background(), compile(t, b.String())); err == nil {
 		t.Fatal("oversized update should be rejected")
 	}
 	// The old program must still be live.

@@ -1,6 +1,7 @@
 package controlplane
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"testing"
@@ -96,7 +97,7 @@ func TestProcessConcurrentWithUpdate(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := ctl.Update(next); err != nil {
+		if _, err := ctl.Update(context.Background(), next); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -173,7 +174,7 @@ func TestProcessConcurrentWithChurn(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		newHandles, _, err := ctl.Churn(add, rot[:1])
+		newHandles, _, err := ctl.Churn(context.Background(), add, rot[:1])
 		if err != nil {
 			t.Fatal(err)
 		}

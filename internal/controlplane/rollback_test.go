@@ -1,6 +1,7 @@
 package controlplane
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -123,7 +124,7 @@ func TestUpdateRollbackUnderRace(t *testing.T) {
 
 	// Round 1: the write fails cleanly before landing.
 	dev.FailOn(dev.Calls()+1, false)
-	if _, err := ctl.Update(compileRace(t, sp, "stock == GOOGL : fwd(3)\n")); err == nil {
+	if _, err := ctl.Update(context.Background(), compileRace(t, sp, "stock == GOOGL : fwd(3)\n")); err == nil {
 		t.Fatal("update with permanent write failure succeeded")
 	}
 	if got := snapshot(sw, vecs); got != before {
@@ -133,7 +134,7 @@ func TestUpdateRollbackUnderRace(t *testing.T) {
 	// Round 2: the write lands and then errors — rollback must issue a
 	// compensating write to restore the old program.
 	dev.FailDirtyOn(dev.Calls()+1, false)
-	if _, err := ctl.Update(compileRace(t, sp, "stock == GOOGL : fwd(3)\n")); err == nil {
+	if _, err := ctl.Update(context.Background(), compileRace(t, sp, "stock == GOOGL : fwd(3)\n")); err == nil {
 		t.Fatal("update with dirty write failure succeeded")
 	}
 	if got := snapshot(sw, vecs); got != before {
@@ -144,7 +145,7 @@ func TestUpdateRollbackUnderRace(t *testing.T) {
 	}
 
 	// Round 3: no faults — the same update goes through.
-	if _, err := ctl.Update(compileRace(t, sp, "stock == GOOGL : fwd(3)\n")); err != nil {
+	if _, err := ctl.Update(context.Background(), compileRace(t, sp, "stock == GOOGL : fwd(3)\n")); err != nil {
 		t.Fatal(err)
 	}
 	close(stop)
@@ -172,7 +173,7 @@ func TestUpdateRetriesTransient(t *testing.T) {
 
 	dev.FailOn(1, true)
 	dev.FailOn(2, true)
-	if _, err := ctl.Update(compileRace(t, sp, "stock == GOOGL : fwd(2)\n")); err != nil {
+	if _, err := ctl.Update(context.Background(), compileRace(t, sp, "stock == GOOGL : fwd(2)\n")); err != nil {
 		t.Fatalf("transient failures not retried: %v", err)
 	}
 	if dev.Calls() != 3 {
@@ -187,7 +188,7 @@ func TestUpdateRetriesTransient(t *testing.T) {
 	for call := dev.Calls() + 1; call <= dev.Calls()+10; call++ {
 		dev.FailOn(call, true)
 	}
-	if _, err := ctl.Update(compileRace(t, sp, "stock == GOOGL : fwd(3)\n")); err == nil {
+	if _, err := ctl.Update(context.Background(), compileRace(t, sp, "stock == GOOGL : fwd(3)\n")); err == nil {
 		t.Fatal("endless transient failures should exhaust retries")
 	}
 }
@@ -214,7 +215,7 @@ func TestUpdateAdmissionLeavesDeviceUntouched(t *testing.T) {
 	for i := 0; i < 200; i++ {
 		fmt.Fprintf(&big, "price > %d : fwd(%d)\n", i+1, i%8+1)
 	}
-	if _, err := ctl.Update(compileRace(t, sp, big.String())); err == nil {
+	if _, err := ctl.Update(context.Background(), compileRace(t, sp, big.String())); err == nil {
 		t.Fatal("oversized update admitted")
 	}
 	if dev.Calls() != 0 {
@@ -257,7 +258,7 @@ func TestChurnRollbackAndConvergence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := ctl.Churn(add, handles[:1]); err == nil {
+	if _, _, err := ctl.Churn(context.Background(), add, handles[:1]); err == nil {
 		t.Fatal("churn with permanent device failure succeeded")
 	}
 	if got := snapshot(sw, vecs); got != before {
@@ -269,7 +270,7 @@ func TestChurnRollbackAndConvergence(t *testing.T) {
 
 	// No new rule changes: the retry just pushes the already-recompiled
 	// session state, converging the device.
-	if _, _, err := ctl.Churn(nil, nil); err != nil {
+	if _, _, err := ctl.Churn(context.Background(), nil, nil); err != nil {
 		t.Fatalf("convergence churn: %v", err)
 	}
 	if got := snapshot(sw, vecs); got == before {

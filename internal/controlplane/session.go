@@ -1,11 +1,13 @@
 package controlplane
 
 import (
+	"context"
 	"fmt"
 
 	"camus/internal/compiler"
 	"camus/internal/lang"
 	"camus/internal/pipeline"
+	"camus/internal/telemetry"
 )
 
 // SessionController couples an incremental compiler.Session with the
@@ -19,6 +21,7 @@ type SessionController struct {
 	dev     Device // write path; sw unless a test interposes SetDevice
 	session *compiler.Session
 	prog    *compiler.Program
+	tel     *telemetry.Telemetry
 	// Policy bounds Churn's commit phase; the zero value uses defaults.
 	Policy UpdatePolicy
 }
@@ -47,6 +50,9 @@ func NewSessionController(sp *compiler.Session, initial []lang.Rule, cfg pipelin
 // around the switch); packets still flow through Switch() directly.
 func (c *SessionController) SetDevice(dev Device) { c.dev = dev }
 
+// SetTelemetry routes churn spans and counters through t.
+func (c *SessionController) SetTelemetry(t *telemetry.Telemetry) { c.tel = t }
+
 // Switch returns the controlled switch.
 func (c *SessionController) Switch() *pipeline.Switch { return c.sw }
 
@@ -64,10 +70,20 @@ func (c *SessionController) Session() *compiler.Session { return c.session }
 // failed Churn the session keeps the new rule set but the device keeps
 // serving the old program; the next successful Churn converges them,
 // since the delta is always computed against the installed program.
-// It returns the handles of the added rules and the install delta.
-func (c *SessionController) Churn(add []lang.Rule, remove []int) ([]int, Delta, error) {
+// It returns the handles of the added rules and the install delta. The
+// operation is recorded as a `controlplane_churn` span whose labels
+// carry the add/remove sizes and the delta's write count; the context is
+// consulted between commit retries, so a canceled churn stops retrying
+// and rolls the device back.
+func (c *SessionController) Churn(ctx context.Context, add []lang.Rule, remove []int) ([]int, Delta, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	span := c.tel.Trc().Start(ctx, "controlplane_churn",
+		telemetry.L("add", fmt.Sprint(len(add))), telemetry.L("remove", fmt.Sprint(len(remove))))
 	if len(remove) > 0 {
 		if err := c.session.RemoveRules(remove...); err != nil {
+			span.EndOutcome("bad_handle", err)
 			return nil, Delta{}, err
 		}
 	}
@@ -76,21 +92,26 @@ func (c *SessionController) Churn(add []lang.Rule, remove []int) ([]int, Delta, 
 		var err error
 		handles, err = c.session.AddRules(add)
 		if err != nil {
+			span.EndOutcome("bad_rule", err)
 			return nil, Delta{}, err
 		}
 	}
 	newProg, err := c.session.Recompile()
 	if err != nil {
+		span.EndOutcome("compile_failed", err)
 		return handles, Delta{}, err
 	}
 	if err := pipeline.CheckResources(newProg, c.dev.Config()); err != nil {
+		span.EndOutcome("admission_rejected", err)
 		return handles, Delta{}, fmt.Errorf("controlplane: churn rejected at admission: %w", err)
 	}
 	AlignStates(c.prog, newProg)
 	delta := DiffPrograms(c.prog, newProg)
-	if err := commit(c.dev, c.Policy, newProg, c.prog); err != nil {
+	span.SetLabel("writes", fmt.Sprint(delta.Writes()))
+	if err := commit(ctx, c.dev, c.Policy, newProg, c.prog, span); err != nil {
 		return handles, Delta{}, err
 	}
 	c.prog = newProg
+	c.tel.Reg().Counter("camus_controlplane_device_writes_total").Add(uint64(delta.Writes()))
 	return handles, delta, nil
 }

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -14,6 +15,7 @@ import (
 	"camus/internal/itch"
 	"camus/internal/pipeline"
 	"camus/internal/spec"
+	"camus/internal/telemetry"
 )
 
 // PubSub is a running Camus deployment on one switch.
@@ -21,6 +23,7 @@ type PubSub struct {
 	spec *spec.Spec
 	opts compiler.Options
 	cfg  pipeline.Config
+	tel  *telemetry.Telemetry
 
 	sw  *pipeline.Switch
 	ctl *controlplane.Controller
@@ -33,6 +36,11 @@ type PubSub struct {
 type Config struct {
 	Switch   pipeline.Config
 	Compiler compiler.Options
+	// Telemetry, when non-nil, is shared by every layer of the
+	// deployment: the compiler reports compile durations, the control
+	// plane records install spans, and the switch maintains its
+	// hardware-style counters, all in one registry.
+	Telemetry *telemetry.Telemetry
 }
 
 // NewPubSub creates a deployment for a message-format spec with an empty
@@ -41,7 +49,11 @@ func NewPubSub(sp *spec.Spec, cfg Config) (*PubSub, error) {
 	if cfg.Switch.Ports == 0 {
 		cfg.Switch = pipeline.DefaultConfig()
 	}
-	ps := &PubSub{spec: sp, opts: cfg.Compiler, cfg: cfg.Switch}
+	if cfg.Telemetry != nil {
+		cfg.Switch.Telemetry = cfg.Telemetry.Registry
+		cfg.Compiler.Telemetry = cfg.Telemetry.Registry
+	}
+	ps := &PubSub{spec: sp, opts: cfg.Compiler, cfg: cfg.Switch, tel: cfg.Telemetry}
 	prog, err := compiler.CompileSource(sp, "", cfg.Compiler)
 	if err != nil {
 		return nil, err
@@ -51,6 +63,7 @@ func NewPubSub(sp *spec.Spec, cfg Config) (*PubSub, error) {
 		return nil, err
 	}
 	ps.ctl = controlplane.NewController(ps.sw)
+	ps.ctl.SetTelemetry(cfg.Telemetry)
 	ps.ex, err = itch.NewExtractor(prog)
 	if err != nil {
 		return nil, err
@@ -58,14 +71,29 @@ func NewPubSub(sp *spec.Spec, cfg Config) (*PubSub, error) {
 	return ps, nil
 }
 
+// Telemetry returns the deployment's shared telemetry (nil when the
+// deployment is uninstrumented).
+func (ps *PubSub) Telemetry() *telemetry.Telemetry { return ps.tel }
+
+// Snapshot captures every metric and recent control-plane span of the
+// deployment in the unified telemetry schema.
+func (ps *PubSub) Snapshot() telemetry.Snapshot { return ps.tel.Snapshot() }
+
 // SetSubscriptions compiles a new subscription set and installs it
 // incrementally, returning the control-plane delta.
 func (ps *PubSub) SetSubscriptions(src string) (controlplane.Delta, error) {
+	return ps.SetSubscriptionsContext(context.Background(), src)
+}
+
+// SetSubscriptionsContext is SetSubscriptions with a cancelable context:
+// the install stops retrying and rolls back when ctx is done, and the
+// recorded span carries the context deadline.
+func (ps *PubSub) SetSubscriptionsContext(ctx context.Context, src string) (controlplane.Delta, error) {
 	prog, err := compiler.CompileSource(ps.spec, src, ps.opts)
 	if err != nil {
 		return controlplane.Delta{}, fmt.Errorf("camus: compile: %w", err)
 	}
-	delta, err := ps.ctl.Update(prog)
+	delta, err := ps.ctl.Update(ctx, prog)
 	if err != nil {
 		return controlplane.Delta{}, fmt.Errorf("camus: install: %w", err)
 	}

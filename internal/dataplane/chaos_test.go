@@ -10,15 +10,18 @@ import (
 	"camus/internal/faults"
 	"camus/internal/itch"
 	"camus/internal/spec"
+	"camus/internal/telemetry"
 	"camus/internal/workload"
 )
 
 // chaosHarness wires a fault-injected switch to a gap-recovering
-// receiver over real loopback UDP.
+// receiver over real loopback UDP. Both ends share one telemetry
+// registry, so chaos runs double as end-to-end metric validation.
 type chaosHarness struct {
 	sw  *Switch
 	rcv *Receiver
 	pub *net.UDPConn
+	tel *telemetry.Telemetry
 
 	mu    sync.Mutex
 	seqs  []uint64
@@ -29,12 +32,13 @@ type chaosHarness struct {
 
 func startChaos(t *testing.T, plan faults.Plan, retxBuffer int, rcvTimeout time.Duration) *chaosHarness {
 	t.Helper()
-	h := &chaosHarness{runCh: make(chan error, 1)}
+	h := &chaosHarness{runCh: make(chan error, 1), tel: telemetry.New()}
 
 	var rcvErr error
 	h.rcv, rcvErr = NewReceiver(ReceiverConfig{
 		RequestTimeout: rcvTimeout,
 		Seed:           3,
+		Telemetry:      h.tel,
 		OnMessage: func(seq uint64, msg []byte) {
 			h.mu.Lock()
 			h.seqs = append(h.seqs, seq)
@@ -73,6 +77,7 @@ func startChaos(t *testing.T, plan faults.Plan, retxBuffer int, rcvTimeout time.
 		RetxBuffer:    retxBuffer,
 		Heartbeat:     20 * time.Millisecond,
 		WrapConn:      mkWrap(),
+		Telemetry:     h.tel,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -23,13 +23,13 @@ import (
 	"fmt"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"camus/internal/compiler"
 	"camus/internal/core"
 	"camus/internal/itch"
 	"camus/internal/spec"
+	"camus/internal/telemetry"
 )
 
 // Conn is the UDP socket surface the switch and receiver run on. It is
@@ -47,17 +47,37 @@ var _ Conn = (*net.UDPConn)(nil)
 
 // Stats are the switch's forwarding counters. All fields are updated
 // atomically and may be read concurrently with Run.
+//
+// The fields are telemetry.Counter values: when the switch is created
+// with Config.Telemetry they are registered in the shared registry (as
+// camus_dataplane_*_total) and this struct is a view over it — the
+// counters read here and the series scraped from /metrics are the same
+// memory.
 type Stats struct {
-	Datagrams    atomic.Uint64 // ingress datagrams received
-	Messages     atomic.Uint64 // ITCH messages evaluated
-	Matched      atomic.Uint64 // messages that matched >= 1 subscription
-	Forwarded    atomic.Uint64 // egress datagrams sent
-	DecodeErrors atomic.Uint64
-	SendErrors   atomic.Uint64
-	UnboundPort  atomic.Uint64 // egress datagrams black-holed on unbound ports
-	Heartbeats   atomic.Uint64 // idle heartbeats sent
-	RetxRequests atomic.Uint64 // retransmission requests served
-	RetxMessages atomic.Uint64 // messages resent from the store
+	Datagrams    telemetry.Counter // ingress datagrams received
+	Messages     telemetry.Counter // ITCH messages evaluated
+	Matched      telemetry.Counter // messages that matched >= 1 subscription
+	Forwarded    telemetry.Counter // egress datagrams sent
+	DecodeErrors telemetry.Counter
+	SendErrors   telemetry.Counter
+	UnboundPort  telemetry.Counter // egress datagrams black-holed on unbound ports
+	Heartbeats   telemetry.Counter // idle heartbeats sent
+	RetxRequests telemetry.Counter // retransmission requests served
+	RetxMessages telemetry.Counter // messages resent from the store
+}
+
+// register adopts every counter into reg under its canonical series name.
+func (s *Stats) register(reg *telemetry.Registry) {
+	reg.RegisterCounter("camus_dataplane_datagrams_total", &s.Datagrams)
+	reg.RegisterCounter("camus_dataplane_messages_total", &s.Messages)
+	reg.RegisterCounter("camus_dataplane_matched_total", &s.Matched)
+	reg.RegisterCounter("camus_dataplane_forwarded_total", &s.Forwarded)
+	reg.RegisterCounter("camus_dataplane_decode_errors_total", &s.DecodeErrors)
+	reg.RegisterCounter("camus_dataplane_send_errors_total", &s.SendErrors)
+	reg.RegisterCounter("camus_dataplane_unbound_port_total", &s.UnboundPort)
+	reg.RegisterCounter("camus_dataplane_heartbeats_total", &s.Heartbeats)
+	reg.RegisterCounter("camus_dataplane_retx_requests_total", &s.RetxRequests)
+	reg.RegisterCounter("camus_dataplane_retx_messages_total", &s.RetxMessages)
 }
 
 // Config configures a dataplane switch.
@@ -89,6 +109,10 @@ type Config struct {
 	// WrapConn, when non-nil, wraps each socket the switch opens (data
 	// first, then retransmission) — the fault-injection hook.
 	WrapConn func(Conn) Conn
+	// Telemetry, when non-nil, receives the switch's forwarding counters,
+	// a per-datagram processing-latency histogram, and everything the
+	// embedded compiler/control-plane/pipeline layers record.
+	Telemetry *telemetry.Telemetry
 }
 
 // defaultRetxBuffer is the per-port retransmission store size in messages.
@@ -126,8 +150,11 @@ type Switch struct {
 	retxCap   int
 	heartbeat time.Duration
 
-	stats   Stats
-	readBuf int
+	stats    Stats
+	tel      *telemetry.Telemetry
+	procHist *telemetry.Histogram // per-datagram processing latency; nil when untimed
+	portsG   *telemetry.Gauge
+	readBuf  int
 
 	closeMu   sync.Mutex
 	closed    bool
@@ -172,7 +199,7 @@ func Listen(cfg Config) (*Switch, error) {
 		return nil, fmt.Errorf("dataplane: listen retx: %w", err)
 	}
 
-	engine, err := core.NewPubSub(cfg.Spec, core.Config{Compiler: cfg.Options})
+	engine, err := core.NewPubSub(cfg.Spec, core.Config{Compiler: cfg.Options, Telemetry: cfg.Telemetry})
 	if err != nil {
 		conn.Close()
 		retx.Close()
@@ -187,8 +214,14 @@ func Listen(cfg Config) (*Switch, error) {
 		session:   cfg.Session,
 		retxCap:   cfg.RetxBuffer,
 		heartbeat: cfg.Heartbeat,
+		tel:       cfg.Telemetry,
 		readBuf:   cfg.ReadBuffer,
 		runDone:   make(chan struct{}),
+	}
+	if reg := cfg.Telemetry.Reg(); reg != nil {
+		sw.stats.register(reg)
+		sw.procHist = reg.Histogram("camus_dataplane_process_seconds")
+		sw.portsG = reg.Gauge("camus_dataplane_ports_bound")
 	}
 	if sw.session == "" {
 		sw.session = "CAMUS"
@@ -228,7 +261,17 @@ func (sw *Switch) Addr() *net.UDPAddr { return sw.conn.LocalAddr().(*net.UDPAddr
 func (sw *Switch) RetxAddr() *net.UDPAddr { return sw.retx.LocalAddr().(*net.UDPAddr) }
 
 // Stats returns the forwarding counters.
+//
+// Deprecated: the counters are a view over the shared telemetry registry;
+// new code should read Snapshot (one schema across every subsystem) or
+// scrape the admin endpoint. Stats remains for typed in-process access.
 func (sw *Switch) Stats() *Stats { return &sw.stats }
+
+// Snapshot captures every metric of the switch — socket counters,
+// pipeline tables, compiler and control-plane series — in the unified
+// telemetry schema. The zero Snapshot is returned when the switch was
+// created without Config.Telemetry.
+func (sw *Switch) Snapshot() telemetry.Snapshot { return sw.tel.Snapshot() }
 
 // PortSession returns the MoldUDP64 session identifier of an output port.
 func (sw *Switch) PortSession(port int) string {
@@ -276,6 +319,7 @@ func (sw *Switch) BindPort(port int, addr string) error {
 	}
 	sw.ports[port] = ps
 	sw.bySession[ps.session] = ps
+	sw.portsG.Set(int64(len(sw.ports)))
 	return nil
 }
 
@@ -283,11 +327,21 @@ func (sw *Switch) BindPort(port int, addr string) error {
 // plane's update path). Safe to call while Run is active: the engine swap
 // is serialized with packet processing.
 func (sw *Switch) SetSubscriptions(src string) error {
+	return sw.SetSubscriptionsContext(context.Background(), src)
+}
+
+// SetSubscriptionsContext is SetSubscriptions with a cancelable context:
+// the install stops retrying and rolls back when ctx is done.
+func (sw *Switch) SetSubscriptionsContext(ctx context.Context, src string) error {
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
-	_, err := sw.engine.SetSubscriptions(src)
+	_, err := sw.engine.SetSubscriptionsContext(ctx, src)
 	return err
 }
+
+// Telemetry returns the switch's shared telemetry (nil when the switch
+// was created without Config.Telemetry).
+func (sw *Switch) Telemetry() *telemetry.Telemetry { return sw.tel }
 
 // Program returns the installed compiled program.
 func (sw *Switch) Program() *compiler.Program {
@@ -381,7 +435,13 @@ func (sw *Switch) Run(ctx context.Context) error {
 			return fmt.Errorf("dataplane: read: %w", err)
 		}
 		sw.stats.Datagrams.Add(1)
-		sw.process(buf[:n], perPort)
+		if sw.procHist != nil {
+			start := time.Now()
+			sw.process(buf[:n], perPort)
+			sw.procHist.Observe(time.Since(start))
+		} else {
+			sw.process(buf[:n], perPort)
+		}
 	}
 }
 

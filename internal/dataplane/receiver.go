@@ -10,18 +10,35 @@ import (
 	"time"
 
 	"camus/internal/itch"
+	"camus/internal/telemetry"
 )
 
 // ReceiverStats count the subscriber side of the recovery protocol.
+//
+// The fields are telemetry.Counter values: when the receiver is created
+// with ReceiverConfig.Telemetry they are registered in the shared
+// registry (as camus_receiver_*_total) and this struct is a view over it.
 type ReceiverStats struct {
-	Datagrams    atomic.Uint64 // datagrams received (data + control)
-	Delivered    atomic.Uint64 // messages handed to OnMessage, in order
-	Duplicates   atomic.Uint64 // already-delivered messages discarded
-	Heartbeats   atomic.Uint64 // heartbeats observed
-	Requests     atomic.Uint64 // retransmission requests sent
-	Recovered    atomic.Uint64 // messages delivered from retransmissions
-	GapsLost     atomic.Uint64 // messages declared unrecoverable
-	DecodeErrors atomic.Uint64
+	Datagrams    telemetry.Counter // datagrams received (data + control)
+	Delivered    telemetry.Counter // messages handed to OnMessage, in order
+	Duplicates   telemetry.Counter // already-delivered messages discarded
+	Heartbeats   telemetry.Counter // heartbeats observed
+	Requests     telemetry.Counter // retransmission requests sent
+	Recovered    telemetry.Counter // messages delivered from retransmissions
+	GapsLost     telemetry.Counter // messages declared unrecoverable
+	DecodeErrors telemetry.Counter
+}
+
+// register adopts every counter into reg under its canonical series name.
+func (s *ReceiverStats) register(reg *telemetry.Registry) {
+	reg.RegisterCounter("camus_receiver_datagrams_total", &s.Datagrams)
+	reg.RegisterCounter("camus_receiver_delivered_total", &s.Delivered)
+	reg.RegisterCounter("camus_receiver_duplicates_total", &s.Duplicates)
+	reg.RegisterCounter("camus_receiver_heartbeats_total", &s.Heartbeats)
+	reg.RegisterCounter("camus_receiver_requests_total", &s.Requests)
+	reg.RegisterCounter("camus_receiver_recovered_total", &s.Recovered)
+	reg.RegisterCounter("camus_receiver_gaps_lost_total", &s.GapsLost)
+	reg.RegisterCounter("camus_receiver_decode_errors_total", &s.DecodeErrors)
 }
 
 // ReceiverConfig configures a gap-recovering MoldUDP64 subscriber.
@@ -52,6 +69,10 @@ type ReceiverConfig struct {
 	// WrapConn, when non-nil, wraps the subscriber socket — the
 	// fault-injection hook.
 	WrapConn func(Conn) Conn
+	// Telemetry, when non-nil, receives the recovery counters
+	// (camus_receiver_*_total) and an end-to-end delivery-latency
+	// histogram fed by Observe-capable callers.
+	Telemetry *telemetry.Telemetry
 
 	// OnMessage receives every stream message exactly once, in sequence
 	// order with no gaps (unless OnGap reported the missing range).
@@ -142,6 +163,9 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 		pending:    make(map[uint64][]byte),
 		curTimeout: cfg.RequestTimeout,
 	}
+	if reg := cfg.Telemetry.Reg(); reg != nil {
+		r.stats.register(reg)
+	}
 	if cfg.Retx != "" {
 		r.retxAddr, err = net.ResolveUDPAddr("udp", cfg.Retx)
 		if err != nil {
@@ -159,6 +183,10 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 func (r *Receiver) Addr() *net.UDPAddr { return r.conn.LocalAddr().(*net.UDPAddr) }
 
 // Stats returns the recovery counters.
+//
+// Deprecated: the counters are a view over the shared telemetry registry;
+// new code should take a telemetry Snapshot for the unified schema.
+// Stats remains for typed in-process access.
 func (r *Receiver) Stats() *ReceiverStats { return &r.stats }
 
 // Close shuts the subscriber socket, unblocking Run.

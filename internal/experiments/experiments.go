@@ -17,6 +17,7 @@ import (
 	"camus/internal/pipeline"
 	"camus/internal/spec"
 	"camus/internal/stats"
+	"camus/internal/telemetry"
 	"camus/internal/workload"
 )
 
@@ -164,6 +165,15 @@ var ChurnSweep = []int{10000, 100000}
 // subscription set replaced by the churn event (the paper's highly dynamic
 // workloads motivate 1%).
 func Churn(sizes []int, churnPct float64, seed int64) ([]ChurnPoint, error) {
+	return ChurnInstrumented(sizes, churnPct, seed, nil)
+}
+
+// ChurnInstrumented is Churn with a telemetry registry: every compile and
+// recompile the experiment performs records its duration, memo hit rate,
+// and BDD statistics into reg — the same series a live switch exposes at
+// /metrics, so BENCH_compile.json and production dashboards share one
+// schema.
+func ChurnInstrumented(sizes []int, churnPct float64, seed int64, reg *telemetry.Registry) ([]ChurnPoint, error) {
 	if sizes == nil {
 		sizes = ChurnSweep
 	}
@@ -187,12 +197,12 @@ func Churn(sizes []int, churnPct float64, seed int64) ([]ChurnPoint, error) {
 		fresh := workload.ITCHSubscriptions(freshCfg)
 
 		start := time.Now()
-		if _, err := compiler.Compile(sp, rules, compiler.Options{Workers: 1}); err != nil {
+		if _, err := compiler.Compile(sp, rules, compiler.Options{Workers: 1, Telemetry: reg}); err != nil {
 			return nil, err
 		}
 		serialMS := msSince(start)
 		start = time.Now()
-		if _, err := compiler.Compile(sp, rules, compiler.Options{}); err != nil {
+		if _, err := compiler.Compile(sp, rules, compiler.Options{Telemetry: reg}); err != nil {
 			return nil, err
 		}
 		parallelMS := msSince(start)
@@ -201,17 +211,17 @@ func Churn(sizes []int, churnPct float64, seed int64) ([]ChurnPoint, error) {
 		// first `churn` rules, add `churn` fresh ones).
 		after := append(append([]lang.Rule(nil), rules[churn:]...), fresh[:churn]...)
 		start = time.Now()
-		if _, err := compiler.Compile(sp, after, compiler.Options{}); err != nil {
+		if _, err := compiler.Compile(sp, after, compiler.Options{Telemetry: reg}); err != nil {
 			return nil, err
 		}
 		fullMS := msSince(start)
 
-		uniformMS, _, _, err := churnRecompile(sp, rules, rules[:churn], fresh[:churn])
+		uniformMS, _, _, err := churnRecompile(sp, rules, rules[:churn], fresh[:churn], reg)
 		if err != nil {
 			return nil, err
 		}
 		rm, add := localizedChurn(rules, fresh, churn)
-		localizedMS, deltaWrites, entries, err := churnRecompile(sp, rules, rm, add)
+		localizedMS, deltaWrites, entries, err := churnRecompile(sp, rules, rm, add, reg)
 		if err != nil {
 			return nil, err
 		}
@@ -277,8 +287,8 @@ func localizedChurn(rules, fresh []lang.Rule, churn int) (rm, add []lang.Rule) {
 // event (remove `rm`, add `add`), and times the incremental recompile. It
 // also reports the control-plane delta writes of the event and the
 // post-churn program's installed entry count.
-func churnRecompile(sp *spec.Spec, rules, rm, add []lang.Rule) (ms float64, deltaWrites, entries int, err error) {
-	sess := compiler.NewSession(sp, compiler.Options{})
+func churnRecompile(sp *spec.Spec, rules, rm, add []lang.Rule, reg *telemetry.Registry) (ms float64, deltaWrites, entries int, err error) {
+	sess := compiler.NewSession(sp, compiler.Options{Telemetry: reg})
 	handles, err := sess.AddRules(rules)
 	if err != nil {
 		return 0, 0, 0, err

@@ -14,10 +14,12 @@ package pipeline
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"camus/internal/compiler"
+	"camus/internal/telemetry"
 )
 
 // Config sizes the modeled ASIC. The defaults approximate a 32-port
@@ -30,6 +32,12 @@ type Config struct {
 	SRAMPerStage int           // exact-match entries per stage
 	TCAMPerStage int           // ternary/range entries per stage
 	PipeLatency  time.Duration // fixed port-to-port processing latency
+
+	// Telemetry, when non-nil, exports the device's hardware-style
+	// counters (per-table hit/miss, entry occupancy, register reads)
+	// through the registry and enables their hot-path maintenance. Nil
+	// keeps Process at its uninstrumented cost.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig models the 32-port switch used in the paper's testbed.
@@ -72,17 +80,74 @@ type Switch struct {
 	inst atomic.Pointer[installed]
 	regs *RegisterFile
 
-	packets atomic.Uint64 // processed packet count (telemetry)
+	packets telemetry.Counter // packet count on the pattern-free paths
+
+	// Hardware-style counters, maintained only when cfg.Telemetry is set.
+	// The packet path records a single fused sample per packet — which
+	// tables missed and whether the packet dropped, packed into one
+	// atomic add on a per-program pattern array (see patGen) — so
+	// telemetry costs the hot path exactly as many atomic operations as
+	// running without it. Per-table hit/miss totals and the
+	// forwarded/dropped split are recovered from the patterns at scrape
+	// time, the trick real switch drivers use for free counters. Counter
+	// identity is by table name, so totals survive Reinstall the way
+	// ASIC counters survive table writes.
+	tel      *telemetry.Registry
+	regReads *telemetry.Counter // @query_counter / state register reads
+
+	ctrMu       sync.Mutex
+	tableBase   map[string]uint64             // packets seen before a table first existed
+	tableMiss   map[string]*telemetry.Counter // fallback miss counters (wide programs)
+	fwdFallback *telemetry.Counter            // fallback forward counter (wide programs)
+	gens        []*patGen                     // live pattern generations, oldest first
+	foldPackets uint64                        // packets folded out of retired generations
+	foldForward uint64                        // forwards folded out of retired generations
+	foldMisses  map[string]uint64             // misses folded out of retired generations
 }
 
 // installed is one immutable program version: everything Process needs,
 // swapped atomically by Reinstall.
 type installed struct {
-	prog   *compiler.Program
-	tables []lookupTable
-	leaf   map[int]int // state -> action index
-	groups [][]int
+	prog    *compiler.Program
+	tables  []lookupTable
+	leaf    map[int]int // state -> action index
+	groups  [][]int
+	pat     []atomic.Uint64 // fused packet/miss-pattern counters (see patGen)
+	dropBit uint64          // pattern bit recording "packet dropped"
+	ctrs    []tableCounters // fallback per-table miss counters (wide programs)
+	nState  int             // state fields read per packet (register reads)
 }
+
+// tableCounters is the fallback per-table counter hook used when a
+// program has too many tables for a pattern array; each miss then pays
+// its own atomic add.
+type tableCounters struct {
+	misses *telemetry.Counter
+}
+
+// patGen is one program generation's fused telemetry sample array:
+// pat[mask] counts packets whose set of missed tables is exactly the
+// table bits of mask, with one extra bit recording whether the packet
+// was dropped. A single atomic add per packet captures the packet
+// count, every table's hit/miss, and the forwarded/dropped split; the
+// individual totals are recovered at scrape time by summing patterns.
+type patGen struct {
+	names []string        // table name per mask bit
+	pat   []atomic.Uint64 // length 1 << (len(names)+1); top bit = dropped
+}
+
+const (
+	// patMaxTables bounds the pattern-array size (2^(n+1) counters).
+	// The default device has 12 match stages, so real programs always
+	// qualify; wider custom configs fall back to per-table counters.
+	patMaxTables = 12
+	// keepGens is how many superseded generations stay live before
+	// being folded into the cumulative totals. A Process call caught
+	// mid-packet by a Reinstall still writes the old generation's
+	// array; by the time a program has been replaced this many times,
+	// any such call (microseconds long) is long gone.
+	keepGens = 4
+)
 
 type exactKey struct {
 	state int
@@ -107,14 +172,39 @@ type rangeEntry struct {
 // fits the device's table resources.
 func New(prog *compiler.Program, cfg Config) (*Switch, error) {
 	if cfg.Ports == 0 {
+		tel := cfg.Telemetry
 		cfg = DefaultConfig()
+		cfg.Telemetry = tel
 	}
 	if err := CheckResources(prog, cfg); err != nil {
 		return nil, err
 	}
 	sw := &Switch{
 		cfg:  cfg,
+		tel:  cfg.Telemetry,
 		regs: NewRegisterFile(),
+	}
+	if sw.tel != nil {
+		sw.tableBase = make(map[string]uint64)
+		sw.tableMiss = make(map[string]*telemetry.Counter)
+		sw.foldMisses = make(map[string]uint64)
+		sw.fwdFallback = new(telemetry.Counter)
+		sw.regReads = sw.tel.Counter("camus_pipeline_register_reads_total")
+		sw.tel.CounterFunc("camus_pipeline_packets_total", func() float64 {
+			sw.ctrMu.Lock()
+			defer sw.ctrMu.Unlock()
+			return float64(sw.packetsTotalLocked())
+		})
+		sw.tel.CounterFunc("camus_pipeline_packets_forwarded_total", func() float64 {
+			sw.ctrMu.Lock()
+			defer sw.ctrMu.Unlock()
+			return float64(sw.forwardedLocked())
+		})
+		sw.tel.CounterFunc("camus_pipeline_packets_dropped_total", func() float64 {
+			sw.ctrMu.Lock()
+			defer sw.ctrMu.Unlock()
+			return float64(sw.packetsTotalLocked()) - float64(sw.forwardedLocked())
+		})
 	}
 	// Pre-create registers for state fields so reads before any update
 	// return zero (hardware registers power up zeroed).
@@ -123,12 +213,14 @@ func New(prog *compiler.Program, cfg Config) (*Switch, error) {
 			sw.regs.Ensure(f.Name, fieldWindow(f))
 		}
 	}
-	sw.inst.Store(newInstalled(prog))
+	sw.inst.Store(sw.newInstalled(prog))
+	sw.publishOccupancy(prog)
 	return sw, nil
 }
 
-// newInstalled builds the runtime form of a program.
-func newInstalled(prog *compiler.Program) *installed {
+// newInstalled builds the runtime form of a program, attaching the
+// per-table counters when telemetry is enabled.
+func (sw *Switch) newInstalled(prog *compiler.Program) *installed {
 	in := &installed{
 		prog:   prog,
 		tables: make([]lookupTable, 0, len(prog.Tables)),
@@ -141,7 +233,162 @@ func newInstalled(prog *compiler.Program) *installed {
 	for _, e := range prog.Leaf.Entries {
 		in.leaf[e.State] = e.Next
 	}
+	for _, f := range prog.Fields {
+		if f.IsState {
+			in.nState++
+		}
+	}
+	if sw.tel != nil {
+		names := make([]string, len(prog.Tables))
+		for i, t := range prog.Tables {
+			names[i] = t.Name
+		}
+		sw.ctrMu.Lock()
+		now := sw.packetsTotalLocked()
+		if len(names) <= patMaxTables {
+			g := &patGen{names: names, pat: make([]atomic.Uint64, 1<<uint(len(names)+1))}
+			sw.gens = append(sw.gens, g)
+			in.pat = g.pat
+			in.dropBit = 1 << uint(len(names))
+			sw.foldOldLocked()
+		} else {
+			in.ctrs = make([]tableCounters, len(names))
+			for i, name := range names {
+				c := sw.tableMiss[name]
+				if c == nil {
+					c = new(telemetry.Counter)
+					sw.tableMiss[name] = c
+				}
+				in.ctrs[i] = tableCounters{misses: c}
+			}
+		}
+		for _, name := range names {
+			if _, ok := sw.tableBase[name]; ok {
+				continue
+			}
+			// Every packet traverses every table of the fixed pipeline
+			// exactly once, so a table's lookups since it first appeared
+			// are packets − base, and hits = lookups − misses: neither
+			// side costs the packet path anything beyond the one fused
+			// pattern sample.
+			sw.tableBase[name] = now
+			name := name
+			sw.tel.CounterFunc("camus_pipeline_table_misses_total", func() float64 {
+				sw.ctrMu.Lock()
+				defer sw.ctrMu.Unlock()
+				return float64(sw.missesLocked(name))
+			}, telemetry.L("table", name))
+			sw.tel.CounterFunc("camus_pipeline_table_hits_total", func() float64 {
+				sw.ctrMu.Lock()
+				defer sw.ctrMu.Unlock()
+				lookups := sw.packetsTotalLocked() - sw.tableBase[name]
+				return float64(lookups) - float64(sw.missesLocked(name))
+			}, telemetry.L("table", name))
+		}
+		sw.ctrMu.Unlock()
+	}
 	return in
+}
+
+// packetsTotalLocked sums the direct packet counter, folded totals, and
+// every live pattern generation. ctrMu must be held.
+func (sw *Switch) packetsTotalLocked() uint64 {
+	total := sw.packets.Load() + sw.foldPackets
+	for _, g := range sw.gens {
+		for i := range g.pat {
+			total += g.pat[i].Load()
+		}
+	}
+	return total
+}
+
+// forwardedLocked returns the cumulative forwarded-packet count: live
+// pattern samples without the drop bit, folded totals, and the fallback
+// counter. ctrMu must be held.
+func (sw *Switch) forwardedLocked() uint64 {
+	total := sw.fwdFallback.Load() + sw.foldForward
+	for _, g := range sw.gens {
+		drop := uint64(1) << uint(len(g.names))
+		for mask := range g.pat {
+			if uint64(mask)&drop == 0 {
+				total += g.pat[mask].Load()
+			}
+		}
+	}
+	return total
+}
+
+// missesLocked returns a table's cumulative miss count across folded
+// totals, the fallback counter, and live pattern generations that
+// include the table. ctrMu must be held.
+func (sw *Switch) missesLocked(table string) uint64 {
+	total := sw.foldMisses[table]
+	if c := sw.tableMiss[table]; c != nil {
+		total += c.Load()
+	}
+	for _, g := range sw.gens {
+		for bit, n := range g.names {
+			if n != table {
+				continue
+			}
+			b := uint64(1) << uint(bit)
+			for mask := range g.pat {
+				if uint64(mask)&b != 0 {
+					total += g.pat[mask].Load()
+				}
+			}
+			break
+		}
+	}
+	return total
+}
+
+// foldOldLocked folds generations older than keepGens into the
+// cumulative totals, bounding memory under subscription churn. Retired
+// arrays are drained with atomic loads; see keepGens for why late
+// writers are not a practical concern. ctrMu must be held.
+func (sw *Switch) foldOldLocked() {
+	for len(sw.gens) > keepGens {
+		g := sw.gens[0]
+		sw.gens = sw.gens[1:]
+		drop := uint64(1) << uint(len(g.names))
+		for mask := range g.pat {
+			n := g.pat[mask].Load()
+			if n == 0 {
+				continue
+			}
+			sw.foldPackets += n
+			if uint64(mask)&drop == 0 {
+				sw.foldForward += n
+			}
+			for bit, name := range g.names {
+				if uint64(mask)&(uint64(1)<<uint(bit)) != 0 {
+					sw.foldMisses[name] += n
+				}
+			}
+		}
+	}
+}
+
+// publishOccupancy exports the installed program's table occupancy and
+// resource footprint as gauges — the numbers §4's Fig. 5 plots, readable
+// live from /metrics instead of scraped from a one-off print.
+func (sw *Switch) publishOccupancy(prog *compiler.Program) {
+	if sw.tel == nil {
+		return
+	}
+	rep := Plan(prog, sw.cfg)
+	for _, d := range rep.Demands {
+		sw.tel.Gauge("camus_pipeline_table_entries", telemetry.L("table", d.Name)).Set(int64(d.SRAM + d.TCAM))
+	}
+	sw.tel.Gauge("camus_pipeline_sram_used").Set(int64(rep.TotalSRAM))
+	sw.tel.Gauge("camus_pipeline_tcam_used").Set(int64(rep.TotalTCAM))
+	sw.tel.Gauge("camus_pipeline_stages_used").Set(int64(rep.StagesUsed))
+	sw.tel.Gauge("camus_pipeline_sram_budget").Set(int64(rep.SRAMBudget))
+	sw.tel.Gauge("camus_pipeline_tcam_budget").Set(int64(rep.TCAMBudget))
+	sw.tel.Gauge("camus_pipeline_stage_budget").Set(int64(rep.StageBudget))
+	sw.tel.Gauge("camus_pipeline_multicast_groups").Set(int64(len(prog.Groups)))
+	sw.tel.Gauge("camus_pipeline_states").Set(int64(prog.Stats.States))
 }
 
 // AggWindow is the default tumbling-window length for aggregate state
@@ -217,7 +464,6 @@ func (lt *lookupTable) lookup(state int, value uint64) (int, bool) {
 // are overwritten with register reads. now is the packet's arrival time,
 // used for tumbling windows.
 func (sw *Switch) Process(values []uint64, now time.Duration) Result {
-	sw.packets.Add(1)
 	in := sw.inst.Load() // one consistent program version per packet
 	fields := in.prog.Fields
 	// Stage 0: state-variable reads populate metadata.
@@ -226,16 +472,47 @@ func (sw *Switch) Process(values []uint64, now time.Duration) Result {
 			values[i] = sw.regs.Read(fields[i].Name, fields[i].Agg, now)
 		}
 	}
-	// Match-action stages.
+	if in.nState > 0 {
+		sw.regReads.Add(uint64(in.nState))
+	}
+	// Match-action stages. With telemetry on, the miss pattern is
+	// accumulated in a register-resident mask and recorded with one
+	// fused atomic add at the end of the packet — the same number of
+	// atomics the uninstrumented path pays for its packet counter.
 	state := in.prog.InitialState
-	for i := range in.tables {
-		if next, ok := in.tables[i].lookup(state, values[i]); ok {
-			state = next
+	var mask uint64
+	switch {
+	case in.pat != nil:
+		for i := range in.tables {
+			if next, ok := in.tables[i].lookup(state, values[i]); ok {
+				state = next
+			} else {
+				mask |= 1 << uint(i)
+			}
+		}
+	case in.ctrs != nil:
+		sw.packets.Add(1)
+		for i := range in.tables {
+			if next, ok := in.tables[i].lookup(state, values[i]); ok {
+				state = next
+			} else {
+				in.ctrs[i].misses.Add(1)
+			}
+		}
+	default:
+		sw.packets.Add(1)
+		for i := range in.tables {
+			if next, ok := in.tables[i].lookup(state, values[i]); ok {
+				state = next
+			}
 		}
 	}
 	// Leaf stage.
 	ai, ok := in.leaf[state]
 	if !ok {
+		if in.pat != nil {
+			in.pat[mask|in.dropBit].Add(1)
+		}
 		return Result{Dropped: true, Group: -1}
 	}
 	act := &in.prog.Actions[ai]
@@ -250,7 +527,15 @@ func (sw *Switch) Process(values []uint64, now time.Duration) Result {
 		sw.regs.Update(u.Var, u.Func, arg, now)
 	}
 	if len(act.Ports) == 0 {
+		if in.pat != nil {
+			in.pat[mask|in.dropBit].Add(1)
+		}
 		return Result{Dropped: true, Group: -1}
+	}
+	if in.pat != nil {
+		in.pat[mask].Add(1)
+	} else {
+		sw.fwdFallback.Add(1) // nil-safe no-op when telemetry is off
 	}
 	return Result{Ports: act.Ports, Group: act.Group}
 }
@@ -267,7 +552,14 @@ func (sw *Switch) Config() Config { return sw.cfg }
 func (sw *Switch) Registers() *RegisterFile { return sw.regs }
 
 // PacketsProcessed returns the number of packets run through the pipe.
-func (sw *Switch) PacketsProcessed() uint64 { return sw.packets.Load() }
+func (sw *Switch) PacketsProcessed() uint64 {
+	if sw.tel == nil {
+		return sw.packets.Load()
+	}
+	sw.ctrMu.Lock()
+	defer sw.ctrMu.Unlock()
+	return sw.packetsTotalLocked()
+}
 
 // Program returns the installed program.
 func (sw *Switch) Program() *compiler.Program { return sw.inst.Load().prog }
@@ -282,7 +574,7 @@ func (sw *Switch) Reinstall(prog *compiler.Program) error {
 	if err := CheckResources(prog, sw.cfg); err != nil {
 		return err
 	}
-	in := newInstalled(prog)
+	in := sw.newInstalled(prog)
 	// Registers must exist before any packet can see the new program.
 	for _, f := range prog.Fields {
 		if f.IsState {
@@ -290,6 +582,7 @@ func (sw *Switch) Reinstall(prog *compiler.Program) error {
 		}
 	}
 	sw.inst.Store(in)
+	sw.publishOccupancy(prog)
 	return nil
 }
 

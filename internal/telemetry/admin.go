@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns the admin HTTP mux for a deployment:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/debug/camus   indented-JSON Snapshot (registry + recent spans)
+//	/debug/pprof/  the standard Go profiler endpoints
+//
+// The same mux backs `camus-switch -admin`. Handlers only read atomics,
+// so scraping a switch under load does not perturb the dataplane.
+func Handler(t *Telemetry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = t.Reg().WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/camus", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		b, err := t.Snapshot().MarshalIndent()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		_, _ = w.Write(b)
+		_, _ = w.Write([]byte("\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// AdminServer is a running admin endpoint.
+type AdminServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Serve binds addr and serves the admin mux in a background goroutine.
+func Serve(addr string, t *Telemetry) (*AdminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(t), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &AdminServer{srv: srv, ln: ln}, nil
+}
+
+// Addr returns the bound listen address.
+func (a *AdminServer) Addr() net.Addr { return a.ln.Addr() }
+
+// Close shuts the server down, waiting briefly for in-flight scrapes.
+func (a *AdminServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return a.srv.Shutdown(ctx)
+}

@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// defaultSpanRing is how many completed spans a tracer retains.
+const defaultSpanRing = 256
+
+// SpanRecord is one completed control-plane operation, as it appears in
+// snapshots (/debug/camus). Control-plane operations are rare relative to
+// packets, so spans may allocate and take a mutex — they are not hot-path
+// instruments.
+type SpanRecord struct {
+	Name      string            `json:"name"`
+	Outcome   string            `json:"outcome"` // "ok", "error", or operation-specific
+	Start     time.Time         `json:"start"`
+	DurationS float64           `json:"duration_seconds"`
+	Deadline  *time.Time        `json:"deadline,omitempty"` // from the operation's context
+	Labels    map[string]string `json:"labels,omitempty"`
+	Error     string            `json:"error,omitempty"`
+}
+
+// Tracer records spans for control-plane operations (installs, rollbacks,
+// recompiles) into a bounded ring and mirrors them into the registry as
+// per-operation outcome counters and duration histograms:
+//
+//	camus_<name>_total{outcome=...}
+//	camus_<name>_seconds
+//
+// A nil *Tracer is valid; Start then returns a nil *Span whose methods
+// are all no-ops, so traced code needs no enabled-checks.
+type Tracer struct {
+	reg  *Registry
+	mu   sync.Mutex
+	ring []SpanRecord
+	next int
+	full bool
+}
+
+// NewTracer returns a tracer retaining the last `ring` spans (0 means the
+// default of 256). reg may be nil: spans are then only retained in the
+// ring.
+func NewTracer(reg *Registry, ring int) *Tracer {
+	if ring <= 0 {
+		ring = defaultSpanRing
+	}
+	return &Tracer{reg: reg, ring: make([]SpanRecord, ring)}
+}
+
+// Span is one in-flight operation.
+type Span struct {
+	tr       *Tracer
+	name     string
+	start    time.Time
+	deadline *time.Time
+	labels   map[string]string
+}
+
+// Start opens a span. The context is consulted for a deadline (recorded
+// on the span so snapshot readers can see how close an install ran to its
+// budget); cancellation is the caller's business.
+func (t *Tracer) Start(ctx context.Context, name string, labels ...Label) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tr: t, name: name, start: time.Now()}
+	if ctx != nil {
+		if dl, ok := ctx.Deadline(); ok {
+			s.deadline = &dl
+		}
+	}
+	for _, l := range labels {
+		s.SetLabel(l.Key, l.Value)
+	}
+	return s
+}
+
+// SetLabel attaches or overwrites a label on the span.
+func (s *Span) SetLabel(key, value string) {
+	if s == nil {
+		return
+	}
+	if s.labels == nil {
+		s.labels = make(map[string]string, 4)
+	}
+	s.labels[key] = value
+}
+
+// End completes the span with outcome "ok" or "error" depending on err.
+func (s *Span) End(err error) {
+	if err != nil {
+		s.EndOutcome("error", err)
+		return
+	}
+	s.EndOutcome("ok", nil)
+}
+
+// EndOutcome completes the span with an explicit outcome label (e.g.
+// "rolled_back", "admission_rejected").
+func (s *Span) EndOutcome(outcome string, err error) {
+	if s == nil {
+		return
+	}
+	rec := SpanRecord{
+		Name:      s.name,
+		Outcome:   outcome,
+		Start:     s.start,
+		DurationS: time.Since(s.start).Seconds(),
+		Deadline:  s.deadline,
+		Labels:    s.labels,
+	}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	t := s.tr
+	t.mu.Lock()
+	t.ring[t.next] = rec
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+
+	t.reg.Counter("camus_"+s.name+"_total", L("outcome", outcome)).Inc()
+	t.reg.Histogram("camus_" + s.name + "_seconds").Observe(time.Since(s.start))
+}
+
+// Spans returns the retained spans, oldest first.
+func (t *Tracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []SpanRecord
+	if t.full {
+		out = append(out, t.ring[t.next:]...)
+	}
+	out = append(out, t.ring[:t.next]...)
+	return out
+}

@@ -1,0 +1,95 @@
+package camus
+
+import (
+	"strings"
+	"testing"
+
+	"camus/internal/compiler"
+	"camus/internal/itch"
+	"camus/internal/pipeline"
+	"camus/internal/telemetry"
+	"camus/internal/workload"
+)
+
+// TestPipelineDerivedCountersExact cross-checks the scrape-time derived
+// pipeline counters against ground truth from the Process return values.
+// The hot path records a single fused miss-pattern sample per packet;
+// packets, forwarded, dropped, and per-table hit/miss totals are all
+// reconstructed from those samples, and must stay exact across
+// Reinstall — including past the generation-fold horizon.
+func TestPipelineDerivedCountersExact(t *testing.T) {
+	sp := workload.ITCHSpec()
+	cfg := workload.DefaultITCHSubsConfig()
+	cfg.Subscriptions = 1000
+	feed := workload.GenerateFeed(workload.SyntheticFeedConfig())
+	var orders []itch.AddOrder
+	for _, p := range feed {
+		orders = append(orders, p.Orders...)
+	}
+	prog, err := compiler.Compile(sp, workload.ITCHSubscriptions(cfg), compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg := pipeline.DefaultConfig()
+	reg := telemetry.NewRegistry()
+	pcfg.Telemetry = reg
+	sw, err := pipeline.New(prog, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := itch.NewExtractor(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var vals []uint64
+	forwarded := 0
+	run := func(n int) {
+		for i := 0; i < n; i++ {
+			o := &orders[i%len(orders)]
+			vals = ex.Values(o, vals)
+			if r := sw.Process(vals, 0); !r.Dropped {
+				forwarded++
+			}
+		}
+	}
+	packets := 20000
+	run(packets)
+	// Churn the program well past the fold horizon so retired pattern
+	// generations are folded into the cumulative totals mid-count.
+	for i := 0; i < 6; i++ {
+		if err := sw.Reinstall(prog); err != nil {
+			t.Fatal(err)
+		}
+		run(1000)
+		packets += 1000
+	}
+
+	snap := reg.Snapshot()
+	var misses, hits uint64
+	for k, v := range snap.Counters {
+		if strings.HasPrefix(k, "camus_pipeline_table_misses_total") {
+			misses += v
+		}
+		if strings.HasPrefix(k, "camus_pipeline_table_hits_total") {
+			hits += v
+		}
+	}
+	if got := snap.Counters["camus_pipeline_packets_total"]; got != uint64(packets) {
+		t.Errorf("packets_total = %d, want %d", got, packets)
+	}
+	if got := snap.Counters["camus_pipeline_packets_forwarded_total"]; got != uint64(forwarded) {
+		t.Errorf("packets_forwarded_total = %d, want %d", got, forwarded)
+	}
+	if got := snap.Counters["camus_pipeline_packets_dropped_total"]; got != uint64(packets-forwarded) {
+		t.Errorf("packets_dropped_total = %d, want %d", got, packets-forwarded)
+	}
+	// Every packet traverses every table exactly once, so per-table
+	// hits+misses must sum to tables × packets.
+	if want := uint64(len(prog.Tables)) * uint64(packets); misses+hits != want {
+		t.Errorf("hits %d + misses %d = %d, want %d", hits, misses, hits+misses, want)
+	}
+	if got := sw.PacketsProcessed(); got != uint64(packets) {
+		t.Errorf("PacketsProcessed = %d, want %d", got, packets)
+	}
+}
