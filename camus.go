@@ -36,6 +36,7 @@ package camus
 import (
 	"net/http"
 
+	"camus/internal/analyze"
 	"camus/internal/compiler"
 	"camus/internal/controlplane"
 	"camus/internal/core"
@@ -85,7 +86,10 @@ func ServeAdmin(addr string, t *Telemetry) (*AdminServer, error) { return teleme
 // Option configures a facade constructor.
 type Option func(*facadeOpts)
 
-type facadeOpts struct{ tel *Telemetry }
+type facadeOpts struct {
+	tel      *Telemetry
+	analysis AnalysisPolicy
+}
 
 // WithTelemetry routes the constructed component's metrics and spans
 // through t. Passing nil is a no-op (the component stays uninstrumented).
@@ -162,19 +166,87 @@ type (
 	Stats = compiler.Stats
 )
 
+// Static analysis of rule sets (camus-vet). WithAnalysis makes Compile
+// and CompileSource run the analyzer first and refuse rule sets the
+// chosen policy rejects; the returned error is an *AnalysisRejection
+// carrying the full diagnostic report.
+type (
+	// AnalysisPolicy selects how strict an analysis-gated compile is.
+	AnalysisPolicy = analyze.Policy
+	// AnalysisReport is the diagnostics produced by one analysis pass.
+	AnalysisReport = analyze.Report
+	// AnalysisDiagnostic is one finding with a stable CAMxxx code.
+	AnalysisDiagnostic = analyze.Diagnostic
+	// AnalysisOptions tunes an analysis pass (budget, pair limits).
+	AnalysisOptions = analyze.Options
+	// AnalysisRejection is the error an analysis-gated compile or an
+	// admission gate returns for a rejected rule set.
+	AnalysisRejection = analyze.RejectionError
+)
+
+// Analysis policies re-exported for WithAnalysis.
+const (
+	// AnalysisOff disables the pre-compile analysis (the default).
+	AnalysisOff = analyze.PolicyOff
+	// AnalysisLenient rejects rule sets with error diagnostics.
+	AnalysisLenient = analyze.PolicyLenient
+	// AnalysisStrict rejects on warnings too.
+	AnalysisStrict = analyze.PolicyStrict
+)
+
+// WithAnalysis makes Compile/CompileSource statically analyze the rule
+// set (unsatisfiable, shadowed, duplicate, ill-typed, conflicting rules;
+// resource-budget overruns) and fail with an *AnalysisRejection when the
+// policy rejects it.
+func WithAnalysis(p AnalysisPolicy) Option {
+	return func(o *facadeOpts) { o.analysis = p }
+}
+
+// Analyze runs the camus-vet static analysis over parsed rules without
+// compiling, returning every diagnostic.
+func Analyze(sp *Spec, rules []Rule, opts AnalysisOptions) *AnalysisReport {
+	return analyze.Rules(sp, rules, opts)
+}
+
+// admitRules applies a facade analysis policy before compilation.
+func (fo facadeOpts) admitRules(sp *Spec, rules []Rule) error {
+	if fo.analysis == AnalysisOff {
+		return nil
+	}
+	gate := analyze.NewGate(sp, analyze.Options{Telemetry: fo.tel.Reg()}, fo.analysis)
+	_, err := gate.Admit(rules)
+	return err
+}
+
 // Compile compiles parsed rules against a spec. WithTelemetry records
-// the compile's duration and BDD statistics.
+// the compile's duration and BDD statistics; WithAnalysis runs the
+// static analyzer first and rejects bad rule sets before compilation.
 func Compile(sp *Spec, rules []Rule, opts CompileOptions, o ...Option) (*Program, error) {
-	if fo := applyOpts(o); fo.tel != nil {
-		opts.Telemetry = fo.tel.Registry
+	fo := applyOpts(o)
+	if fo.tel != nil {
+		opts.Telemetry = fo.tel.Reg()
+	}
+	if err := fo.admitRules(sp, rules); err != nil {
+		return nil, err
 	}
 	return compiler.Compile(sp, rules, opts)
 }
 
 // CompileSource parses and compiles subscription source text.
 func CompileSource(sp *Spec, src string, opts CompileOptions, o ...Option) (*Program, error) {
-	if fo := applyOpts(o); fo.tel != nil {
-		opts.Telemetry = fo.tel.Registry
+	fo := applyOpts(o)
+	if fo.tel != nil {
+		opts.Telemetry = fo.tel.Reg()
+	}
+	if fo.analysis != AnalysisOff {
+		rules, err := lang.ParseRules(src)
+		if err != nil {
+			return nil, err
+		}
+		if err := fo.admitRules(sp, rules); err != nil {
+			return nil, err
+		}
+		return compiler.Compile(sp, rules, opts)
 	}
 	return compiler.CompileSource(sp, src, opts)
 }
@@ -208,7 +280,7 @@ func DefaultSwitchConfig() SwitchConfig { return pipeline.DefaultConfig() }
 // register reads, occupancy gauges.
 func NewSwitch(p *Program, cfg SwitchConfig, o ...Option) (*Switch, error) {
 	if fo := applyOpts(o); fo.tel != nil {
-		cfg.Telemetry = fo.tel.Registry
+		cfg.Telemetry = fo.tel.Reg()
 	}
 	return pipeline.New(p, cfg)
 }

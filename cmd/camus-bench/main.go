@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 5a, 5b, 5c, 7a, 7b, throughput, ablation, order, churn, all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 5a, 5b, 5c, 7a, 7b, throughput, ablation, order, churn, vet, all")
 		sizes    = flag.String("sizes", "", "comma-separated subscription counts (5c/throughput/churn override)")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		csv      = flag.Bool("csv", false, "emit CSV series instead of aligned tables")
@@ -120,6 +120,28 @@ func main() {
 			pts, err := experiments.Fanout(16)
 			fatal(err)
 			fmt.Print(experiments.FormatFanout(pts))
+		case "vet":
+			pts, err := experiments.VetEstimate(sizeList, *seed)
+			fatal(err)
+			if *jsonOut {
+				enc := json.NewEncoder(os.Stdout)
+				enc.SetIndent("", "  ")
+				fatal(enc.Encode(struct {
+					Seed     int64                  `json:"seed"`
+					Analysis []experiments.VetPoint `json:"analysis"`
+				}{*seed, pts}))
+				return
+			}
+			if *csv {
+				fmt.Println("subscriptions,analyze_ms,compile_ms,predicted_sram,actual_sram,predicted_tcam,actual_tcam,exact")
+				for _, p := range pts {
+					fmt.Printf("%d,%.1f,%.1f,%d,%d,%d,%d,%v\n",
+						p.Subscriptions, p.AnalyzeMs, p.CompileMs,
+						p.PredictedSRAM, p.ActualSRAM, p.PredictedTCAM, p.ActualTCAM, p.Exact)
+				}
+				return
+			}
+			fmt.Print(experiments.FormatVet(pts))
 		case "churn":
 			reg := telemetry.NewRegistry()
 			pts, err := experiments.ChurnInstrumented(sizeList, *churnPct, *seed, reg)

@@ -1,0 +1,177 @@
+// Command camus-lint adapts the project's custom analyzers
+// (internal/lint: telemetrynil, atomicalign) to the `go vet -vettool`
+// unit-checker protocol, using only the standard library:
+//
+//	go build -o camus-lint ./cmd/camus-lint
+//	go vet -vettool=$PWD/camus-lint ./...
+//
+// The go command invokes the tool once per package with a JSON config
+// file describing the unit: its Go files, the import map, and the
+// export-data file of every dependency. The tool type-checks the
+// package against that export data, runs the analyzers, prints findings
+// as `file:line:col: message` on stderr, and exits 2 when there are
+// any — exactly what `go vet` expects of a vettool.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"camus/internal/lint"
+)
+
+// config mirrors the vet.cfg JSON the go command hands a vettool. Only
+// the fields this tool consumes are declared; unknown fields are
+// ignored by encoding/json.
+type config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func main() {
+	// The go command probes the tool's identity and flag set before
+	// handing it any work; both answers must parse.
+	args := os.Args[1:]
+	var cfgPath string
+	for _, arg := range args {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			// Format contract: field 2 is the literal "version".
+			fmt.Println("camus-lint version camus0.1")
+			return
+		case arg == "-flags" || arg == "--flags":
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(arg, ".cfg"):
+			cfgPath = arg
+		}
+	}
+	if cfgPath == "" {
+		fmt.Fprintln(os.Stderr, "camus-lint: usage: camus-lint path/to/vet.cfg (invoked by go vet -vettool)")
+		os.Exit(2)
+	}
+	os.Exit(run(cfgPath))
+}
+
+func run(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "camus-lint:", err)
+		return 1
+	}
+	var cfg config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "camus-lint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// The go command requires the facts file to exist even though these
+	// analyzers export none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "camus-lint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency pass: facts only, no diagnostics wanted.
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "camus-lint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typecheck(fset, files, &cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "camus-lint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags, err := lint.RunPackage(lint.Analyzers(), fset, files, pkg, info)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "camus-lint:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// typecheck loads the unit's dependencies from the export data the go
+// command listed in PackageFile, translating source-level import paths
+// through ImportMap (vendoring, test variants).
+func typecheck(fset *token.FileSet, files []*ast.File, cfg *config) (*types.Package, *types.Info, error) {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	tc := &types.Config{
+		Importer: unsafeAware{importer.ForCompiler(fset, compiler, lookup)},
+		Sizes:    types.SizesFor("gc", "amd64"),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	return pkg, info, err
+}
+
+// unsafeAware routes the "unsafe" pseudo-package around the export-data
+// importer, which has no file to read for it.
+type unsafeAware struct{ types.Importer }
+
+func (u unsafeAware) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return u.Importer.Import(path)
+}

@@ -1,0 +1,242 @@
+// Package analyze is the static-analysis front end for subscription rule
+// sets: it checks parsed rules against a message-format spec and emits
+// structured diagnostics with stable codes, before anything touches the
+// compiler or the device.
+//
+// The pass layers three kinds of checks:
+//
+//   - per-rule checks against the spec (CAM004: unknown fields or state
+//     variables, range predicates on @query_field_exact fields, symbolic
+//     constants that do not encode, values overflowing the declared field
+//     width) and per-rule satisfiability (CAM001), decided on the same
+//     interval sets the compiler lowers atoms to;
+//   - pairwise checks (CAM002 shadowing/subsumption, CAM003 duplicates,
+//     CAM005 conflicting actions on overlapping conditions), using an
+//     interval bounding-projection pre-filter plus a point-value bucketing
+//     pass so the quadratic work is near-linear on realistic rule sets,
+//     with the multi-terminal BDD of package bdd (shared Builder arena) as
+//     the exact containment oracle when interval reasoning alone is not
+//     decisive;
+//   - whole-set resource estimation (CAM006), by dry-running the real
+//     compiler's field-component slicing and pricing the resulting tables
+//     against a device budget with pipeline.Plan.
+//
+// camusc -check and camus-vet print the diagnostics; the control plane
+// runs the same pass as an admission gate (see Gate) so an error-severity
+// rule set is rejected before any device write.
+package analyze
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"camus/internal/lang"
+	"camus/internal/pipeline"
+	"camus/internal/spec"
+	"camus/internal/telemetry"
+)
+
+// Diagnostic codes. The numbering is stable: tools and CI may grep for
+// them.
+const (
+	CodeParse     = "CAM000" // source does not parse / rule rejected by front end
+	CodeUnsat     = "CAM001" // condition is unsatisfiable
+	CodeShadowed  = "CAM002" // rule shadowed/subsumed by another rule
+	CodeDuplicate = "CAM003" // duplicate rule
+	CodeType      = "CAM004" // type/match-kind mismatch against the spec
+	CodeConflict  = "CAM005" // conflicting actions for overlapping conditions
+	CodeResources = "CAM006" // estimated table entries exceed device budget
+	CodeLimit     = "CAM007" // analysis truncated (pairwise budget exhausted)
+)
+
+// Severity grades a diagnostic.
+type Severity int
+
+// Severities, in increasing order of badness.
+const (
+	SevInfo Severity = iota
+	SevWarning
+	SevError
+)
+
+var severityNames = [...]string{"info", "warning", "error"}
+
+func (s Severity) String() string {
+	if s < 0 || int(s) >= len(severityNames) {
+		return fmt.Sprintf("severity(%d)", int(s))
+	}
+	return severityNames[s]
+}
+
+// MarshalJSON renders the severity as its lowercase name.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// Diagnostic is one finding of the analysis pass.
+type Diagnostic struct {
+	Code     string    `json:"code"`
+	Severity Severity  `json:"severity"`
+	Rule     int       `json:"rule"` // rule index in the set; -1 for set-level findings
+	Line     int       `json:"line"`
+	Col      int       `json:"col"`
+	Msg      string    `json:"msg"`
+	Related  []Related `json:"related,omitempty"`
+}
+
+// Related points a diagnostic at another involved source location (the
+// shadowing rule, the spec declaration, ...).
+type Related struct {
+	Rule int    `json:"rule"` // rule index, -1 when the location is not a rule
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Msg  string `json:"msg"`
+}
+
+// String renders the canonical single-line form (no file prefix):
+//
+//	line:col: severity CAMxxx: msg
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%d:%d: %s %s: %s", d.Line, d.Col, d.Severity, d.Code, d.Msg)
+}
+
+// Options configures an analysis run. The zero value is ready to use.
+type Options struct {
+	// Budget is the device the rule set must fit (CAM006). Nil means
+	// pipeline.DefaultConfig().
+	Budget *pipeline.Config
+	// SkipResources disables the CAM006 dry-run compile (the most
+	// expensive check) — useful when only the front-end checks matter.
+	SkipResources bool
+	// MaxPairs caps the number of exact pairwise tests after
+	// pre-filtering; past it the pass emits CAM007 and stops pairing.
+	// 0 means DefaultMaxPairs.
+	MaxPairs int
+	// Workers bounds the dry-run compile's parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Telemetry, when non-nil, receives camus_analyze_* series.
+	Telemetry *telemetry.Registry
+}
+
+// DefaultMaxPairs bounds pairwise work (CAM002/CAM003/CAM005) per run.
+const DefaultMaxPairs = 4_000_000
+
+func (o Options) maxPairs() int {
+	if o.MaxPairs > 0 {
+		return o.MaxPairs
+	}
+	return DefaultMaxPairs
+}
+
+func (o Options) budget() pipeline.Config {
+	if o.Budget != nil {
+		return *o.Budget
+	}
+	return pipeline.DefaultConfig()
+}
+
+// Report is the result of analyzing one rule set.
+type Report struct {
+	Diagnostics []Diagnostic  `json:"diagnostics"`
+	Rules       int           `json:"rules"`
+	Elapsed     time.Duration `json:"elapsed_ns"`
+	// Estimate is the dry-run resource plan (nil when SkipResources was
+	// set or no rule survived the front-end checks).
+	Estimate *pipeline.ResourceReport `json:"estimate,omitempty"`
+}
+
+// Count returns the number of diagnostics at exactly the given severity.
+func (r *Report) Count(sev Severity) int {
+	n := 0
+	for _, d := range r.Diagnostics {
+		if d.Severity == sev {
+			n++
+		}
+	}
+	return n
+}
+
+// Errors returns the number of error-severity diagnostics.
+func (r *Report) Errors() int { return r.Count(SevError) }
+
+// Warnings returns the number of warning-severity diagnostics.
+func (r *Report) Warnings() int { return r.Count(SevWarning) }
+
+// HasErrors reports whether any diagnostic is an error.
+func (r *Report) HasErrors() bool { return r.Errors() > 0 }
+
+// ByCode returns the diagnostics carrying the given code.
+func (r *Report) ByCode(code string) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diagnostics {
+		if d.Code == code {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Rules analyzes a parsed rule set against a spec. The returned report
+// always reflects every check that could run; hard internal failures
+// surface as CAM000 diagnostics, never as panics or lost findings.
+func Rules(sp *spec.Spec, rules []lang.Rule, opts Options) *Report {
+	start := time.Now()
+	a := newAnalysis(sp, rules, opts)
+	a.checkRules()    // CAM001, CAM004 (+ CAM000 on normalize failure)
+	a.checkPairwise() // CAM002, CAM003, CAM005 (+ CAM007 when truncated)
+	rep := &Report{Rules: len(rules)}
+	if !opts.SkipResources {
+		rep.Estimate = a.checkResources() // CAM006
+	}
+	sort.SliceStable(a.diags, func(i, j int) bool { return diagLess(a.diags[i], a.diags[j]) })
+	rep.Diagnostics = a.diags
+	rep.Elapsed = time.Since(start)
+	record(opts.Telemetry, rep)
+	return rep
+}
+
+// Source parses rule source text and analyzes it. Parse failures become a
+// CAM000 error diagnostic carrying the parser's position.
+func Source(sp *spec.Spec, src string, opts Options) *Report {
+	rules, err := lang.ParseRules(src)
+	if err != nil {
+		d := Diagnostic{Code: CodeParse, Severity: SevError, Rule: -1, Msg: err.Error()}
+		var serr *lang.SyntaxError
+		if errors.As(err, &serr) {
+			d.Line, d.Col, d.Msg = serr.Line, serr.Col, serr.Msg
+		}
+		rep := &Report{Diagnostics: []Diagnostic{d}}
+		record(opts.Telemetry, rep)
+		return rep
+	}
+	return Rules(sp, rules, opts)
+}
+
+// diagLess orders diagnostics by source position, then code, then rule.
+func diagLess(a, b Diagnostic) bool {
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	if a.Col != b.Col {
+		return a.Col < b.Col
+	}
+	if a.Code != b.Code {
+		return a.Code < b.Code
+	}
+	return a.Rule < b.Rule
+}
+
+// record exports the run's outcome as camus_analyze_* telemetry.
+func record(reg *telemetry.Registry, rep *Report) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("camus_analyze_runs_total").Inc()
+	reg.Histogram("camus_analyze_seconds").Observe(rep.Elapsed)
+	for _, d := range rep.Diagnostics {
+		reg.Counter("camus_analyze_diagnostics_total",
+			telemetry.L("code", d.Code), telemetry.L("severity", d.Severity.String())).Inc()
+	}
+}

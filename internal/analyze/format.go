@@ -1,0 +1,165 @@
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Text renders the report in the canonical line-oriented form:
+//
+//	file:line:col: severity CAMxxx: msg
+//	file:line:col: note: related message
+//
+// file is prepended to every line when non-empty (camus-vet passes the
+// rule file's path; camusc passes the -rules argument).
+func (r *Report) Text(file string) string {
+	var b strings.Builder
+	prefix := ""
+	if file != "" {
+		prefix = file + ":"
+	}
+	for _, d := range r.Diagnostics {
+		fmt.Fprintf(&b, "%s%s\n", prefix, d.String())
+		for _, rel := range d.Related {
+			fmt.Fprintf(&b, "%s%d:%d: note: %s\n", prefix, rel.Line, rel.Col, rel.Msg)
+		}
+	}
+	return b.String()
+}
+
+// JSON renders the report as an indented JSON object (the Report's
+// struct shape: diagnostics, rule count, elapsed time, estimate).
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// sarif* mirror the SARIF 2.1.0 schema, reduced to the fields static
+// analysis consumers (GitHub code scanning et al.) require.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string            `json:"id"`
+	ShortDescription sarifMessage      `json:"shortDescription"`
+	Properties       map[string]string `json:"properties,omitempty"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// codeDescriptions documents each stable code for SARIF rule metadata.
+var codeDescriptions = map[string]string{
+	CodeParse:     "source does not parse or was rejected by the front end",
+	CodeUnsat:     "condition is unsatisfiable",
+	CodeShadowed:  "rule shadowed/subsumed by another rule",
+	CodeDuplicate: "duplicate rule",
+	CodeType:      "type or match-kind mismatch against the message spec",
+	CodeConflict:  "conflicting actions for overlapping conditions",
+	CodeResources: "estimated table entries exceed the device budget",
+	CodeLimit:     "analysis truncated",
+}
+
+func sarifLevel(s Severity) string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarning:
+		return "warning"
+	default:
+		return "note"
+	}
+}
+
+// SARIF renders the report as a SARIF 2.1.0 log with one run. uri names
+// the analyzed artifact (the rule file path).
+func (r *Report) SARIF(uri string) ([]byte, error) {
+	if uri == "" {
+		uri = "rules"
+	}
+	seen := make(map[string]bool)
+	var rules []sarifRule
+	results := make([]sarifResult, 0, len(r.Diagnostics))
+	for _, d := range r.Diagnostics {
+		if !seen[d.Code] {
+			seen[d.Code] = true
+			rules = append(rules, sarifRule{
+				ID:               d.Code,
+				ShortDescription: sarifMessage{Text: codeDescriptions[d.Code]},
+			})
+		}
+		line, col := d.Line, d.Col
+		if line < 1 {
+			line = 1
+		}
+		if col < 1 {
+			col = 1
+		}
+		results = append(results, sarifResult{
+			RuleID:  d.Code,
+			Level:   sarifLevel(d.Severity),
+			Message: sarifMessage{Text: d.Msg},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: uri},
+				Region:           sarifRegion{StartLine: line, StartColumn: col},
+			}}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "camus-vet",
+				InformationURI: "https://example.org/camus",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}

@@ -1,0 +1,111 @@
+package analyze
+
+import (
+	"fmt"
+	"strings"
+
+	"camus/internal/lang"
+	"camus/internal/spec"
+)
+
+// Policy selects how strict an admission gate or a WithAnalysis compile
+// is about diagnostics.
+type Policy int
+
+const (
+	// PolicyOff disables analysis entirely.
+	PolicyOff Policy = iota
+	// PolicyLenient rejects rule sets with error-severity diagnostics;
+	// warnings are logged/counted but admitted.
+	PolicyLenient
+	// PolicyStrict rejects on warnings too.
+	PolicyStrict
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyOff:
+		return "off"
+	case PolicyLenient:
+		return "lenient"
+	case PolicyStrict:
+		return "strict"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// rejects reports whether the policy rejects a report.
+func (p Policy) rejects(r *Report) bool {
+	switch p {
+	case PolicyLenient:
+		return r.HasErrors()
+	case PolicyStrict:
+		return r.HasErrors() || r.Warnings() > 0
+	default:
+		return false
+	}
+}
+
+// RejectionError is returned when a rule set fails admission. It carries
+// the full report so callers can render every diagnostic.
+type RejectionError struct {
+	Policy Policy
+	Report *Report
+}
+
+func (e *RejectionError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rule set rejected by %s analysis policy: %d error(s), %d warning(s)",
+		e.Policy, e.Report.Errors(), e.Report.Warnings())
+	n := 0
+	for _, d := range e.Report.Diagnostics {
+		if d.Severity < SevWarning {
+			continue
+		}
+		if n == 3 {
+			fmt.Fprintf(&b, "; ...")
+			break
+		}
+		fmt.Fprintf(&b, "; %s", d.String())
+		n++
+	}
+	return b.String()
+}
+
+// Gate is a reusable admission check for the control plane: Admit runs
+// the analysis pass and rejects rule sets the policy disallows, before
+// anything is compiled for or written to a device. A nil *Gate admits
+// everything (zero-cost opt-out).
+type Gate struct {
+	Spec   *spec.Spec
+	Opts   Options
+	Policy Policy
+}
+
+// NewGate builds an admission gate. Telemetry flows through
+// Opts.Telemetry (camus_analyze_* series plus gate verdict counters).
+func NewGate(sp *spec.Spec, opts Options, policy Policy) *Gate {
+	return &Gate{Spec: sp, Opts: opts, Policy: policy}
+}
+
+// Admit analyzes the prospective rule set. It returns the report and,
+// when the policy rejects it, a *RejectionError. Warnings on admitted
+// sets are observable via the report and the telemetry series.
+func (g *Gate) Admit(rules []lang.Rule) (*Report, error) {
+	if g == nil || g.Policy == PolicyOff {
+		return nil, nil
+	}
+	rep := Rules(g.Spec, rules, g.Opts)
+	if reg := g.Opts.Telemetry; reg != nil {
+		if g.Policy.rejects(rep) {
+			reg.Counter("camus_analyze_rejected_total").Inc()
+		} else {
+			reg.Counter("camus_analyze_admitted_total").Inc()
+		}
+	}
+	if g.Policy.rejects(rep) {
+		return rep, &RejectionError{Policy: g.Policy, Report: rep}
+	}
+	return rep, nil
+}

@@ -1,0 +1,57 @@
+package analyze
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"camus/internal/workload"
+)
+
+// TestAnalyze10kUnder5s is the acceptance-criterion perf test: the
+// paper's Fig. 5c ITCH subscription workload at 10k rules must analyze
+// in under 5 seconds, pairwise checks and resource dry-run included.
+func TestAnalyze10kUnder5s(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-rule workload; skipped with -short")
+	}
+	cfg := workload.DefaultITCHSubsConfig()
+	cfg.Subscriptions = 10_000
+	rules := workload.ITCHSubscriptions(cfg)
+	sp := workload.ITCHSpec()
+
+	start := time.Now()
+	rep := Rules(sp, rules, Options{})
+	elapsed := time.Since(start)
+	t.Logf("analyzed %d rules in %v (%d diagnostics, estimate=%v)",
+		len(rules), elapsed, len(rep.Diagnostics), rep.Estimate != nil)
+
+	if rep.Estimate == nil {
+		t.Error("resource estimate missing")
+	}
+	for _, d := range rep.Diagnostics {
+		if d.Code == CodeParse || d.Code == CodeType {
+			t.Errorf("clean workload produced front-end diagnostic %s", d)
+		}
+	}
+	if raceEnabled {
+		t.Skipf("race detector enabled; skipping the %v < 5s assertion", elapsed)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("analysis took %v, want < 5s", elapsed)
+	}
+}
+
+func BenchmarkAnalyze(b *testing.B) {
+	for _, n := range []int{1000, 10_000} {
+		cfg := workload.DefaultITCHSubsConfig()
+		cfg.Subscriptions = n
+		rules := workload.ITCHSubscriptions(cfg)
+		sp := workload.ITCHSpec()
+		b.Run(fmt.Sprintf("rules=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Rules(sp, rules, Options{})
+			}
+		})
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package analyze
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// assertions are skipped under its (substantial) slowdown.
+const raceEnabled = false

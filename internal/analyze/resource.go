@@ -1,0 +1,47 @@
+package analyze
+
+import (
+	"fmt"
+
+	"camus/internal/compiler"
+	"camus/internal/lang"
+	"camus/internal/pipeline"
+)
+
+// checkResources estimates the rule set's table demand by dry-running
+// the real compiler (Algorithm 1 slicing included) over the rules that
+// passed the front end, then pricing the program against the device
+// budget. Exceeding any budget is CAM006. The estimate is exact — it is
+// the same computation an install would perform — which is why the
+// admission gate can promise "rejected rule sets never touch the
+// device".
+func (a *analysis) checkResources() *pipeline.ResourceReport {
+	var clean []lang.Rule
+	last := -1 // index (in the analyzed set) of the last compilable rule
+	for _, info := range a.infos {
+		if info.bad {
+			continue
+		}
+		clean = append(clean, info.rule)
+		last = info.index
+	}
+	if len(clean) == 0 {
+		return nil
+	}
+	prog, err := compiler.Compile(a.sp, clean, compiler.Options{Workers: a.opts.Workers})
+	if err != nil {
+		a.report(Diagnostic{Code: CodeParse, Severity: SevError, Rule: -1,
+			Msg: fmt.Sprintf("resource estimation failed: compiler rejected the rule set: %v", err)})
+		return nil
+	}
+	rep := pipeline.Plan(prog, a.opts.budget())
+	if !rep.Fits() {
+		info := a.infos[last]
+		line, col := rulePos(info.rule, lang0(info))
+		a.report(Diagnostic{Code: CodeResources, Severity: SevError, Rule: last,
+			Line: line, Col: col,
+			Msg: fmt.Sprintf("estimated table entries exceed device budget: stages %d/%d, SRAM %d/%d, TCAM %d/%d",
+				rep.StagesUsed, rep.StageBudget, rep.TotalSRAM, rep.SRAMBudget, rep.TotalTCAM, rep.TCAMBudget)})
+	}
+	return &rep
+}

@@ -19,8 +19,10 @@ import (
 	"strings"
 	"time"
 
+	"camus/internal/analyze"
 	"camus/internal/bdd"
 	"camus/internal/compiler"
+	"camus/internal/lang"
 	"camus/internal/pipeline"
 	"camus/internal/telemetry"
 )
@@ -142,6 +144,7 @@ type Controller struct {
 	dev  Device
 	prog *compiler.Program
 	tel  *telemetry.Telemetry
+	gate *analyze.Gate
 	// Policy bounds Update's commit phase; the zero value uses defaults.
 	Policy UpdatePolicy
 }
@@ -155,6 +158,47 @@ func NewController(dev Device) *Controller {
 // SetTelemetry routes install spans and counters through t. Safe to call
 // once, before the controller is shared.
 func (c *Controller) SetTelemetry(t *telemetry.Telemetry) { c.tel = t }
+
+// SetAdmission installs a static-analysis admission gate: UpdateRules
+// analyzes each prospective rule set and rejects error-severity sets
+// (per the gate's policy) before compiling for or writing to the device.
+// A nil gate disables the step.
+func (c *Controller) SetAdmission(g *analyze.Gate) { c.gate = g }
+
+// admit runs the analysis gate over a prospective rule set, labeling the
+// span with the verdict. A nil receiver gate admits everything.
+func admit(gate *analyze.Gate, rules []lang.Rule, span *telemetry.Span) error {
+	rep, err := gate.Admit(rules)
+	if rep != nil {
+		span.SetLabel("analyze_errors", fmt.Sprint(rep.Errors()))
+		span.SetLabel("analyze_warnings", fmt.Sprint(rep.Warnings()))
+	}
+	return err
+}
+
+// UpdateRules analyzes, compiles, and installs a full replacement rule
+// set. The admission gate (SetAdmission) sees the rules before the
+// compiler does, so a rejected set costs no compile and — the gate's
+// contract — no device write. Compilation uses the gate's spec.
+func (c *Controller) UpdateRules(ctx context.Context, rules []lang.Rule, copts compiler.Options) (Delta, error) {
+	if c.gate == nil || c.gate.Spec == nil {
+		return Delta{}, fmt.Errorf("controlplane: UpdateRules needs an admission gate with a spec (SetAdmission)")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	span := c.tel.Trc().Start(ctx, "controlplane_admission")
+	if err := admit(c.gate, rules, span); err != nil {
+		span.EndOutcome("analysis_rejected", err)
+		return Delta{}, fmt.Errorf("controlplane: update rejected by rule analysis: %w", err)
+	}
+	span.End(nil)
+	prog, err := compiler.Compile(c.gate.Spec, rules, copts)
+	if err != nil {
+		return Delta{}, err
+	}
+	return c.Update(ctx, prog)
+}
 
 // Program returns the currently installed program.
 func (c *Controller) Program() *compiler.Program { return c.prog }

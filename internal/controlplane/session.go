@@ -3,7 +3,9 @@ package controlplane
 import (
 	"context"
 	"fmt"
+	"sort"
 
+	"camus/internal/analyze"
 	"camus/internal/compiler"
 	"camus/internal/lang"
 	"camus/internal/pipeline"
@@ -22,6 +24,8 @@ type SessionController struct {
 	session *compiler.Session
 	prog    *compiler.Program
 	tel     *telemetry.Telemetry
+	gate    *analyze.Gate
+	live    map[int]lang.Rule // handle -> rule, mirrors the session's live set
 	// Policy bounds Churn's commit phase; the zero value uses defaults.
 	Policy UpdatePolicy
 }
@@ -43,7 +47,42 @@ func NewSessionController(sp *compiler.Session, initial []lang.Rule, cfg pipelin
 	if err != nil {
 		return nil, nil, err
 	}
-	return &SessionController{sw: sw, dev: sw, session: sp, prog: prog}, handles, nil
+	live := make(map[int]lang.Rule, len(initial))
+	for i, h := range handles {
+		live[h] = initial[i]
+	}
+	return &SessionController{sw: sw, dev: sw, session: sp, prog: prog, live: live}, handles, nil
+}
+
+// SetAdmission installs a static-analysis admission gate: every Churn
+// analyzes the prospective full rule set (live minus removed plus added)
+// and, when the gate's policy rejects it, returns before the session or
+// the device is touched. A nil gate disables the step.
+func (c *SessionController) SetAdmission(g *analyze.Gate) { c.gate = g }
+
+// prospective materializes the rule set Churn would leave live, in
+// deterministic (ascending handle, then added) order, erroring on
+// handles that are not live.
+func (c *SessionController) prospective(add []lang.Rule, remove []int) ([]lang.Rule, error) {
+	removed := make(map[int]bool, len(remove))
+	for _, h := range remove {
+		if _, ok := c.live[h]; !ok {
+			return nil, fmt.Errorf("controlplane: unknown rule handle %d", h)
+		}
+		removed[h] = true
+	}
+	keep := make([]int, 0, len(c.live))
+	for h := range c.live {
+		if !removed[h] {
+			keep = append(keep, h)
+		}
+	}
+	sort.Ints(keep)
+	rules := make([]lang.Rule, 0, len(keep)+len(add))
+	for _, h := range keep {
+		rules = append(rules, c.live[h])
+	}
+	return append(rules, add...), nil
 }
 
 // SetDevice reroutes installs through dev (a fault-injection wrapper
@@ -64,7 +103,10 @@ func (c *SessionController) Session() *compiler.Session { return c.session }
 
 // Churn applies one subscription churn event: remove rules by handle, add
 // new ones, recompile incrementally, and push only the entry delta to the
-// switch. The install follows the same two-phase discipline as
+// switch. When an admission gate is installed (SetAdmission), the
+// prospective full rule set is statically analyzed first and a rejected
+// set returns an *analyze.RejectionError before the session or the
+// device is touched. The install follows the same two-phase discipline as
 // Controller.Update — admission check before any write, transient-failure
 // retry, rollback to the prior program on permanent failure. After a
 // failed Churn the session keeps the new rule set but the device keeps
@@ -81,6 +123,17 @@ func (c *SessionController) Churn(ctx context.Context, add []lang.Rule, remove [
 	}
 	span := c.tel.Trc().Start(ctx, "controlplane_churn",
 		telemetry.L("add", fmt.Sprint(len(add))), telemetry.L("remove", fmt.Sprint(len(remove))))
+	if c.gate != nil {
+		rules, err := c.prospective(add, remove)
+		if err != nil {
+			span.EndOutcome("bad_handle", err)
+			return nil, Delta{}, err
+		}
+		if err := admit(c.gate, rules, span); err != nil {
+			span.EndOutcome("analysis_rejected", err)
+			return nil, Delta{}, fmt.Errorf("controlplane: churn rejected by rule analysis: %w", err)
+		}
+	}
 	if len(remove) > 0 {
 		if err := c.session.RemoveRules(remove...); err != nil {
 			span.EndOutcome("bad_handle", err)
@@ -95,6 +148,15 @@ func (c *SessionController) Churn(ctx context.Context, add []lang.Rule, remove [
 			span.EndOutcome("bad_rule", err)
 			return nil, Delta{}, err
 		}
+	}
+	// The session has accepted the mutation; mirror it. A later install
+	// failure leaves the session on the new set (see doc comment), so the
+	// mirror must update here, not after commit.
+	for _, h := range remove {
+		delete(c.live, h)
+	}
+	for i, h := range handles {
+		c.live[h] = add[i]
 	}
 	newProg, err := c.session.Recompile()
 	if err != nil {

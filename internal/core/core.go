@@ -50,8 +50,8 @@ func NewPubSub(sp *spec.Spec, cfg Config) (*PubSub, error) {
 		cfg.Switch = pipeline.DefaultConfig()
 	}
 	if cfg.Telemetry != nil {
-		cfg.Switch.Telemetry = cfg.Telemetry.Registry
-		cfg.Compiler.Telemetry = cfg.Telemetry.Registry
+		cfg.Switch.Telemetry = cfg.Telemetry.Reg()
+		cfg.Compiler.Telemetry = cfg.Telemetry.Reg()
 	}
 	ps := &PubSub{spec: sp, opts: cfg.Compiler, cfg: cfg.Switch, tel: cfg.Telemetry}
 	prog, err := compiler.CompileSource(sp, "", cfg.Compiler)

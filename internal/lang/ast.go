@@ -6,6 +6,23 @@ import (
 	"strings"
 )
 
+// Pos is a source position (1-based line and column) attached to AST
+// nodes by the parser. The zero Pos means "no position" (programmatically
+// built rules).
+type Pos struct {
+	Line, Col int
+}
+
+// IsValid reports whether the position was produced by a parser.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
 // CmpOp is a relational operator in an atomic predicate. The surface
 // language of Figure 1 has ==, < and >; negation during DNF rewriting
 // introduces the complements !=, >= and <=.
@@ -130,10 +147,14 @@ type Or struct{ L, R Expr }
 type Not struct{ X Expr }
 
 // Cmp is an atomic relational predicate: Operand op Value.
+//
+// Cmp and Atom must keep the same field sequence: DNF rewriting converts
+// between them with a direct struct conversion.
 type Cmp struct {
 	LHS Operand
 	Op  CmpOp
 	RHS Value
+	Pos Pos // position of the operand, when parsed from source
 }
 
 // True is the always-true condition (an empty conjunction; used for
@@ -171,6 +192,7 @@ type Action struct {
 	Var   string   // ActState: destination state variable
 	Func  string   // ActState: update function, e.g. "count", "add"
 	Args  []string // ActState: argument names (fields or variables)
+	Pos   Pos      // position of the action keyword, when parsed
 }
 
 // Fwd builds a forwarding action for the given ports.
@@ -203,7 +225,8 @@ func (a Action) String() string {
 	}
 }
 
-// Equal reports structural equality of actions.
+// Equal reports structural equality of actions, ignoring source
+// positions.
 func (a Action) Equal(b Action) bool {
 	if a.Kind != b.Kind || a.Var != b.Var || a.Func != b.Func {
 		return false
@@ -234,6 +257,9 @@ type Rule struct {
 	// ID is the rule's position in its source rule set; useful in
 	// diagnostics and for deterministic ordering.
 	ID int
+	// Pos is the source position of the rule's first token, when the
+	// rule was parsed from source.
+	Pos Pos
 }
 
 func (r Rule) String() string {
@@ -244,14 +270,23 @@ func (r Rule) String() string {
 	return fmt.Sprintf("%s : %s", r.Cond, strings.Join(acts, "; "))
 }
 
-// Atom is an atomic predicate in a DNF conjunction.
+// Atom is an atomic predicate in a DNF conjunction. The field sequence
+// must mirror Cmp (see there).
 type Atom struct {
 	LHS Operand
 	Op  CmpOp
 	RHS Value
+	Pos Pos
 }
 
 func (a Atom) String() string { return fmt.Sprintf("%s %s %s", a.LHS, a.Op, a.RHS) }
+
+// SameAtom reports equality of the predicate itself, ignoring source
+// positions. DNF canonicalization dedups with this so that the same
+// predicate written twice at different positions still collapses.
+func (a Atom) SameAtom(b Atom) bool {
+	return a.LHS == b.LHS && a.Op == b.Op && a.RHS == b.RHS
+}
 
 // Conjunction is a set of atoms that must all hold.
 type Conjunction []Atom

@@ -132,7 +132,7 @@ func dnfNegated(e Expr) ([]Conjunction, error) {
 	case True:
 		return nil, nil // !true matches nothing: empty disjunction
 	case Cmp:
-		return []Conjunction{{Atom{LHS: e.LHS, Op: e.Op.Negate(), RHS: e.RHS}}}, nil
+		return []Conjunction{{Atom{LHS: e.LHS, Op: e.Op.Negate(), RHS: e.RHS, Pos: e.Pos}}}, nil
 	case Not:
 		return dnf(e.X)
 	case And: // !(a && b) == !a || !b
@@ -156,7 +156,10 @@ func simplifyConjunction(c Conjunction) (Conjunction, bool) {
 	sort.Slice(sorted, func(i, j int) bool { return atomLess(sorted[i], sorted[j]) })
 	out := sorted[:0]
 	for i, a := range sorted {
-		if i > 0 && a == sorted[i-1] {
+		// Compare with SameAtom, not struct equality: the same predicate
+		// written at two source positions must still deduplicate, keeping
+		// normalized output identical to the pre-position parser's.
+		if i > 0 && a.SameAtom(sorted[i-1]) {
 			continue
 		}
 		out = append(out, a)

@@ -139,6 +139,7 @@ func (p *Parser) Rules() ([]Rule, error) {
 }
 
 func (p *Parser) parseRule() (Rule, error) {
+	pos := Pos{Line: p.tok.Line, Col: p.tok.Col}
 	cond, err := p.parseOr()
 	if err != nil {
 		return Rule{}, err
@@ -150,7 +151,7 @@ func (p *Parser) parseRule() (Rule, error) {
 	if err != nil {
 		return Rule{}, err
 	}
-	return Rule{Cond: cond, Actions: actions}, nil
+	return Rule{Cond: cond, Actions: actions, Pos: pos}, nil
 }
 
 func (p *Parser) parseOr() (Expr, error) {
@@ -269,7 +270,7 @@ func (p *Parser) parseAtom() (Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Cmp{LHS: operand, Op: op, RHS: val}, nil
+	return Cmp{LHS: operand, Op: op, RHS: val, Pos: Pos{Line: ident.Line, Col: ident.Col}}, nil
 }
 
 func (p *Parser) parseValue() (Value, error) {
@@ -311,6 +312,7 @@ func (p *Parser) parseAction() (Action, error) {
 	if err != nil {
 		return Action{}, err
 	}
+	pos := Pos{Line: ident.Line, Col: ident.Col}
 	switch ident.Text {
 	case "fwd", "forward":
 		ports, err := p.parsePortList()
@@ -320,7 +322,9 @@ func (p *Parser) parseAction() (Action, error) {
 		if len(ports) == 0 {
 			return Action{}, errAt(ident.Line, ident.Col, "fwd() requires at least one port")
 		}
-		return Fwd(ports...), nil
+		a := Fwd(ports...)
+		a.Pos = pos
+		return a, nil
 	case "drop":
 		if _, err := p.expect(TokLParen); err != nil {
 			return Action{}, err
@@ -328,7 +332,9 @@ func (p *Parser) parseAction() (Action, error) {
 		if _, err := p.expect(TokRParen); err != nil {
 			return Action{}, err
 		}
-		return Drop(), nil
+		a := Drop()
+		a.Pos = pos
+		return a, nil
 	}
 	// State update: var <- func(args)
 	if p.tok.Kind != TokArrow {
@@ -360,7 +366,9 @@ func (p *Parser) parseAction() (Action, error) {
 	if _, err := p.expect(TokRParen); err != nil {
 		return Action{}, err
 	}
-	return StateUpdate(ident.Text, fn.Text, args...), nil
+	a := StateUpdate(ident.Text, fn.Text, args...)
+	a.Pos = pos
+	return a, nil
 }
 
 func (p *Parser) parsePortList() ([]int, error) {

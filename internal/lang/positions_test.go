@@ -1,0 +1,166 @@
+package lang
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestRulePositions pins the 1-based line:col bookkeeping the analyzer's
+// diagnostics depend on, across comments, blank lines, and indentation.
+func TestRulePositions(t *testing.T) {
+	src := "# leading comment\n" + // line 1
+		"\n" + // line 2
+		"stock == GOOGL && price > 50 : fwd(1)\n" + // line 3
+		"  shares < 100 : drop()\n" // line 4, indented 2
+	rules, err := ParseRules(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("got %d rules, want 2", len(rules))
+	}
+
+	if got := rules[0].Pos; got != (Pos{Line: 3, Col: 1}) {
+		t.Errorf("rule 0 Pos = %v, want 3:1", got)
+	}
+	and, ok := rules[0].Cond.(And)
+	if !ok {
+		t.Fatalf("rule 0 cond is %T, want And", rules[0].Cond)
+	}
+	if got := and.L.(Cmp).Pos; got != (Pos{Line: 3, Col: 1}) {
+		t.Errorf("left atom Pos = %v, want 3:1", got)
+	}
+	if got := and.R.(Cmp).Pos; got != (Pos{Line: 3, Col: 19}) {
+		t.Errorf("right atom Pos = %v, want 3:19", got)
+	}
+	if got := rules[0].Actions[0].Pos; got != (Pos{Line: 3, Col: 32}) {
+		t.Errorf("action Pos = %v, want 3:32", got)
+	}
+
+	if got := rules[1].Pos; got != (Pos{Line: 4, Col: 3}) {
+		t.Errorf("indented rule Pos = %v, want 4:3", got)
+	}
+	if got := rules[1].Actions[0].Pos; got != (Pos{Line: 4, Col: 18}) {
+		t.Errorf("indented action Pos = %v, want 4:18", got)
+	}
+}
+
+// TestDNFPreservesPositions: canonicalization to DNF must carry atom
+// positions through, including through De Morgan rewrites — the analyzer
+// anchors every pairwise diagnostic on them.
+func TestDNFPreservesPositions(t *testing.T) {
+	rules, err := ParseRules("!(price > 10 || shares == 3) : fwd(1)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ToDNF(rules[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var atoms []Atom
+	for _, c := range d.Conjunctions {
+		atoms = append(atoms, c...)
+	}
+	if len(atoms) == 0 {
+		t.Fatal("no atoms after DNF")
+	}
+	for _, a := range atoms {
+		if !a.Pos.IsValid() {
+			t.Errorf("atom %v lost its position in DNF rewriting", a)
+		}
+	}
+}
+
+// TestSyntaxErrorChain pins the error contract: every parse failure
+// matches errors.Is(err, ErrSyntax) and exposes a *SyntaxError with a
+// usable position via errors.As, even when wrapped.
+func TestSyntaxErrorChain(t *testing.T) {
+	_, err := ParseRules("stock == GOOGL : fwd(1)\nprice > : fwd(2)\n")
+	if err == nil {
+		t.Fatal("expected a parse error")
+	}
+	if !errors.Is(err, ErrSyntax) {
+		t.Errorf("errors.Is(err, ErrSyntax) = false for %v", err)
+	}
+	var se *SyntaxError
+	if !errors.As(err, &se) {
+		t.Fatalf("errors.As(*SyntaxError) = false for %v", err)
+	}
+	if se.Line != 2 {
+		t.Errorf("SyntaxError.Line = %d, want 2", se.Line)
+	}
+	if p := se.Position(); p.Line != 2 || p.Col < 1 {
+		t.Errorf("Position() = %v, want a valid line-2 position", p)
+	}
+
+	// Wrapping must not break the chain.
+	wrapped := errorsJoin("while checking", err)
+	if !errors.Is(wrapped, ErrSyntax) {
+		t.Error("wrapped error no longer matches ErrSyntax")
+	}
+	if !errors.As(wrapped, &se) {
+		t.Error("wrapped error no longer yields *SyntaxError")
+	}
+
+	// Non-syntax errors must not match.
+	if errors.Is(errors.New("boom"), ErrSyntax) {
+		t.Error("unrelated error matches ErrSyntax")
+	}
+}
+
+func errorsJoin(msg string, err error) error {
+	return &wrapErr{msg: msg, err: err}
+}
+
+type wrapErr struct {
+	msg string
+	err error
+}
+
+func (w *wrapErr) Error() string { return w.msg + ": " + w.err.Error() }
+func (w *wrapErr) Unwrap() error { return w.err }
+
+// TestParseOutputUnchangedByPositions is the differential check for the
+// position-threading refactor: rendering a parsed rule set must produce
+// exactly the canonical text it produced before positions existed —
+// positions ride along in dedicated fields and never leak into String().
+func TestParseOutputUnchangedByPositions(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"stock == GOOGL : fwd(1)", "stock == GOOGL : fwd(1)"},
+		{"  stock  ==  GOOGL  :  fwd( 1 , 2 )", "stock == GOOGL : fwd(1,2)"},
+		{"stock == GOOGL && price > 50 : fwd(1)", "(stock == GOOGL && price > 50) : fwd(1)"},
+		{"!(stock == AAPL) : drop()", "!stock == AAPL : drop()"},
+		{"true : fwd(9)", "true : fwd(9)"},
+		{"a == 1 || b == 2 : fwd(3); drop()", "(a == 1 || b == 2) : fwd(3); drop()"},
+	}
+	for _, tc := range cases {
+		r, err := ParseRule(tc.src)
+		if err != nil {
+			t.Fatalf("ParseRule(%q): %v", tc.src, err)
+		}
+		if got := r.String(); got != tc.want {
+			t.Errorf("String() of %q = %q, want %q", tc.src, got, tc.want)
+		}
+		// And the rendering is a fixed point: re-parsing does not shift
+		// positions into the output either.
+		r2, err := ParseRule(r.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", r.String(), err)
+		}
+		if r2.String() != r.String() {
+			t.Errorf("round trip unstable: %q -> %q", r.String(), r2.String())
+		}
+	}
+	// Programmatic rules (zero Pos) render identically to parsed ones.
+	pr := Rule{
+		Cond:    Cmp{LHS: Operand{Field: "stock"}, Op: OpEq, RHS: Symbol("GOOGL")},
+		Actions: []Action{Fwd(1)},
+	}
+	parsed, err := ParseRule("stock == GOOGL : fwd(1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.String() != parsed.String() {
+		t.Errorf("programmatic %q != parsed %q", pr.String(), parsed.String())
+	}
+}

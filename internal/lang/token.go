@@ -7,7 +7,10 @@
 // disjunctive-normal-form rewriter that the compiler consumes.
 package lang
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // TokenKind enumerates lexical token types.
 type TokenKind int
@@ -68,6 +71,15 @@ func (t Token) String() string {
 	return t.Kind.String()
 }
 
+// ErrSyntax is the sentinel all lexing/parsing failures match, so
+// callers can classify without depending on the concrete type:
+//
+//	if errors.Is(err, lang.ErrSyntax) { ... }
+//
+// The position and message are still available through errors.As with a
+// *SyntaxError target, even when the error has been wrapped.
+var ErrSyntax = errors.New("syntax error")
+
 // SyntaxError describes a lexing or parsing failure with position info.
 type SyntaxError struct {
 	Line, Col int
@@ -77,6 +89,12 @@ type SyntaxError struct {
 func (e *SyntaxError) Error() string {
 	return fmt.Sprintf("line %d:%d: %s", e.Line, e.Col, e.Msg)
 }
+
+// Is makes errors.Is(err, ErrSyntax) hold for any syntax error.
+func (e *SyntaxError) Is(target error) bool { return target == ErrSyntax }
+
+// Position returns the error's source position.
+func (e *SyntaxError) Position() Pos { return Pos{Line: e.Line, Col: e.Col} }
 
 func errAt(line, col int, format string, args ...interface{}) error {
 	return &SyntaxError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}

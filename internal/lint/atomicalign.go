@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// atomic64Funcs are the sync/atomic functions whose pointer argument
+// must be 64-bit aligned.
+var atomic64Funcs = map[string]bool{
+	"AddInt64": true, "AddUint64": true,
+	"LoadInt64": true, "LoadUint64": true,
+	"StoreInt64": true, "StoreUint64": true,
+	"SwapInt64": true, "SwapUint64": true,
+	"CompareAndSwapInt64": true, "CompareAndSwapUint64": true,
+}
+
+// AtomicAlign reports sync/atomic 64-bit operations on struct fields
+// whose offset is not 8-byte aligned under 32-bit layout rules. On
+// 386/arm, such operations panic at runtime; the fix is to move the
+// field to the front of the struct (or use atomic.Int64/Uint64, which
+// carry their own alignment).
+var AtomicAlign = &Analyzer{
+	Name: "atomicalign",
+	Doc: "report sync/atomic 64-bit operations on struct fields that are not " +
+		"8-byte aligned under 32-bit layout; reorder the struct or use atomic.Int64/Uint64",
+	Run: runAtomicAlign,
+}
+
+// sizes32 models the strictest supported layout: 4-byte words and
+// 4-byte maximum alignment, as on 386.
+var sizes32 = types.SizesFor("gc", "386")
+
+func runAtomicAlign(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if !isAtomic64Call(pass, call.Fun) {
+				return true
+			}
+			offset, expr, ok := fieldOffset(pass, call.Args[0])
+			if ok && offset%8 != 0 {
+				pass.Reportf(call.Args[0].Pos(),
+					"address of %s (offset %d) is not 64-bit aligned on 32-bit platforms; "+
+						"move the field to the front of the struct or use atomic.Int64/Uint64",
+					expr, offset)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomic64Call reports whether fun denotes one of sync/atomic's 64-bit
+// functions.
+func isAtomic64Call(pass *Pass, fun ast.Expr) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok || !atomic64Funcs[sel.Sel.Name] {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// fieldOffset resolves `&x.f1.f2...` to the byte offset of the final
+// field relative to the nearest allocation boundary (the outermost
+// struct, or the target of the last pointer hop) under 32-bit layout.
+// Allocations of 8 bytes or more are 8-byte aligned on every supported
+// platform, so a pointer along the path restarts the offset at zero. It
+// returns ok=false for arguments that are not an address of a field
+// selector chain.
+func fieldOffset(pass *Pass, arg ast.Expr) (int64, string, bool) {
+	un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || un.Op.String() != "&" {
+		return 0, "", false
+	}
+	sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+	if !ok {
+		return 0, "", false
+	}
+	offset, ok := selOffset(pass, sel)
+	return offset, types.ExprString(sel), ok
+}
+
+// selOffset computes the offset of the field sel denotes, recursing
+// through explicit value-field chains (x.a.b) so the offsets compose;
+// a pointer-typed link restarts the offset at its allocation boundary.
+func selOffset(pass *Pass, sel *ast.SelectorExpr) (int64, bool) {
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return 0, false
+	}
+	var base int64
+	if x, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok && pass.TypesInfo.Selections[x] != nil {
+		if tv, ok := pass.TypesInfo.Types[x]; ok {
+			if _, isPtr := tv.Type.Underlying().(*types.Pointer); !isPtr {
+				b, ok := selOffset(pass, x)
+				if !ok {
+					return 0, false
+				}
+				base = b
+			}
+		}
+	}
+	t := deref(selection.Recv())
+	offset := base
+	for _, idx := range selection.Index() {
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			return 0, false
+		}
+		fields := make([]*types.Var, st.NumFields())
+		for i := 0; i < st.NumFields(); i++ {
+			fields[i] = st.Field(i)
+		}
+		offset += sizes32.Offsetsof(fields)[idx]
+		ft := st.Field(idx).Type()
+		if p, isPtr := ft.Underlying().(*types.Pointer); isPtr {
+			// Embedded pointer: the pointee starts at an allocation
+			// boundary, which is 8-byte aligned for any 8-byte object.
+			offset = 0
+			t = p.Elem()
+		} else {
+			t = ft
+		}
+	}
+	return offset, true
+}

@@ -1,0 +1,121 @@
+// Package lint is a minimal go/analysis-style framework for the
+// project's custom Go analyzers, built on the standard library alone
+// (the x/tools analysis machinery is deliberately not a dependency).
+//
+// An Analyzer inspects one type-checked package through a Pass and
+// reports diagnostics. cmd/camus-lint adapts the analyzers here to the
+// `go vet -vettool` unit-checker protocol so they run over the whole
+// module in CI; the unit tests drive them directly over in-memory
+// packages.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one static check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -vettool output.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer reports.
+	Doc string
+	// Run inspects the package behind pass and reports findings through
+	// pass.Report. A returned error aborts the whole vet run — reserve it
+	// for broken invariants, not findings.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's syntax and type information to an
+// analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report records one finding. The position is resolved through Fset.
+	Report func(pos token.Pos, format string, args ...any)
+}
+
+// Reportf is sugar for pass.Report.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(pos, format, args...)
+}
+
+// Diagnostic is one finding with a resolved source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s", d.Pos, d.Message)
+}
+
+// Analyzers returns every analyzer this module ships, in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{TelemetryNil, AtomicAlign}
+}
+
+// RunPackage applies every analyzer in analyzers to one type-checked
+// package and returns the collected diagnostics sorted by position.
+func RunPackage(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		a := a
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(pos token.Pos, format string, args ...any) {
+				diags = append(diags, Diagnostic{
+					Pos:      fset.Position(pos),
+					Analyzer: a.Name,
+					Message:  fmt.Sprintf(format, args...),
+				})
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	// Insertion sort: diagnostic counts are tiny and this avoids pulling
+	// in sort for a slice of structs with a compound key.
+	for i := 1; i < len(diags); i++ {
+		for j := i; j > 0 && diagBefore(diags[j], diags[j-1]); j-- {
+			diags[j], diags[j-1] = diags[j-1], diags[j]
+		}
+	}
+}
+
+func diagBefore(a, b Diagnostic) bool {
+	if a.Pos.Filename != b.Pos.Filename {
+		return a.Pos.Filename < b.Pos.Filename
+	}
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	if a.Pos.Column != b.Pos.Column {
+		return a.Pos.Column < b.Pos.Column
+	}
+	return a.Message < b.Message
+}
+
+// deref unwraps one level of pointer.
+func deref(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

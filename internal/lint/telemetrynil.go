@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// telemetryPkg is the package whose Telemetry type the analyzer guards.
+const telemetryPkg = "camus/internal/telemetry"
+
+// TelemetryNil reports direct field access to telemetry.Telemetry's
+// Registry/Tracer outside the telemetry package itself. A *Telemetry is
+// nil for every uninstrumented component, so `t.Registry` panics exactly
+// when telemetry is off; the nil-safe accessors Reg() and Trc() are the
+// supported way to read the fields.
+var TelemetryNil = &Analyzer{
+	Name: "telemetrynil",
+	Doc: "report t.Registry / t.Tracer field access on telemetry.Telemetry; " +
+		"use the nil-safe t.Reg() / t.Trc() accessors instead",
+	Run: runTelemetryNil,
+}
+
+func runTelemetryNil(pass *Pass) error {
+	// The package owns its own invariants (and its tests exercise the raw
+	// fields deliberately).
+	if strings.HasPrefix(pass.Pkg.Path(), telemetryPkg) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if sel.Sel.Name != "Registry" && sel.Sel.Name != "Tracer" {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[sel.X]
+			if !ok || !isTelemetryType(tv.Type) {
+				return true
+			}
+			accessor := "Reg()"
+			if sel.Sel.Name == "Tracer" {
+				accessor = "Trc()"
+			}
+			pass.Reportf(sel.Sel.Pos(),
+				"direct %s field access on telemetry.Telemetry (nil when uninstrumented); use the nil-safe %s accessor",
+				sel.Sel.Name, accessor)
+			return true
+		})
+	}
+	return nil
+}
+
+// isTelemetryType reports whether t is telemetry.Telemetry or a pointer
+// to it.
+func isTelemetryType(t types.Type) bool {
+	named, ok := deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Telemetry" &&
+		obj.Pkg() != nil && obj.Pkg().Path() == telemetryPkg
+}

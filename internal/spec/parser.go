@@ -284,7 +284,7 @@ func (p *specParser) parseAnnotation(s *Spec) error {
 		if err := p.expect(')'); err != nil {
 			return err
 		}
-		s.States = append(s.States, StateVar{Name: v, Kind: StateCounter, WindowUS: window})
+		s.States = append(s.States, StateVar{Name: v, Kind: StateCounter, WindowUS: window, Line: p.line})
 		return nil
 	case "query_register":
 		v, err := p.ident()
@@ -304,7 +304,7 @@ func (p *specParser) parseAnnotation(s *Spec) error {
 		if bits == 0 || bits > 64 {
 			return p.errf("register %s: width %d out of range (1..64)", v, bits)
 		}
-		s.States = append(s.States, StateVar{Name: v, Kind: StateRegister, Bits: int(bits)})
+		s.States = append(s.States, StateVar{Name: v, Kind: StateRegister, Bits: int(bits), Line: p.line})
 		return nil
 	default:
 		return p.errf("unknown annotation @%s", name)
@@ -336,6 +336,7 @@ func (p *specParser) addQueryField(s *Spec, qualified string, kind MatchKind) er
 		q := QueryField{
 			Name: qualified, Bits: f.Bits, Match: kind,
 			Order: len(s.Queries), Instance: inst, Field: field,
+			Line: p.line,
 		}
 		if f.Offset%8 == 0 && f.Bits%8 == 0 {
 			q.ByteOffset = f.Offset / 8

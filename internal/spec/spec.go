@@ -77,6 +77,10 @@ type QueryField struct {
 	// byte-aligned fields (ByteLen == 0 when not byte-aligned).
 	ByteOffset int
 	ByteLen    int
+	// Line is the 1-based source line of the @query_* annotation (0 for
+	// programmatically built specs); diagnostics use it for "declared
+	// here" notes.
+	Line int
 }
 
 // DomainMax returns the largest value representable in the field.
@@ -104,6 +108,7 @@ type StateVar struct {
 	Kind     StateKind
 	WindowUS uint64 // StateCounter
 	Bits     int    // StateRegister
+	Line     int    // declaration line, 0 when built programmatically
 }
 
 // Spec is a parsed message format specification.
