@@ -158,7 +158,7 @@ func benchLineRate(b *testing.B, instrumented bool) {
 	for _, p := range feed {
 		orders = append(orders, p.Orders...)
 	}
-	for _, n := range []int{1, 1000, 100000} {
+	for _, n := range []int{1, 1000, 10000, 100000} {
 		b.Run(fmt.Sprintf("rules-%d", n), func(b *testing.B) {
 			cfg.Subscriptions = n
 			prog, err := compiler.Compile(sp, workload.ITCHSubscriptions(cfg), compiler.Options{})
@@ -178,6 +178,7 @@ func benchLineRate(b *testing.B, instrumented bool) {
 				b.Fatal(err)
 			}
 			var vals []uint64
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				o := &orders[i%len(orders)]

@@ -9,6 +9,7 @@
 //	camus-bench -fig 5c -sizes 1000,10000,100000
 //	camus-bench -fig 7a -csv
 //	camus-bench -churn -json
+//	camus-bench -dataplane -json
 package main
 
 import (
@@ -27,17 +28,24 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 5a, 5b, 5c, 7a, 7b, throughput, ablation, order, churn, vet, all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 5a, 5b, 5c, 7a, 7b, throughput, ablation, order, churn, dataplane, vet, all")
 		sizes    = flag.String("sizes", "", "comma-separated subscription counts (5c/throughput/churn override)")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		csv      = flag.Bool("csv", false, "emit CSV series instead of aligned tables")
 		churn    = flag.Bool("churn", false, "shorthand for -fig churn: compile-pipeline benchmark (serial/parallel, full/incremental)")
 		churnPct = flag.Float64("churn-pct", 1, "percentage of subscriptions replaced per churn event")
-		jsonOut  = flag.Bool("json", false, "emit the churn benchmark as JSON (BENCH_compile.json format)")
+		jsonOut  = flag.Bool("json", false, "emit the churn/dataplane benchmark as JSON (BENCH_*.json format)")
+		dplane   = flag.Bool("dataplane", false, "shorthand for -fig dataplane: software-dataplane worker-scaling benchmark")
+		workers  = flag.String("workers", "", "comma-separated worker counts for -dataplane (default 1,2,4,8)")
+		rules    = flag.Int("rules", 10000, "installed subscriptions for -dataplane")
+		packets  = flag.Int("packets", 200000, "replayed ingress datagrams for -dataplane")
 	)
 	flag.Parse()
 	if *churn {
 		*fig = "churn"
+	}
+	if *dplane {
+		*fig = "dataplane"
 	}
 	if *churnPct <= 0 {
 		*churnPct = 1 // matches the experiment's own clamp, keeps the header honest
@@ -142,6 +150,44 @@ func main() {
 				return
 			}
 			fmt.Print(experiments.FormatVet(pts))
+		case "dataplane":
+			var workerList []int
+			if *workers != "" {
+				for _, s := range strings.Split(*workers, ",") {
+					n, err := strconv.Atoi(strings.TrimSpace(s))
+					fatal(err)
+					workerList = append(workerList, n)
+				}
+			}
+			pts, err := experiments.DataplaneThroughput(experiments.DataplaneConfig{
+				Workers: workerList,
+				Rules:   *rules,
+				Packets: *packets,
+				Seed:    *seed,
+			})
+			fatal(err)
+			if *jsonOut {
+				enc := json.NewEncoder(os.Stdout)
+				enc.SetIndent("", "  ")
+				fatal(enc.Encode(struct {
+					GOOS   string                       `json:"goos"`
+					GOARCH string                       `json:"goarch"`
+					CPUs   int                          `json:"cpus"`
+					Rules  int                          `json:"rules"`
+					Seed   int64                        `json:"seed"`
+					Points []experiments.DataplanePoint `json:"points"`
+				}{runtime.GOOS, runtime.GOARCH, runtime.NumCPU(), *rules, *seed, pts}))
+				return
+			}
+			if *csv {
+				fmt.Println("workers,batch,packets_per_sec,ns_per_packet,ns_per_msg,allocs_per_op,mb_per_sec")
+				for _, p := range pts {
+					fmt.Printf("%d,%d,%.0f,%.1f,%.1f,%.3f,%.1f\n",
+						p.Workers, p.Batch, p.PacketsPerSec, p.NsPerPacket, p.NsPerMsg, p.AllocsPerOp, p.MBPerSec)
+				}
+				return
+			}
+			fmt.Print(experiments.FormatDataplane(pts))
 		case "churn":
 			reg := telemetry.NewRegistry()
 			pts, err := experiments.ChurnInstrumented(sizeList, *churnPct, *seed, reg)

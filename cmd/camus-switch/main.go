@@ -20,6 +20,11 @@
 // (-retx), and idle ports heartbeat (-heartbeat). -fault-plan injects
 // seeded drop/duplication/reordering/delay on the dataplane sockets for
 // chaos testing.
+//
+// -workers shards ingress across parallel processing lanes keyed by ITCH
+// stock locate (per-instrument ordering and per-port sequencing are
+// preserved), and -batch sets how many datagrams each socket operation
+// moves where recvmmsg/sendmmsg is available.
 package main
 
 import (
@@ -73,6 +78,8 @@ func main() {
 		heartbeat  = flag.Duration("heartbeat", time.Second, "idle-heartbeat interval per port (0 disables)")
 		faultPlan  = flag.String("fault-plan", "", "inject faults on the dataplane sockets, e.g. seed=7,drop=0.01,dup=0.005,reorder=0.01,delay=0.002:500us")
 		admin      = flag.String("admin", "", "observability HTTP address (e.g. :9090): Prometheus /metrics, JSON /debug/camus, pprof /debug/pprof/")
+		workers    = flag.Int("workers", 1, "parallel shard lanes keyed by ITCH stock locate (1 = classic single loop)")
+		batch      = flag.Int("batch", 0, "datagrams per socket operation where recvmmsg/sendmmsg is available (0 = default 32, 1 disables)")
 	)
 	flag.Var(ports, "port", "bind switch port to subscriber address, PORT=HOST:PORT (repeatable)")
 	flag.Parse()
@@ -120,15 +127,17 @@ func main() {
 		Session:       *session,
 		RetxBuffer:    *retxBuffer,
 		Heartbeat:     *heartbeat,
+		Workers:       *workers,
+		Batch:         *batch,
 		WrapConn:      wrap,
 		Telemetry:     tel,
 	})
 	fatal(err)
 	fmt.Fprintf(os.Stderr, "camus-switch: listening on %s (retx %s), %d ports bound, %d table entries installed\n",
 		sw.Addr(), sw.RetxAddr(), len(ports), sw.Program().Stats.TableEntries)
-	fmt.Fprintf(os.Stderr, "camus-switch: config: rules=%s spec=%s session=%q retx-buffer=%d heartbeat=%s stats=%ds fault-plan=%q admin=%q\n",
+	fmt.Fprintf(os.Stderr, "camus-switch: config: rules=%s spec=%s session=%q retx-buffer=%d heartbeat=%s workers=%d batch=%d stats=%ds fault-plan=%q admin=%q\n",
 		orDefault(*rulesPath, "<built-in>"), orDefault(*specPath, "<itch-add-order>"),
-		*session, *retxBuffer, *heartbeat, *statsSec, *faultPlan, *admin)
+		*session, *retxBuffer, *heartbeat, *workers, *batch, *statsSec, *faultPlan, *admin)
 
 	if *admin != "" {
 		srv, err := telemetry.Serve(*admin, tel)

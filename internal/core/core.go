@@ -124,6 +124,67 @@ func (ps *PubSub) ProcessOrder(o *itch.AddOrder, now time.Duration) pipeline.Res
 	return ps.sw.Process(ps.valBuf, now)
 }
 
+// Processor is a per-goroutine evaluation handle: it owns its value
+// buffers, so any number of Processors may evaluate messages
+// concurrently against the same PubSub (the sharded dataplane gives one
+// to each worker). Zero allocation in steady state. Callers must
+// serialize Begin/Add/Flush against SetSubscriptions (the dataplane does
+// so with its install RWMutex); the pipeline itself is safe concurrently.
+type Processor struct {
+	ps   *PubSub
+	vals [][]uint64 // reused per-message value rows
+	now  []time.Duration
+	out  []pipeline.Result
+	n    int
+}
+
+// NewProcessor returns a Processor bound to the deployment.
+func (ps *PubSub) NewProcessor() *Processor { return &Processor{ps: ps} }
+
+// ProcessOrder evaluates one message immediately (the unbatched path).
+func (p *Processor) ProcessOrder(o *itch.AddOrder, now time.Duration) pipeline.Result {
+	if len(p.vals) == 0 {
+		p.vals = append(p.vals, nil)
+	}
+	p.vals[0] = p.ps.ex.Values(o, p.vals[0])
+	return p.ps.sw.Process(p.vals[0], now)
+}
+
+// Begin starts a new batch, discarding any un-flushed messages.
+func (p *Processor) Begin() { p.n = 0 }
+
+// Add extracts one message's field values into the pending batch.
+func (p *Processor) Add(o *itch.AddOrder) {
+	if p.n < len(p.vals) {
+		p.vals[p.n] = p.ps.ex.Values(o, p.vals[p.n])
+	} else {
+		p.vals = append(p.vals, p.ps.ex.Values(o, nil))
+	}
+	p.n++
+}
+
+// Pending returns the number of messages added since Begin.
+func (p *Processor) Pending() int { return p.n }
+
+// Flush runs the pending batch through the switch pipeline in one
+// ProcessBatch call (the program pointer is loaded once for the whole
+// batch) and returns one Result per added message, in Add order. The
+// returned slice is reused by the next Flush.
+func (p *Processor) Flush(now time.Duration) []pipeline.Result {
+	n := p.n
+	if cap(p.now) < n {
+		p.now = make([]time.Duration, n)
+		p.out = make([]pipeline.Result, n)
+	}
+	nows, out := p.now[:n], p.out[:n]
+	for i := range nows {
+		nows[i] = now
+	}
+	p.ps.sw.ProcessBatch(p.vals[:n], nows, out)
+	p.n = 0
+	return out
+}
+
 // ProcessDatagram decodes a MoldUDP64 payload and returns the deliveries
 // for every add-order message that matched at least one subscription.
 func (ps *PubSub) ProcessDatagram(payload []byte, now time.Duration) ([]Delivery, error) {

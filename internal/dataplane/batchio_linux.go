@@ -1,0 +1,202 @@
+//go:build linux && (amd64 || arm64)
+
+// Batched socket I/O for the dataplane hot path: recvmmsg/sendmmsg move
+// a burst of datagrams per syscall, amortizing kernel-crossing cost the
+// way an ASIC amortizes per-packet work across its pipeline. The fast
+// path engages only on plain *net.UDPConn sockets; fault-injection
+// wrappers and tests keep the portable per-datagram path.
+//
+// Everything here uses only the standard library: raw syscalls through
+// (*net.UDPConn).SyscallConn so the runtime netpoller still owns
+// blocking, deadlines, and close semantics.
+
+package dataplane
+
+import (
+	"net"
+	"syscall"
+	"unsafe"
+)
+
+// mmsghdr mirrors the kernel's struct mmsghdr (linux/amd64 and arm64
+// share the layout): a msghdr plus the kernel-reported datagram length.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+	_   [4]byte
+}
+
+// sockaddrBuf holds either an IPv4 or IPv6 raw sockaddr.
+type sockaddrBuf [syscall.SizeofSockaddrInet6]byte
+
+// putSockaddr encodes addr into buf and returns the sockaddr length.
+func putSockaddr(buf *sockaddrBuf, addr *net.UDPAddr) (uint32, bool) {
+	if ip4 := addr.IP.To4(); ip4 != nil {
+		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(buf))
+		sa.Family = syscall.AF_INET
+		sa.Port = uint16(addr.Port>>8) | uint16(addr.Port&0xff)<<8
+		copy(sa.Addr[:], ip4)
+		return syscall.SizeofSockaddrInet4, true
+	}
+	if ip6 := addr.IP.To16(); ip6 != nil {
+		sa := (*syscall.RawSockaddrInet6)(unsafe.Pointer(buf))
+		sa.Family = syscall.AF_INET6
+		sa.Port = uint16(addr.Port>>8) | uint16(addr.Port&0xff)<<8
+		copy(sa.Addr[:], ip6)
+		return syscall.SizeofSockaddrInet6, true
+	}
+	return 0, false
+}
+
+// batchReader drains an ingress socket with recvmmsg.
+type batchReader struct {
+	rc    syscall.RawConn
+	hdrs  []mmsghdr
+	iovs  []syscall.Iovec
+	names []sockaddrBuf
+
+	// readFn is allocated once; req/got/errno carry its arguments and
+	// results so the hot loop stays allocation-free.
+	readFn func(fd uintptr) bool
+	req    int
+	got    int
+	errno  syscall.Errno
+}
+
+// newBatchReader returns a recvmmsg-backed reader for c, or nil when c
+// is not a plain *net.UDPConn (fault-injection wrappers, in-memory test
+// conns) or batching is disabled.
+func newBatchReader(c Conn, batch int) *batchReader {
+	uc, ok := c.(*net.UDPConn)
+	if !ok || batch <= 1 {
+		return nil
+	}
+	rc, err := uc.SyscallConn()
+	if err != nil {
+		return nil
+	}
+	br := &batchReader{
+		rc:    rc,
+		hdrs:  make([]mmsghdr, batch),
+		iovs:  make([]syscall.Iovec, batch),
+		names: make([]sockaddrBuf, batch),
+	}
+	br.readFn = func(fd uintptr) bool {
+		r, _, errno := syscall.Syscall6(sysRECVMMSG, fd,
+			uintptr(unsafe.Pointer(&br.hdrs[0])), uintptr(br.req), 0, 0, 0)
+		if errno == syscall.EAGAIN {
+			return false // wait for readability in the netpoller
+		}
+		br.errno = errno
+		br.got = int(r)
+		return true
+	}
+	return br
+}
+
+// ReadBatch blocks until at least one datagram arrives, then fills bufs
+// with up to min(len(bufs), batch) datagrams in one recvmmsg call and
+// records each datagram's length in sizes.
+func (br *batchReader) ReadBatch(bufs [][]byte, sizes []int) (int, error) {
+	n := len(bufs)
+	if n > len(br.hdrs) {
+		n = len(br.hdrs)
+	}
+	for i := 0; i < n; i++ {
+		br.iovs[i].Base = &bufs[i][0]
+		br.iovs[i].Len = uint64(len(bufs[i]))
+		h := &br.hdrs[i].hdr
+		h.Name = &br.names[i][0]
+		h.Namelen = uint32(len(br.names[i]))
+		h.Iov = &br.iovs[i]
+		h.Iovlen = 1
+	}
+	br.req, br.got, br.errno = n, 0, 0
+	if err := br.rc.Read(br.readFn); err != nil {
+		return 0, err
+	}
+	if br.errno != 0 {
+		return 0, br.errno
+	}
+	for i := 0; i < br.got; i++ {
+		sizes[i] = int(br.hdrs[i].n)
+	}
+	return br.got, nil
+}
+
+// batchWriter ships egress bursts with sendmmsg. Each processing lane
+// owns one (the scratch arrays are not shareable); the underlying fd is
+// safe to write from any number of lanes.
+type batchWriter struct {
+	rc    syscall.RawConn
+	hdrs  []mmsghdr
+	iovs  []syscall.Iovec
+	names []sockaddrBuf
+
+	writeFn func(fd uintptr) bool
+	req     int
+	sent    int
+	errno   syscall.Errno
+}
+
+// newBatchWriter returns a sendmmsg-backed writer for c, or nil when the
+// socket is wrapped or the platform lacks the syscall.
+func newBatchWriter(c Conn) *batchWriter {
+	uc, ok := c.(*net.UDPConn)
+	if !ok {
+		return nil
+	}
+	rc, err := uc.SyscallConn()
+	if err != nil {
+		return nil
+	}
+	bw := &batchWriter{rc: rc}
+	bw.writeFn = func(fd uintptr) bool {
+		r, _, errno := syscall.Syscall6(sysSENDMMSG, fd,
+			uintptr(unsafe.Pointer(&bw.hdrs[0])), uintptr(bw.req), 0, 0, 0)
+		if errno == syscall.EAGAIN {
+			return false // wait for writability
+		}
+		bw.errno = errno
+		bw.sent = int(r)
+		return true
+	}
+	return bw
+}
+
+// WriteBatch sends pkts[i] to addrs[i] in one sendmmsg call and returns
+// how many datagrams the kernel accepted; the caller re-invokes with the
+// remainder on partial sends. A non-nil error refers to pkts[n].
+func (bw *batchWriter) WriteBatch(pkts [][]byte, addrs []*net.UDPAddr) (int, error) {
+	n := len(pkts)
+	if n == 0 {
+		return 0, nil
+	}
+	if n > len(bw.hdrs) {
+		grow := n - len(bw.hdrs)
+		bw.hdrs = append(bw.hdrs, make([]mmsghdr, grow)...)
+		bw.iovs = append(bw.iovs, make([]syscall.Iovec, grow)...)
+		bw.names = append(bw.names, make([]sockaddrBuf, grow)...)
+	}
+	for i := 0; i < n; i++ {
+		salen, ok := putSockaddr(&bw.names[i], addrs[i])
+		if !ok {
+			return 0, syscall.EINVAL
+		}
+		bw.iovs[i].Base = &pkts[i][0]
+		bw.iovs[i].Len = uint64(len(pkts[i]))
+		h := &bw.hdrs[i].hdr
+		h.Name = &bw.names[i][0]
+		h.Namelen = salen
+		h.Iov = &bw.iovs[i]
+		h.Iovlen = 1
+	}
+	bw.req, bw.sent, bw.errno = n, 0, 0
+	if err := bw.rc.Write(bw.writeFn); err != nil {
+		return 0, err
+	}
+	if bw.errno != 0 {
+		return 0, bw.errno
+	}
+	return bw.sent, nil
+}

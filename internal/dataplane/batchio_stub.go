@@ -1,0 +1,21 @@
+//go:build !linux || !(amd64 || arm64)
+
+package dataplane
+
+import "net"
+
+// The mmsg batch-I/O fast path is Linux-only (recvmmsg/sendmmsg); on
+// other platforms the constructors return nil and the dataplane keeps
+// the portable per-datagram socket calls.
+
+type batchReader struct{}
+
+type batchWriter struct{}
+
+func newBatchReader(Conn, int) *batchReader { return nil }
+
+func newBatchWriter(Conn) *batchWriter { return nil }
+
+func (*batchReader) ReadBatch([][]byte, []int) (int, error) { return 0, nil }
+
+func (*batchWriter) WriteBatch([][]byte, []*net.UDPAddr) (int, error) { return 0, nil }

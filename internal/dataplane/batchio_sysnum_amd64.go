@@ -1,0 +1,10 @@
+//go:build linux
+
+package dataplane
+
+// linux/amd64 syscall numbers; the stdlib syscall package exports
+// SYS_RECVMMSG but predates sendmmsg, so both are pinned here.
+const (
+	sysRECVMMSG = 299
+	sysSENDMMSG = 307
+)

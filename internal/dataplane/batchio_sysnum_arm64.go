@@ -1,0 +1,9 @@
+//go:build linux
+
+package dataplane
+
+// linux/arm64 syscall numbers.
+const (
+	sysRECVMMSG = 243
+	sysSENDMMSG = 269
+)

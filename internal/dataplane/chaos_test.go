@@ -2,6 +2,7 @@ package dataplane
 
 import (
 	"context"
+	"fmt"
 	"net"
 	"sync"
 	"testing"
@@ -31,6 +32,10 @@ type chaosHarness struct {
 }
 
 func startChaos(t *testing.T, plan faults.Plan, retxBuffer int, rcvTimeout time.Duration) *chaosHarness {
+	return startChaosWorkers(t, plan, retxBuffer, rcvTimeout, 1)
+}
+
+func startChaosWorkers(t *testing.T, plan faults.Plan, retxBuffer int, rcvTimeout time.Duration, workers int) *chaosHarness {
 	t.Helper()
 	h := &chaosHarness{runCh: make(chan error, 1), tel: telemetry.New()}
 
@@ -76,6 +81,7 @@ func startChaos(t *testing.T, plan faults.Plan, retxBuffer int, rcvTimeout time.
 		Subscriptions: "stock == GOOGL : fwd(1)",
 		RetxBuffer:    retxBuffer,
 		Heartbeat:     20 * time.Millisecond,
+		Workers:       workers,
 		WrapConn:      mkWrap(),
 		Telemetry:     h.tel,
 	})
@@ -122,6 +128,9 @@ func (h *chaosHarness) publish(t *testing.T, count, perDatagram int) {
 		for i := 0; i < n; i++ {
 			var o itch.AddOrder
 			o.SetStock("GOOGL")
+			// Vary the locate code across datagrams so sharded runs
+			// spread the stream over every worker lane.
+			o.StockLocate = uint16(seq % 31)
 			o.Shares = uint32(sent + i + 1)
 			o.Side = itch.Buy
 			mp.Append(o.Bytes())
@@ -163,40 +172,47 @@ func (h *chaosHarness) stableMatched(t *testing.T) uint64 {
 // TestChaosRecoveryFullStream is the headline chaos scenario: seeded
 // drop + duplication + reordering on both directions of the dataplane
 // sockets, and the receiver still surfaces 100% of the matched messages,
-// in order, with no gap declared lost.
+// in order, with no gap declared lost. It runs single-lane and sharded
+// (4 workers): the multi-worker dataplane adds cross-lane egress
+// reordering on top of the injected faults, and delivery must still be
+// complete and in sequence order.
 func TestChaosRecoveryFullStream(t *testing.T) {
-	total := 3000
-	if testing.Short() {
-		total = 600
-	}
-	plan := faults.Plan{Seed: 11, Drop: 0.01, Duplicate: 0.005, Reorder: 0.01}
-	h := startChaos(t, plan, 0 /* default store */, 15*time.Millisecond)
-	h.publish(t, total, 4)
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers-%d", workers), func(t *testing.T) {
+			total := 3000
+			if testing.Short() {
+				total = 600
+			}
+			plan := faults.Plan{Seed: 11, Drop: 0.01, Duplicate: 0.005, Reorder: 0.01}
+			h := startChaosWorkers(t, plan, 0 /* default store */, 15*time.Millisecond, workers)
+			h.publish(t, total, 4)
 
-	matched := h.stableMatched(t)
-	if matched == 0 {
-		t.Fatal("nothing matched")
-	}
-	deadline := time.Now().Add(20 * time.Second)
-	for h.rcv.Stats().Delivered.Load() < matched && time.Now().Before(deadline) {
-		time.Sleep(10 * time.Millisecond)
-	}
+			matched := h.stableMatched(t)
+			if matched == 0 {
+				t.Fatal("nothing matched")
+			}
+			deadline := time.Now().Add(20 * time.Second)
+			for h.rcv.Stats().Delivered.Load() < matched && time.Now().Before(deadline) {
+				time.Sleep(10 * time.Millisecond)
+			}
 
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if uint64(len(h.seqs)) != matched {
-		t.Fatalf("delivered %d of %d matched messages (gaps lost: %v)", len(h.seqs), matched, h.gaps)
-	}
-	for i, s := range h.seqs {
-		if s != uint64(i+1) {
-			t.Fatalf("delivery %d has sequence %d: stream not dense/in-order", i, s)
-		}
-	}
-	if len(h.gaps) != 0 {
-		t.Fatalf("gaps declared lost despite full store: %v", h.gaps)
-	}
-	if h.rcv.Stats().Recovered.Load() == 0 && h.sw.Stats().RetxRequests.Load() == 0 {
-		t.Fatal("chaos plan injected no recoverable loss; test is vacuous")
+			h.mu.Lock()
+			defer h.mu.Unlock()
+			if uint64(len(h.seqs)) != matched {
+				t.Fatalf("delivered %d of %d matched messages (gaps lost: %v)", len(h.seqs), matched, h.gaps)
+			}
+			for i, s := range h.seqs {
+				if s != uint64(i+1) {
+					t.Fatalf("delivery %d has sequence %d: stream not dense/in-order", i, s)
+				}
+			}
+			if len(h.gaps) != 0 {
+				t.Fatalf("gaps declared lost despite full store: %v", h.gaps)
+			}
+			if h.rcv.Stats().Recovered.Load() == 0 && h.sw.Stats().RetxRequests.Load() == 0 {
+				t.Fatal("chaos plan injected no recoverable loss; test is vacuous")
+			}
+		})
 	}
 }
 

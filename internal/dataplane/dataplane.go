@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"camus/internal/compiler"
@@ -106,6 +107,19 @@ type Config struct {
 	RetxBuffer int
 	// Heartbeat is the idle-heartbeat interval per port (0 disables).
 	Heartbeat time.Duration
+	// Workers is the number of parallel shard lanes evaluating ingress
+	// datagrams (default 1: the classic single read-process loop). With
+	// more than one, an ingress reader fans datagrams out by ITCH
+	// stock-locate (instrument) key, so all messages of one instrument
+	// are processed by the same lane in arrival order; per-port egress
+	// sequence numbering stays dense and race-free at any worker count.
+	Workers int
+	// Batch is how many datagrams one socket operation moves when the
+	// platform supports batched I/O (recvmmsg/sendmmsg on Linux); on
+	// other platforms and on fault-injection wrapped sockets the switch
+	// transparently falls back to per-datagram calls. 0 selects the
+	// default (32); negative or 1 disables batching.
+	Batch int
 	// WrapConn, when non-nil, wraps each socket the switch opens (data
 	// first, then retransmission) — the fault-injection hook.
 	WrapConn func(Conn) Conn
@@ -117,6 +131,14 @@ type Config struct {
 
 // defaultRetxBuffer is the per-port retransmission store size in messages.
 const defaultRetxBuffer = 4096
+
+// defaultIOBatch is how many datagrams one recvmmsg/sendmmsg moves when
+// Config.Batch is unset.
+const defaultIOBatch = 32
+
+// shardQueueDepth is the per-worker ingress channel capacity; the kernel
+// socket buffer absorbs bursts beyond it while the reader blocks.
+const shardQueueDepth = 256
 
 // maxRetxDatagram caps one retransmission reply's wire size so recovery
 // traffic stays within a conventional MTU.
@@ -145,16 +167,27 @@ type Switch struct {
 	mu        sync.RWMutex
 	ports     map[int]*portState
 	bySession map[[10]byte]*portState
+	portIdx   []*portState // dense port-number index; hot-path view of ports
 
 	session   string
 	retxCap   int
 	heartbeat time.Duration
+	workers   int
+	batch     int
 
 	stats    Stats
 	tel      *telemetry.Telemetry
 	procHist *telemetry.Histogram // per-datagram processing latency; nil when untimed
 	portsG   *telemetry.Gauge
 	readBuf  int
+
+	// Per-stage busy time, for saturated-ingress throughput analysis:
+	// busyRead is time spent inside socket read calls (on an idle switch
+	// this includes waiting for traffic, so it is only meaningful when
+	// ingress is saturated, e.g. under a replay source); busyProc is time
+	// spent evaluating and forwarding datagrams, summed across lanes.
+	busyRead atomic.Int64 // ns
+	busyProc atomic.Int64 // ns
 
 	closeMu   sync.Mutex
 	closed    bool
@@ -231,6 +264,17 @@ func Listen(cfg Config) (*Switch, error) {
 	}
 	if sw.readBuf <= 0 {
 		sw.readBuf = 64 << 10
+	}
+	sw.workers = cfg.Workers
+	if sw.workers < 1 {
+		sw.workers = 1
+	}
+	sw.batch = cfg.Batch
+	if sw.batch == 0 {
+		sw.batch = defaultIOBatch
+	}
+	if sw.batch < 1 {
+		sw.batch = 1
 	}
 	if cfg.WrapConn != nil {
 		sw.conn = cfg.WrapConn(sw.conn)
@@ -319,8 +363,22 @@ func (sw *Switch) BindPort(port int, addr string) error {
 	}
 	sw.ports[port] = ps
 	sw.bySession[ps.session] = ps
+	if port >= 0 {
+		for port >= len(sw.portIdx) {
+			sw.portIdx = append(sw.portIdx, nil)
+		}
+		sw.portIdx[port] = ps
+	}
 	sw.portsG.Set(int64(len(sw.ports)))
 	return nil
+}
+
+// portFor resolves a port number on the hot path. Callers hold sw.mu.
+func (sw *Switch) portFor(port int) *portState {
+	if port < 0 || port >= len(sw.portIdx) {
+		return nil
+	}
+	return sw.portIdx[port]
 }
 
 // SetSubscriptions compiles and installs a new rule set (the control
@@ -391,7 +449,15 @@ func (sw *Switch) endSession() {
 // closed, serving retransmission requests and emitting idle heartbeats on
 // the side. Matched messages are re-framed per output port: each port is
 // its own MoldUDP64 session with a dense sequence space, so subscribers
-// can detect and repair loss. Run may be called at most once.
+// can detect and repair loss.
+//
+// With Config.Workers > 1 the ingress socket is drained by one reader
+// that fans datagrams out to shard lanes keyed by the first add-order's
+// stock locate, so each instrument's messages are evaluated in arrival
+// order by a single lane; datagrams of different instruments may be
+// forwarded out of arrival order relative to each other, which the
+// per-port dense sequencing plus receiver-side gap recovery already
+// tolerates. Run may be called at most once.
 func (sw *Switch) Run(ctx context.Context) error {
 	sw.closeMu.Lock()
 	if sw.closed {
@@ -424,90 +490,292 @@ func (sw *Switch) Run(ctx context.Context) error {
 		close(sw.runDone)
 	}()
 
-	buf := make([]byte, sw.readBuf)
-	perPort := make(map[int]*itch.MoldPacket)
-	for {
-		n, _, err := sw.conn.ReadFromUDP(buf)
-		if err != nil {
-			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
-				return nil
+	if sw.workers > 1 {
+		return sw.runSharded(ctx)
+	}
+	return sw.runSingle(ctx)
+}
+
+// readErr maps a terminal socket error to Run's return value.
+func (sw *Switch) readErr(ctx context.Context, err error) error {
+	if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+		return nil
+	}
+	return fmt.Errorf("dataplane: read: %w", err)
+}
+
+// runSingle is the classic loop: one goroutine reads (batched when the
+// socket supports it) and processes in place.
+func (sw *Switch) runSingle(ctx context.Context) error {
+	st := sw.newProcState()
+	if br := newBatchReader(sw.conn, sw.batch); br != nil {
+		bufs := make([][]byte, sw.batch)
+		sizes := make([]int, sw.batch)
+		for i := range bufs {
+			bufs[i] = make([]byte, sw.readBuf)
+		}
+		for {
+			rs := time.Now()
+			n, err := br.ReadBatch(bufs, sizes)
+			sw.busyRead.Add(int64(time.Since(rs)))
+			for i := 0; i < n; i++ {
+				sw.stats.Datagrams.Add(1)
+				sw.timeProcess(st, bufs[i][:sizes[i]])
 			}
-			return fmt.Errorf("dataplane: read: %w", err)
+			if err != nil {
+				return sw.readErr(ctx, err)
+			}
+		}
+	}
+	buf := make([]byte, sw.readBuf)
+	for {
+		rs := time.Now()
+		n, _, err := sw.conn.ReadFromUDP(buf)
+		sw.busyRead.Add(int64(time.Since(rs)))
+		if err != nil {
+			return sw.readErr(ctx, err)
 		}
 		sw.stats.Datagrams.Add(1)
-		if sw.procHist != nil {
-			start := time.Now()
-			sw.process(buf[:n], perPort)
-			sw.procHist.Observe(time.Since(start))
-		} else {
-			sw.process(buf[:n], perPort)
-		}
+		sw.timeProcess(st, buf[:n])
 	}
 }
 
-// process evaluates one ingress datagram and emits the per-port egress
-// datagrams. perPort is reused across calls to avoid allocation.
-func (sw *Switch) process(datagram []byte, perPort map[int]*itch.MoldPacket) {
-	for _, mp := range perPort {
-		mp.Messages = mp.Messages[:0]
+// dgram is one pooled ingress datagram in flight between the reader and
+// a shard lane.
+type dgram struct {
+	buf []byte
+	n   int
+}
+
+// runSharded fans ingress datagrams out to sw.workers processing lanes.
+// Buffers are pooled: the reader takes one from the pool, a lane returns
+// it after processing, so the steady state allocates nothing.
+func (sw *Switch) runSharded(ctx context.Context) error {
+	chans := make([]chan *dgram, sw.workers)
+	for i := range chans {
+		chans[i] = make(chan *dgram, shardQueueDepth)
+	}
+	free := sync.Pool{New: func() any { return &dgram{buf: make([]byte, sw.readBuf)} }}
+	var wg sync.WaitGroup
+	for i := range chans {
+		wg.Add(1)
+		go func(ch chan *dgram) {
+			defer wg.Done()
+			st := sw.newProcState()
+			for d := range ch {
+				sw.timeProcess(st, d.buf[:d.n])
+				free.Put(d)
+			}
+		}(chans[i])
+	}
+	dispatch := func(d *dgram) {
+		sw.stats.Datagrams.Add(1)
+		shard := 0
+		if loc, ok := itch.FirstAddOrderLocate(d.buf[:d.n]); ok {
+			shard = int(loc) % sw.workers
+		}
+		chans[shard] <- d
 	}
 
-	now := time.Duration(time.Now().UnixNano())
-	sw.mu.RLock()
-	err := itch.ForEachAddOrder(datagram, func(o *itch.AddOrder) {
-		sw.stats.Messages.Add(1)
-		res := sw.engine.ProcessOrder(o, now)
-		if res.Dropped {
-			return
-		}
-		sw.stats.Matched.Add(1)
-		wire := o.Bytes()
-		for _, port := range res.Ports {
-			mp, ok := perPort[port]
-			if !ok {
-				mp = &itch.MoldPacket{}
-				perPort[port] = mp
+	var err error
+	if br := newBatchReader(sw.conn, sw.batch); br != nil {
+		ds := make([]*dgram, sw.batch)
+		bufs := make([][]byte, sw.batch)
+		sizes := make([]int, sw.batch)
+		for {
+			for i := range ds {
+				ds[i] = free.Get().(*dgram)
+				bufs[i] = ds[i].buf
 			}
-			mp.Messages = append(mp.Messages, wire)
+			rs := time.Now()
+			n, rerr := br.ReadBatch(bufs, sizes)
+			sw.busyRead.Add(int64(time.Since(rs)))
+			for i := 0; i < n; i++ {
+				ds[i].n = sizes[i]
+				dispatch(ds[i])
+			}
+			for i := n; i < len(ds); i++ {
+				free.Put(ds[i])
+			}
+			if rerr != nil {
+				err = sw.readErr(ctx, rerr)
+				break
+			}
 		}
+	} else {
+		for {
+			d := free.Get().(*dgram)
+			rs := time.Now()
+			var rerr error
+			d.n, _, rerr = sw.conn.ReadFromUDP(d.buf)
+			sw.busyRead.Add(int64(time.Since(rs)))
+			if rerr != nil {
+				free.Put(d)
+				err = sw.readErr(ctx, rerr)
+				break
+			}
+			dispatch(d)
+		}
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	return err
+}
+
+// timeProcess runs one datagram through the lane, accumulating lane busy
+// time and feeding the latency histogram when one is attached.
+func (sw *Switch) timeProcess(st *procState, datagram []byte) {
+	start := time.Now()
+	sw.processDatagram(st, datagram)
+	d := time.Since(start)
+	sw.busyProc.Add(int64(d))
+	if sw.procHist != nil {
+		sw.procHist.Observe(d)
+	}
+}
+
+// BusyNs reports cumulative per-stage busy time in nanoseconds: time
+// inside ingress read calls and time spent processing datagrams (summed
+// over lanes). Read time includes waiting for traffic, so the split is
+// meaningful only when ingress is saturated — it exists for throughput
+// experiments that replay a pre-generated feed (see
+// experiments.DataplaneThroughput). Call after Run returns, or accept
+// slightly stale values.
+func (sw *Switch) BusyNs() (readNs, procNs int64) {
+	return sw.busyRead.Load(), sw.busyProc.Load()
+}
+
+// procState is one processing lane's reusable scratch: a per-lane
+// pipeline Processor (own value buffers), per-port message buckets, and
+// per-egress wire buffers. One lane processes one datagram at a time, so
+// nothing here needs locking and the steady state is allocation-free.
+type procState struct {
+	proc    *core.Processor
+	bw      *batchWriter  // sendmmsg egress, nil on fallback paths
+	order   itch.AddOrder // decode scratch, kept off the per-call stack
+	msgs    [][]byte      // raw wire bytes of this datagram's add-orders
+	perPort []portMsgs   // indexed by switch port number
+	touched []int        // ports with >= 1 message this datagram
+	wires   [][]byte     // reusable egress wire buffers
+	addrs   []*net.UDPAddr
+	nOut    int
+}
+
+type portMsgs struct{ msgs [][]byte }
+
+func (sw *Switch) newProcState() *procState {
+	st := &procState{proc: sw.engine.NewProcessor()}
+	if sw.batch > 1 {
+		st.bw = newBatchWriter(sw.conn)
+	}
+	return st
+}
+
+// bucket returns the lane's message bucket for a port, growing the dense
+// index on first sight.
+func (st *procState) bucket(port int) *portMsgs {
+	for port >= len(st.perPort) {
+		st.perPort = append(st.perPort, portMsgs{})
+	}
+	return &st.perPort[port]
+}
+
+// nextOut claims one egress slot, growing the wire/addr arrays on demand
+// while keeping previously grown wire buffers for reuse.
+func (st *procState) nextOut() int {
+	if st.nOut == len(st.wires) {
+		st.wires = append(st.wires, nil)
+		st.addrs = append(st.addrs, nil)
+	}
+	st.nOut++
+	return st.nOut - 1
+}
+
+// processDatagram evaluates one ingress datagram through the lane and
+// ships the per-port egress datagrams. The whole evaluation runs as one
+// pipeline batch (the program pointer is loaded once per datagram), the
+// matched messages are forwarded as raw wire bytes aliasing the ingress
+// buffer (zero copy), and the egress frames are serialized into the
+// lane's recycled buffers.
+func (sw *Switch) processDatagram(st *procState, datagram []byte) {
+	now := time.Duration(time.Now().UnixNano())
+	st.msgs = st.msgs[:0]
+	st.proc.Begin()
+
+	sw.mu.RLock()
+	err := itch.DecodeAddOrders(datagram, &st.order, func(o *itch.AddOrder, raw []byte) {
+		sw.stats.Messages.Add(1)
+		st.proc.Add(o)
+		st.msgs = append(st.msgs, raw)
 	})
-	sw.mu.RUnlock()
+	// The prefix of a datagram that fails to decode mid-way is still
+	// evaluated (and counted) exactly as the per-message path did, but
+	// nothing from a bad datagram is forwarded.
+	results := st.proc.Flush(now)
+	for i := range results {
+		if !results[i].Dropped {
+			sw.stats.Matched.Add(1)
+		}
+	}
 	if err != nil {
+		sw.mu.RUnlock()
 		sw.stats.DecodeErrors.Add(1)
 		return
 	}
 
-	sw.mu.RLock()
-	defer sw.mu.RUnlock()
-	for port, mp := range perPort {
-		if len(mp.Messages) == 0 {
+	// Bucket matched messages by output port.
+	st.touched = st.touched[:0]
+	for i := range results {
+		if results[i].Dropped {
 			continue
 		}
-		ps, ok := sw.ports[port]
-		if !ok {
+		for _, port := range results[i].Ports {
+			if port < 0 {
+				sw.stats.UnboundPort.Add(1)
+				continue
+			}
+			pb := st.bucket(port)
+			if len(pb.msgs) == 0 {
+				st.touched = append(st.touched, port)
+			}
+			pb.msgs = append(pb.msgs, st.msgs[i])
+		}
+	}
+
+	// Frame one egress datagram per touched port; socket writes happen
+	// after the install lock drops, batched when the platform allows.
+	st.nOut = 0
+	for _, port := range st.touched {
+		pb := &st.perPort[port]
+		ps := sw.portFor(port)
+		if ps == nil {
 			// Port not bound: black-hole, like an unwired ASIC port —
 			// but observable.
 			sw.stats.UnboundPort.Add(1)
+			pb.msgs = pb.msgs[:0]
 			continue
 		}
-		if err := sw.sendTo(ps, mp.Messages); err != nil {
-			sw.stats.SendErrors.Add(1)
-			continue
-		}
-		sw.stats.Forwarded.Add(1)
+		i := st.nextOut()
+		st.wires[i], st.addrs[i] = ps.frame(pb.msgs, st.wires[i])
+		pb.msgs = pb.msgs[:0]
 	}
+	sw.mu.RUnlock()
+
+	sw.sendEgress(st)
 }
 
-// sendTo frames msgs as the port's next egress datagram: the port's own
-// session, its next dense sequence number, an explicit count. The
+// frame serializes msgs as the port's next egress datagram into buf
+// (reused across calls) and returns the wire bytes and destination. The
 // messages enter the retransmission store before the datagram leaves, so
 // any request the send races with can already be served.
-func (sw *Switch) sendTo(ps *portState, msgs [][]byte) error {
+func (ps *portState) frame(msgs [][]byte, buf []byte) ([]byte, *net.UDPAddr) {
 	ps.mu.Lock()
 	ps.scratch.Header.Session = ps.session
 	ps.scratch.Header.Sequence = ps.nextSeq
 	ps.scratch.Messages = append(ps.scratch.Messages[:0], msgs...)
-	wire := ps.scratch.Bytes()
+	wire := ps.scratch.AppendTo(buf)
 	if ps.store != nil {
 		for _, m := range msgs {
 			ps.store.add(m)
@@ -517,8 +785,37 @@ func (sw *Switch) sendTo(ps *portState, msgs [][]byte) error {
 	ps.lastEgress = time.Now()
 	addr := ps.addr
 	ps.mu.Unlock()
-	_, err := sw.conn.WriteToUDP(wire, addr)
-	return err
+	return wire, addr
+}
+
+// sendEgress ships the lane's framed datagrams, preferring one sendmmsg
+// per datagram-burst and falling back to per-datagram writes.
+func (sw *Switch) sendEgress(st *procState) {
+	wires, addrs := st.wires[:st.nOut], st.addrs[:st.nOut]
+	st.nOut = 0
+	i := 0
+	if st.bw != nil && len(wires) > 0 {
+		for i < len(wires) {
+			n, err := st.bw.WriteBatch(wires[i:], addrs[i:])
+			sw.stats.Forwarded.Add(uint64(n))
+			i += n
+			if err != nil {
+				// Skip the datagram the kernel rejected; the rest of
+				// the burst still goes out.
+				sw.stats.SendErrors.Add(1)
+				i++
+			} else if n == 0 {
+				break // writer unavailable; finish on the slow path
+			}
+		}
+	}
+	for ; i < len(wires); i++ {
+		if _, err := sw.conn.WriteToUDP(wires[i], addrs[i]); err != nil {
+			sw.stats.SendErrors.Add(1)
+			continue
+		}
+		sw.stats.Forwarded.Add(1)
+	}
 }
 
 // heartbeatLoop emits a MoldUDP64 heartbeat on every port that has been
@@ -559,7 +856,10 @@ func (sw *Switch) heartbeatLoop(stop <-chan struct{}) {
 // oldest retained sequence onward — the reply's sequence number tells the
 // subscriber exactly which prefix is unrecoverable.
 func (sw *Switch) serveRetx() {
-	buf := make([]byte, 2048)
+	// The request socket honors the same configured buffer size as the
+	// ingress socket (requests are tiny, but a fixed small buffer would
+	// silently truncate on configs with jumbo frames).
+	buf := make([]byte, sw.readBuf)
 	for {
 		n, raddr, err := sw.retx.ReadFromUDP(buf)
 		if err != nil {

@@ -1,0 +1,53 @@
+package experiments
+
+import "testing"
+
+// TestDataplaneThroughputSmoke runs a small sweep end to end: every
+// requested worker count produces a fully populated point, the replay
+// budget is honored, and traffic actually flows through matching and
+// egress.
+func TestDataplaneThroughputSmoke(t *testing.T) {
+	pts, err := DataplaneThroughput(DataplaneConfig{
+		Workers: []int{1, 2},
+		Rules:   200,
+		Packets: 3000,
+		Batch:   8,
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	for _, p := range pts {
+		if p.Packets != 3000 {
+			t.Fatalf("workers=%d processed %d packets, want 3000", p.Workers, p.Packets)
+		}
+		if p.Messages <= p.Packets {
+			t.Fatalf("workers=%d: messages %d should exceed packets", p.Workers, p.Messages)
+		}
+		if p.Matched == 0 || p.Forwarded == 0 {
+			t.Fatalf("workers=%d: no traffic matched/forwarded (matched=%d fwd=%d)",
+				p.Workers, p.Matched, p.Forwarded)
+		}
+		if p.PacketsPerSec <= 0 || p.NsPerPacket <= 0 || p.Seconds <= 0 || p.WallPacketsPerSec <= 0 {
+			t.Fatalf("workers=%d: unpopulated rates: %+v", p.Workers, p)
+		}
+		if p.ReadNsPerPacket <= 0 || p.ProcNsPerPacket <= 0 || p.ShardImbalance < 1 {
+			t.Fatalf("workers=%d: unpopulated stage model: %+v", p.Workers, p)
+		}
+	}
+	if pts[0].Workers != 1 || pts[1].Workers != 2 {
+		t.Fatalf("worker axis wrong: %d, %d", pts[0].Workers, pts[1].Workers)
+	}
+	// Capacity must reflect lane parallelism: the two-lane point clears
+	// the serial one unless sharding collapsed onto a single lane.
+	if pts[1].PacketsPerSec <= pts[0].PacketsPerSec {
+		t.Fatalf("2-worker capacity %.0f did not exceed 1-worker %.0f (imbalance %.3f)",
+			pts[1].PacketsPerSec, pts[0].PacketsPerSec, pts[1].ShardImbalance)
+	}
+	if FormatDataplane(pts) == "" {
+		t.Fatal("empty formatted table")
+	}
+}

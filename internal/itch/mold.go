@@ -110,8 +110,20 @@ func (p *MoldPacket) WireLen() int {
 
 // Bytes serializes the Mold packet (header + length-prefixed messages).
 func (p *MoldPacket) Bytes() []byte {
+	return p.AppendTo(nil)
+}
+
+// AppendTo serializes the Mold packet into buf (grown as needed) and
+// returns the wire bytes. Passing a recycled buffer makes serialization
+// allocation-free in steady state — the egress hot path of the software
+// dataplane.
+func (p *MoldPacket) AppendTo(buf []byte) []byte {
 	p.Header.Count = uint16(len(p.Messages))
-	buf := make([]byte, p.WireLen())
+	n := p.WireLen()
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
 	p.Header.SerializeTo(buf)
 	off := MoldHeaderLen
 	for _, m := range p.Messages {
@@ -151,6 +163,23 @@ func (p *MoldPacket) Decode(data []byte) error {
 // add-order message, reusing a single AddOrder struct (zero allocation per
 // message). Non-add-order messages are skipped.
 func ForEachAddOrder(data []byte, fn func(*AddOrder)) error {
+	return ForEachAddOrderRaw(data, func(m *AddOrder, _ []byte) { fn(m) })
+}
+
+// ForEachAddOrderRaw is ForEachAddOrder, additionally passing each
+// message's raw wire bytes (aliasing data, without the length prefix) so
+// forwarding paths can reuse them instead of re-serializing — the
+// zero-copy egress path of the software dataplane. The raw slice is only
+// valid until the caller recycles data.
+func ForEachAddOrderRaw(data []byte, fn func(*AddOrder, []byte)) error {
+	var msg AddOrder
+	return DecodeAddOrders(data, &msg, fn)
+}
+
+// DecodeAddOrders is ForEachAddOrderRaw with a caller-supplied scratch
+// AddOrder: passing a long-lived scratch keeps the message struct off
+// the heap entirely, which the dataplane's zero-alloc lanes rely on.
+func DecodeAddOrders(data []byte, msg *AddOrder, fn func(*AddOrder, []byte)) error {
 	var hdr MoldHeader
 	if err := hdr.DecodeFromBytes(data); err != nil {
 		return err
@@ -158,7 +187,6 @@ func ForEachAddOrder(data []byte, fn func(*AddOrder)) error {
 	if hdr.IsEndOfSession() {
 		return nil
 	}
-	var msg AddOrder
 	off := MoldHeaderLen
 	for i := 0; i < int(hdr.Count); i++ {
 		if off+2 > len(data) {
@@ -173,9 +201,40 @@ func ForEachAddOrder(data []byte, fn func(*AddOrder)) error {
 			if err := msg.DecodeFromBytes(data[off : off+l]); err != nil {
 				return err
 			}
-			fn(&msg)
+			fn(msg, data[off:off+l])
 		}
 		off += l
 	}
 	return nil
+}
+
+// FirstAddOrderLocate scans a Mold datagram for its first add-order
+// message and returns that message's stock-locate code — the ITCH
+// instrument/partition key the sharded dataplane fans out on. ok is
+// false when the datagram has no decodable add-order.
+func FirstAddOrderLocate(data []byte) (uint16, bool) {
+	var hdr MoldHeader
+	if err := hdr.DecodeFromBytes(data); err != nil {
+		return 0, false
+	}
+	if hdr.IsEndOfSession() {
+		return 0, false
+	}
+	off := MoldHeaderLen
+	for i := 0; i < int(hdr.Count); i++ {
+		if off+2 > len(data) {
+			return 0, false
+		}
+		l := int(binary.BigEndian.Uint16(data[off : off+2]))
+		off += 2
+		if off+l > len(data) {
+			return 0, false
+		}
+		// An add-order's locate code sits right after the type byte.
+		if l >= 3 && data[off] == TypeAddOrder {
+			return binary.BigEndian.Uint16(data[off+1 : off+3]), true
+		}
+		off += l
+	}
+	return 0, false
 }

@@ -94,7 +94,7 @@ func RunExperiment(cfg ExperimentConfig) (*Result, error) {
 	res := &Result{Latency: &stats.Dist{}}
 
 	var ex *itch.Extractor
-	var vals []uint64
+	var batch evalBatch
 	if cfg.Mode == SwitchFiltering {
 		var err error
 		ex, err = itch.NewExtractor(cfg.Switch.Program())
@@ -143,11 +143,13 @@ func RunExperiment(cfg ExperimentConfig) (*Result, error) {
 						})
 					case SwitchFiltering:
 						// Per-message filtering: only subscribed messages
-						// leave on the subscriber port.
+						// leave on the subscriber port. The datagram's
+						// messages traverse the pipeline as one batch
+						// under a single program version, as on the ASIC.
+						outs := batch.run(cfg.Switch, ex, fp.Orders, sim.Now())
 						var matched []itch.AddOrder
 						for i := range fp.Orders {
-							vals = ex.Values(&fp.Orders[i], vals)
-							r := cfg.Switch.Process(vals, sim.Now())
+							r := &outs[i]
 							if !r.Dropped && containsPort(r.Ports, cfg.SubscriberPort) {
 								matched = append(matched, fp.Orders[i])
 							}
@@ -165,6 +167,36 @@ func RunExperiment(cfg ExperimentConfig) (*Result, error) {
 	sim.Run()
 	res.MaxHostQueue = hostCPU.MaxQueue()
 	return res, nil
+}
+
+// evalBatch is reusable scratch for running one simulated datagram's
+// messages through the pipeline's batch API: the value rows, timestamps,
+// and results are recycled across datagrams.
+type evalBatch struct {
+	vals [][]uint64
+	nows []time.Duration
+	outs []pipeline.Result
+}
+
+// run extracts every order's field values and evaluates them in one
+// ProcessBatch call, returning one Result per order (reused on the next
+// call).
+func (b *evalBatch) run(sw *pipeline.Switch, ex *itch.Extractor, orders []itch.AddOrder, now time.Duration) []pipeline.Result {
+	n := len(orders)
+	for len(b.vals) < n {
+		b.vals = append(b.vals, nil)
+	}
+	if cap(b.nows) < n {
+		b.nows = make([]time.Duration, n)
+		b.outs = make([]pipeline.Result, n)
+	}
+	nows, outs := b.nows[:n], b.outs[:n]
+	for i := range orders {
+		b.vals[i] = ex.Values(&orders[i], b.vals[i])
+		nows[i] = now
+	}
+	sw.ProcessBatch(b.vals[:n], nows, outs)
+	return outs
 }
 
 // packetBytes is the wire size of a Mold datagram with n add-orders.

@@ -99,7 +99,7 @@ func RunFanout(cfg FanoutConfig) (*FanoutResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	var vals []uint64
+	var batch evalBatch
 	pipeLatency := cfg.Switch.Latency()
 
 	deliver := func(port int, pubAt time.Duration, n int, bytes int) {
@@ -129,16 +129,16 @@ func RunFanout(cfg FanoutConfig) (*FanoutResult, error) {
 						}
 						return
 					}
-					// Switch filtering: evaluate each message once; the
+					// Switch filtering: the datagram's messages are
+					// evaluated once each, as one pipeline batch; the
 					// multicast engine replicates to matched ports.
+					outs := batch.run(cfg.Switch, ex, fp.Orders, sim.Now())
 					perPort := make(map[int]int)
-					for i := range fp.Orders {
-						vals = ex.Values(&fp.Orders[i], vals)
-						r := cfg.Switch.Process(vals, sim.Now())
-						if r.Dropped {
+					for i := range outs {
+						if outs[i].Dropped {
 							continue
 						}
-						for _, port := range r.Ports {
+						for _, port := range outs[i].Ports {
 							perPort[port]++
 						}
 					}

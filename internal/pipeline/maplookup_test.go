@@ -1,0 +1,83 @@
+package pipeline
+
+import (
+	"sort"
+
+	"camus/internal/compiler"
+)
+
+// This file keeps the pre-flattening map-based lookup implementation as a
+// build-time test helper: it is compiled only into test binaries and
+// serves as a second reference (alongside compiler.Table.Lookup and
+// Program.Evaluate) for differential tests of the flattened arrays in
+// flatlookup.go. Its semantics — last-wins entry dedup, exact before
+// range before wildcard, binary search over sorted disjoint ranges — are
+// the contract the flat tables must reproduce bit-identically.
+
+type mapExactKey struct {
+	state int
+	value uint64
+}
+
+// mapLookupTable is the old runtime form of one compiler.Table: three Go
+// maps probed per stage.
+type mapLookupTable struct {
+	field  int
+	codec  *compiler.DomainCodec
+	exact  map[mapExactKey]int  // (state, value) -> next
+	wild   map[int]int          // state -> next
+	ranges map[int][]rangeEntry // state -> sorted disjoint ranges
+}
+
+func buildMapLookup(t *compiler.Table) mapLookupTable {
+	lt := mapLookupTable{
+		field:  t.Field,
+		codec:  t.Codec,
+		exact:  make(map[mapExactKey]int),
+		wild:   make(map[int]int),
+		ranges: make(map[int][]rangeEntry),
+	}
+	for _, e := range t.Entries {
+		switch e.Kind {
+		case compiler.EntryExact:
+			lt.exact[mapExactKey{e.State, e.Lo}] = e.Next
+		case compiler.EntryWild:
+			lt.wild[e.State] = e.Next
+		case compiler.EntryRange:
+			lt.ranges[e.State] = append(lt.ranges[e.State], rangeEntry{e.Lo, e.Hi, e.Next})
+		}
+	}
+	for st := range lt.ranges {
+		rs := lt.ranges[st]
+		sort.Slice(rs, func(i, j int) bool { return rs[i].lo < rs[j].lo })
+		lt.ranges[st] = rs
+	}
+	return lt
+}
+
+func (lt *mapLookupTable) lookup(state int, value uint64) (int, bool) {
+	if lt.codec != nil {
+		value = lt.codec.Code(value)
+	}
+	if next, ok := lt.exact[mapExactKey{state, value}]; ok {
+		return next, true
+	}
+	if rs, ok := lt.ranges[state]; ok {
+		lo, hi := 0, len(rs)-1
+		for lo <= hi {
+			mid := (lo + hi) / 2
+			switch {
+			case value < rs[mid].lo:
+				hi = mid - 1
+			case value > rs[mid].hi:
+				lo = mid + 1
+			default:
+				return rs[mid].next, true
+			}
+		}
+	}
+	if next, ok := lt.wild[state]; ok {
+		return next, true
+	}
+	return 0, false
+}

@@ -7,13 +7,15 @@
 // work that is independent of how many subscriptions are installed,
 // bounded SRAM/TCAM per stage, registers with tumbling windows for state
 // variables, and a multicast replication engine. Lookup structures are
-// hash maps for exact tables and sorted arrays for range tables, so the
-// simulator itself processes millions of messages per second.
+// flattened state-indexed arrays (see flatlookup.go) — binary-searched
+// sorted runs or open-addressed flat tables for exact stages, sorted
+// range runs for TCAM stages — so the per-packet path performs a fixed
+// number of O(1)/O(log n) array lookups with zero allocation and the
+// simulator itself processes tens of millions of messages per second.
 package pipeline
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -72,9 +74,11 @@ type Result struct {
 // many goroutines concurrently with Reinstall, and each packet sees one
 // consistent program version. The read-mostly contract the control plane
 // relies on: stateless programs (no aggregate/state fields) are fully
-// race-free; programs with state variables additionally mutate the shared
-// register file per packet, which — like the serialized register ALUs of
-// the real ASIC — requires packets to be serialized by the caller.
+// race-free and lock-free; programs with state variables additionally
+// mutate the shared register file per packet, which — like the serialized
+// register ALUs of the real ASIC — is serialized internally by the
+// register file's mutex, so Process and ProcessBatch are safe from many
+// goroutines for every program.
 type Switch struct {
 	cfg  Config
 	inst atomic.Pointer[installed]
@@ -106,11 +110,13 @@ type Switch struct {
 }
 
 // installed is one immutable program version: everything Process needs,
-// swapped atomically by Reinstall.
+// swapped atomically by Reinstall. The lookup structures are the
+// flattened arrays of flatlookup.go, built once here so the per-packet
+// path performs no map probes and no allocation.
 type installed struct {
 	prog    *compiler.Program
 	tables  []lookupTable
-	leaf    map[int]int // state -> action index
+	leaf    leafTable
 	groups  [][]int
 	pat     []atomic.Uint64 // fused packet/miss-pattern counters (see patGen)
 	dropBit uint64          // pattern bit recording "packet dropped"
@@ -148,25 +154,6 @@ const (
 	// any such call (microseconds long) is long gone.
 	keepGens = 4
 )
-
-type exactKey struct {
-	state int
-	value uint64
-}
-
-// lookupTable is the runtime form of one compiler.Table.
-type lookupTable struct {
-	field  int
-	codec  *compiler.DomainCodec
-	exact  map[exactKey]int     // (state, value) -> next
-	wild   map[int]int          // state -> next
-	ranges map[int][]rangeEntry // state -> sorted disjoint ranges
-}
-
-type rangeEntry struct {
-	lo, hi uint64
-	next   int
-}
 
 // New builds a Switch for a compiled program, validating that the program
 // fits the device's table resources.
@@ -224,14 +211,11 @@ func (sw *Switch) newInstalled(prog *compiler.Program) *installed {
 	in := &installed{
 		prog:   prog,
 		tables: make([]lookupTable, 0, len(prog.Tables)),
-		leaf:   make(map[int]int, len(prog.Leaf.Entries)),
+		leaf:   buildLeaf(prog.Leaf.Entries),
 		groups: prog.Groups,
 	}
 	for _, t := range prog.Tables {
 		in.tables = append(in.tables, buildLookup(t))
-	}
-	for _, e := range prog.Leaf.Entries {
-		in.leaf[e.State] = e.Next
 	}
 	for _, f := range prog.Fields {
 		if f.IsState {
@@ -404,67 +388,35 @@ func fieldWindow(f compiler.FieldInfo) time.Duration {
 	return AggWindow
 }
 
-func buildLookup(t *compiler.Table) lookupTable {
-	lt := lookupTable{
-		field:  t.Field,
-		codec:  t.Codec,
-		exact:  make(map[exactKey]int),
-		wild:   make(map[int]int),
-		ranges: make(map[int][]rangeEntry),
-	}
-	for _, e := range t.Entries {
-		switch e.Kind {
-		case compiler.EntryExact:
-			lt.exact[exactKey{e.State, e.Lo}] = e.Next
-		case compiler.EntryWild:
-			lt.wild[e.State] = e.Next
-		case compiler.EntryRange:
-			lt.ranges[e.State] = append(lt.ranges[e.State], rangeEntry{e.Lo, e.Hi, e.Next})
-		}
-	}
-	for st := range lt.ranges {
-		rs := lt.ranges[st]
-		sort.Slice(rs, func(i, j int) bool { return rs[i].lo < rs[j].lo })
-		lt.ranges[st] = rs
-	}
-	return lt
-}
-
-// lookup performs the single-stage table lookup: exact first (SRAM), then
-// ranges (TCAM), then the per-state wildcard default.
-func (lt *lookupTable) lookup(state int, value uint64) (int, bool) {
-	if lt.codec != nil {
-		value = lt.codec.Code(value)
-	}
-	if next, ok := lt.exact[exactKey{state, value}]; ok {
-		return next, true
-	}
-	if rs, ok := lt.ranges[state]; ok {
-		lo, hi := 0, len(rs)-1
-		for lo <= hi {
-			mid := (lo + hi) / 2
-			switch {
-			case value < rs[mid].lo:
-				hi = mid - 1
-			case value > rs[mid].hi:
-				lo = mid + 1
-			default:
-				return rs[mid].next, true
-			}
-		}
-	}
-	if next, ok := lt.wild[state]; ok {
-		return next, true
-	}
-	return 0, false
-}
-
 // Process runs one packet through the pipeline. values must contain the
 // packet's header field values in program field order; state-field slots
 // are overwritten with register reads. now is the packet's arrival time,
 // used for tumbling windows.
 func (sw *Switch) Process(values []uint64, now time.Duration) Result {
 	in := sw.inst.Load() // one consistent program version per packet
+	return sw.processOne(in, values, now)
+}
+
+// ProcessBatch runs a batch of packets through the pipeline, filling
+// out[i] with the forwarding decision for values[i] arriving at now[i].
+// The three slices must have equal length. The program pointer is loaded
+// once for the whole batch — every packet of a batch sees the same
+// program version, and the per-packet cost drops by the atomic load and
+// its cache miss. Telemetry semantics are identical to per-packet
+// Process calls: one fused miss-pattern sample per packet.
+func (sw *Switch) ProcessBatch(values [][]uint64, now []time.Duration, out []Result) {
+	if len(values) != len(now) || len(values) != len(out) {
+		panic("pipeline: ProcessBatch slice lengths differ")
+	}
+	in := sw.inst.Load() // one consistent program version per batch
+	for i := range values {
+		out[i] = sw.processOne(in, values[i], now[i])
+	}
+}
+
+// processOne is the per-packet hot path: a fixed sequence of flattened
+// array-indexed stage lookups, no hashing, no allocation.
+func (sw *Switch) processOne(in *installed, values []uint64, now time.Duration) Result {
 	fields := in.prog.Fields
 	// Stage 0: state-variable reads populate metadata.
 	for i := range fields {
@@ -508,7 +460,7 @@ func (sw *Switch) Process(values []uint64, now time.Duration) Result {
 		}
 	}
 	// Leaf stage.
-	ai, ok := in.leaf[state]
+	ai, ok := in.leaf.lookup(state)
 	if !ok {
 		if in.pat != nil {
 			in.pat[mask|in.dropBit].Add(1)

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -86,7 +87,16 @@ func (r *Register) Count(now time.Duration) uint64 {
 
 // RegisterFile is the switch's block of stateful registers, addressed by
 // state-variable name.
+//
+// Access through Read/Update is serialized by an internal mutex — the
+// software analogue of the ASIC's register ALUs, where packets touching
+// the same register are serialized by the hardware. Stateless programs
+// never reach the lock, so the common path stays lock-free; with it,
+// packets carrying register reads/updates may be processed from many
+// goroutines (the sharded dataplane workers) without external
+// serialization.
 type RegisterFile struct {
+	mu   sync.Mutex
 	regs map[string]*Register
 }
 
@@ -95,8 +105,16 @@ func NewRegisterFile() *RegisterFile {
 	return &RegisterFile{regs: make(map[string]*Register)}
 }
 
-// Ensure allocates a register if absent and returns it.
+// Ensure allocates a register if absent and returns it. The returned
+// register is not synchronized; concurrent packet processing must go
+// through Read/Update.
 func (f *RegisterFile) Ensure(name string, window time.Duration) *Register {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ensureLocked(name, window)
+}
+
+func (f *RegisterFile) ensureLocked(name string, window time.Duration) *Register {
 	if r, ok := f.regs[name]; ok {
 		return r
 	}
@@ -108,6 +126,8 @@ func (f *RegisterFile) Ensure(name string, window time.Duration) *Register {
 // Read returns the aggregate value of a register, zero if the register
 // was never written.
 func (f *RegisterFile) Read(name, agg string, now time.Duration) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	r, ok := f.regs[name]
 	if !ok {
 		return 0
@@ -118,7 +138,9 @@ func (f *RegisterFile) Read(name, agg string, now time.Duration) uint64 {
 // Update folds a sample into a register, allocating it on first use (the
 // dynamic compiler's late linking of actions to the pre-allocated block).
 func (f *RegisterFile) Update(name, agg string, v uint64, now time.Duration) {
-	r := f.Ensure(name, AggWindow)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r := f.ensureLocked(name, AggWindow)
 	switch agg {
 	case "count":
 		r.Update(0, now) // count ignores the argument value
@@ -129,6 +151,8 @@ func (f *RegisterFile) Update(name, agg string, v uint64, now time.Duration) {
 
 // Names returns the allocated register names, sorted.
 func (f *RegisterFile) Names() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	out := make([]string, 0, len(f.regs))
 	for n := range f.regs {
 		out = append(out, n)
