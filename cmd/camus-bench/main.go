@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 
+	"camus/internal/dataplane"
 	"camus/internal/experiments"
 	"camus/internal/pipeline"
 	"camus/internal/telemetry"
@@ -39,6 +40,7 @@ func main() {
 		workers  = flag.String("workers", "", "comma-separated worker counts for -dataplane (default 1,2,4,8)")
 		rules    = flag.Int("rules", 10000, "installed subscriptions for -dataplane")
 		packets  = flag.Int("packets", 200000, "replayed ingress datagrams for -dataplane")
+		ingress  = flag.String("ingress", "auto", "ingress mode for -dataplane: auto, shared, reuseport, reshard")
 	)
 	flag.Parse()
 	if *churn {
@@ -159,31 +161,37 @@ func main() {
 					workerList = append(workerList, n)
 				}
 			}
+			mode, err := dataplane.ParseIngressMode(*ingress)
+			fatal(err)
 			pts, err := experiments.DataplaneThroughput(experiments.DataplaneConfig{
-				Workers: workerList,
-				Rules:   *rules,
-				Packets: *packets,
-				Seed:    *seed,
+				Workers:     workerList,
+				Rules:       *rules,
+				Packets:     *packets,
+				Seed:        *seed,
+				IngressMode: mode,
 			})
 			fatal(err)
 			if *jsonOut {
 				enc := json.NewEncoder(os.Stdout)
 				enc.SetIndent("", "  ")
 				fatal(enc.Encode(struct {
-					GOOS   string                       `json:"goos"`
-					GOARCH string                       `json:"goarch"`
-					CPUs   int                          `json:"cpus"`
-					Rules  int                          `json:"rules"`
-					Seed   int64                        `json:"seed"`
-					Points []experiments.DataplanePoint `json:"points"`
-				}{runtime.GOOS, runtime.GOARCH, runtime.NumCPU(), *rules, *seed, pts}))
+					GOOS    string                       `json:"goos"`
+					GOARCH  string                       `json:"goarch"`
+					CPUs    int                          `json:"cpus"`
+					Rules   int                          `json:"rules"`
+					Seed    int64                        `json:"seed"`
+					Ingress string                       `json:"ingress_mode"`
+					Points  []experiments.DataplanePoint `json:"points"`
+				}{runtime.GOOS, runtime.GOARCH, runtime.NumCPU(), *rules, *seed,
+					dataplane.ResolveIngressMode(mode).String(), pts}))
 				return
 			}
 			if *csv {
-				fmt.Println("workers,batch,packets_per_sec,ns_per_packet,ns_per_msg,allocs_per_op,mb_per_sec")
+				fmt.Println("workers,batch,ingress_mode,packets_per_sec,ns_per_packet,ns_per_msg,wall_packets_per_sec,resharded,allocs_per_op,mb_per_sec")
 				for _, p := range pts {
-					fmt.Printf("%d,%d,%.0f,%.1f,%.1f,%.3f,%.1f\n",
-						p.Workers, p.Batch, p.PacketsPerSec, p.NsPerPacket, p.NsPerMsg, p.AllocsPerOp, p.MBPerSec)
+					fmt.Printf("%d,%d,%s,%.0f,%.1f,%.1f,%.0f,%d,%.3f,%.1f\n",
+						p.Workers, p.Batch, p.IngressMode, p.PacketsPerSec, p.NsPerPacket, p.NsPerMsg,
+						p.WallPacketsPerSec, p.Resharded, p.AllocsPerOp, p.MBPerSec)
 				}
 				return
 			}

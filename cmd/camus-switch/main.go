@@ -24,7 +24,13 @@
 // -workers shards ingress across parallel processing lanes keyed by ITCH
 // stock locate (per-instrument ordering and per-port sequencing are
 // preserved), and -batch sets how many datagrams each socket operation
-// moves where recvmmsg/sendmmsg is available.
+// moves where recvmmsg/sendmmsg is available. -ingress selects how
+// datagrams reach the lanes: the default shared socket with a software
+// shard step, per-lane SO_REUSEPORT sockets with kernel flow hashing
+// (-ingress reuseport, for publishers that fan instruments out across
+// flows), or per-lane sockets with a locate-keyed lane-to-lane handoff
+// (-ingress reshard, or the -reuseport shorthand — safe for any feed
+// including a single flow).
 package main
 
 import (
@@ -80,6 +86,8 @@ func main() {
 		admin      = flag.String("admin", "", "observability HTTP address (e.g. :9090): Prometheus /metrics, JSON /debug/camus, pprof /debug/pprof/")
 		workers    = flag.Int("workers", 1, "parallel shard lanes keyed by ITCH stock locate (1 = classic single loop)")
 		batch      = flag.Int("batch", 0, "datagrams per socket operation where recvmmsg/sendmmsg is available (0 = default 32, 1 disables)")
+		ingress    = flag.String("ingress", "auto", "ingress mode: auto, shared (one socket, software shard), reuseport (per-lane SO_REUSEPORT sockets, kernel flow hash), reshard (per-lane sockets + locate-keyed lane handoff)")
+		reuseport  = flag.Bool("reuseport", false, "shorthand for -ingress reshard: per-lane SO_REUSEPORT sockets, safe for any feed including a single flow")
 	)
 	flag.Var(ports, "port", "bind switch port to subscriber address, PORT=HOST:PORT (repeatable)")
 	flag.Parse()
@@ -117,6 +125,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "camus-switch: fault plan active: %s\n", *faultPlan)
 	}
 
+	mode, err := dataplane.ParseIngressMode(*ingress)
+	fatal(err)
+	if *reuseport {
+		// The reshard variant is the safe default for arbitrary feeds: a
+		// publisher that keeps everything on one flow still parallelizes.
+		mode = dataplane.IngressReusePortReshard
+	}
+	if mode != dataplane.IngressAuto && mode != dataplane.IngressShared && !dataplane.ReusePortAvailable() {
+		fmt.Fprintf(os.Stderr, "camus-switch: SO_REUSEPORT unavailable on this platform; falling back to shared ingress\n")
+	}
+
 	tel := telemetry.New()
 	sw, err := dataplane.Listen(dataplane.Config{
 		Ingress:       *listen,
@@ -128,6 +147,7 @@ func main() {
 		RetxBuffer:    *retxBuffer,
 		Heartbeat:     *heartbeat,
 		Workers:       *workers,
+		IngressMode:   mode,
 		Batch:         *batch,
 		WrapConn:      wrap,
 		Telemetry:     tel,
@@ -135,9 +155,9 @@ func main() {
 	fatal(err)
 	fmt.Fprintf(os.Stderr, "camus-switch: listening on %s (retx %s), %d ports bound, %d table entries installed\n",
 		sw.Addr(), sw.RetxAddr(), len(ports), sw.Program().Stats.TableEntries)
-	fmt.Fprintf(os.Stderr, "camus-switch: config: rules=%s spec=%s session=%q retx-buffer=%d heartbeat=%s workers=%d batch=%d stats=%ds fault-plan=%q admin=%q\n",
+	fmt.Fprintf(os.Stderr, "camus-switch: config: rules=%s spec=%s session=%q retx-buffer=%d heartbeat=%s workers=%d ingress=%s batch=%d stats=%ds fault-plan=%q admin=%q\n",
 		orDefault(*rulesPath, "<built-in>"), orDefault(*specPath, "<itch-add-order>"),
-		*session, *retxBuffer, *heartbeat, *workers, *batch, *statsSec, *faultPlan, *admin)
+		*session, *retxBuffer, *heartbeat, *workers, sw.IngressMode(), *batch, *statsSec, *faultPlan, *admin)
 
 	if *admin != "" {
 		srv, err := telemetry.Serve(*admin, tel)

@@ -24,11 +24,12 @@ type chaosHarness struct {
 	pub *net.UDPConn
 	tel *telemetry.Telemetry
 
-	mu    sync.Mutex
-	seqs  []uint64
-	gaps  [][2]uint64
-	eos   bool
-	runCh chan error
+	mu        sync.Mutex
+	seqs      []uint64
+	locShares map[uint16][]uint32 // per-instrument delivered shares, in delivery order
+	gaps      [][2]uint64
+	eos       bool
+	runCh     chan error
 }
 
 func startChaos(t *testing.T, plan faults.Plan, retxBuffer int, rcvTimeout time.Duration) *chaosHarness {
@@ -36,8 +37,20 @@ func startChaos(t *testing.T, plan faults.Plan, retxBuffer int, rcvTimeout time.
 }
 
 func startChaosWorkers(t *testing.T, plan faults.Plan, retxBuffer int, rcvTimeout time.Duration, workers int) *chaosHarness {
+	return startChaosMode(t, plan, false, retxBuffer, rcvTimeout, workers, IngressAuto)
+}
+
+// startChaosMode is the full-control harness entry: egressOnly restricts
+// fault injection to the switch's send side (so the switch sees the
+// publisher's exact ingress order, making per-instrument ordering
+// assertions sharp), and mode selects the ingress architecture.
+func startChaosMode(t *testing.T, plan faults.Plan, egressOnly bool, retxBuffer int, rcvTimeout time.Duration, workers int, mode IngressMode) *chaosHarness {
 	t.Helper()
-	h := &chaosHarness{runCh: make(chan error, 1), tel: telemetry.New()}
+	h := &chaosHarness{
+		runCh:     make(chan error, 1),
+		tel:       telemetry.New(),
+		locShares: make(map[uint16][]uint32),
+	}
 
 	var rcvErr error
 	h.rcv, rcvErr = NewReceiver(ReceiverConfig{
@@ -45,8 +58,12 @@ func startChaosWorkers(t *testing.T, plan faults.Plan, retxBuffer int, rcvTimeou
 		Seed:           3,
 		Telemetry:      h.tel,
 		OnMessage: func(seq uint64, msg []byte) {
+			var o itch.AddOrder
 			h.mu.Lock()
 			h.seqs = append(h.seqs, seq)
+			if err := o.DecodeFromBytes(msg); err == nil {
+				h.locShares[o.StockLocate] = append(h.locShares[o.StockLocate], o.Shares)
+			}
 			h.mu.Unlock()
 		},
 		OnGap: func(from, to uint64) {
@@ -66,11 +83,16 @@ func startChaosWorkers(t *testing.T, plan faults.Plan, retxBuffer int, rcvTimeou
 	t.Cleanup(func() { h.rcv.Close() })
 
 	// Fresh injectors per socket and direction, all derived from the one
-	// seeded plan, so the whole chaos run is replayable.
+	// seeded plan, so the whole chaos run is replayable. With egressOnly
+	// the read side of every socket is clean: the switch processes the
+	// publisher's exact datagram order, and only its sends face chaos.
 	mkWrap := func() func(Conn) Conn {
 		seed := plan.Seed
 		return func(c Conn) Conn {
 			in, eg := plan, plan
+			if egressOnly {
+				in = faults.Plan{}
+			}
 			in.Seed, eg.Seed = seed, seed+1
 			seed += 2
 			return faults.WrapConn(c, &in, &eg)
@@ -82,6 +104,7 @@ func startChaosWorkers(t *testing.T, plan faults.Plan, retxBuffer int, rcvTimeou
 		RetxBuffer:    retxBuffer,
 		Heartbeat:     20 * time.Millisecond,
 		Workers:       workers,
+		IngressMode:   mode,
 		WrapConn:      mkWrap(),
 		Telemetry:     h.tel,
 	})
@@ -142,6 +165,71 @@ func (h *chaosHarness) publish(t *testing.T, count, perDatagram int) {
 		sent += n
 		if sent%128 == 0 {
 			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// publishFlows streams count GOOGL add-orders across `flows` publisher
+// sockets, one instrument per socket (locate = flow index), shares
+// strictly increasing within each instrument — the multi-flow publisher
+// shape the SO_REUSEPORT ingress is designed for: the kernel hash pins
+// each instrument's flow to one lane socket.
+func (h *chaosHarness) publishFlows(t *testing.T, flows, count, perDatagram int) {
+	t.Helper()
+	pubs := make([]*net.UDPConn, flows)
+	for i := range pubs {
+		pub, err := net.DialUDP("udp", nil, h.sw.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { pub.Close() })
+		pubs[i] = pub
+	}
+	shares := make([]uint32, flows)
+	seqs := make([]uint64, flows)
+	sent, f := 0, 0
+	for sent < count {
+		var mp itch.MoldPacket
+		mp.Header.SetSession("INGRESS")
+		mp.Header.Sequence = seqs[f] + 1
+		n := perDatagram
+		if count-sent < n {
+			n = count - sent
+		}
+		for i := 0; i < n; i++ {
+			var o itch.AddOrder
+			o.SetStock("GOOGL")
+			o.StockLocate = uint16(f)
+			shares[f]++
+			o.Shares = shares[f]
+			o.Side = itch.Buy
+			mp.Append(o.Bytes())
+		}
+		if _, err := pubs[f].Write(mp.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+		seqs[f] += uint64(n)
+		sent += n
+		f = (f + 1) % flows
+		if sent%128 == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// checkInstrumentOrder asserts per-instrument delivery order: within
+// every stock locate, the delivered shares values must be strictly
+// increasing — any cross-lane reordering inside one instrument would
+// surface here as a decrease (the publisher emits them increasing).
+// Callers hold h.mu.
+func (h *chaosHarness) checkInstrumentOrder(t *testing.T) {
+	t.Helper()
+	for loc, shares := range h.locShares {
+		for i := 1; i < len(shares); i++ {
+			if shares[i] <= shares[i-1] {
+				t.Fatalf("instrument %d order violated: shares %d delivered after %d",
+					loc, shares[i], shares[i-1])
+			}
 		}
 	}
 }
@@ -213,6 +301,88 @@ func TestChaosRecoveryFullStream(t *testing.T) {
 				t.Fatal("chaos plan injected no recoverable loss; test is vacuous")
 			}
 		})
+	}
+}
+
+// TestChaosIngressModes runs the recovery scenario across the ingress
+// architectures — SO_REUSEPORT with a multi-flow publisher, the
+// single-flow re-shard fallback, and the non-Linux stub fallback — at 1
+// and 4 workers. Faults are injected on the switch's send side only, so
+// the assertions are exact: every published message is matched,
+// delivered in dense egress order with no gap declared lost, and within
+// every instrument delivery preserves publish order (zero cross-lane
+// ordering violations).
+func TestChaosIngressModes(t *testing.T) {
+	cases := []struct {
+		name  string
+		mode  IngressMode
+		flows int // publisher sockets; 0 = one socket, mixed-locate feed
+		stub  bool
+	}{
+		{"reuseport-multiflow", IngressReusePort, 8, false},
+		{"reshard-singleflow", IngressReusePortReshard, 0, false},
+		{"stub-fallback", IngressReusePort, 0, true},
+	}
+	for _, tc := range cases {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/workers-%d", tc.name, workers), func(t *testing.T) {
+				if tc.stub {
+					forceStubFallback(t)
+				} else if !ReusePortAvailable() {
+					t.Skip("SO_REUSEPORT unavailable on this platform")
+				}
+				total := 3000
+				if testing.Short() {
+					total = 600
+				}
+				plan := faults.Plan{Seed: 31, Drop: 0.01, Duplicate: 0.005, Reorder: 0.01}
+				h := startChaosMode(t, plan, true /* egress only */, 0, 15*time.Millisecond, workers, tc.mode)
+				if tc.stub && h.sw.IngressMode() != IngressShared {
+					t.Fatalf("stub fallback ran mode %v, want shared", h.sw.IngressMode())
+				}
+				if tc.flows > 0 {
+					h.publishFlows(t, tc.flows, total, 4)
+				} else {
+					h.publish(t, total, 4)
+				}
+
+				matched := h.stableMatched(t)
+				// Ingress is fault-free in this matrix: the switch must
+				// have evaluated and matched every published message.
+				if matched != uint64(total) {
+					t.Fatalf("matched %d of %d published messages on a clean ingress", matched, total)
+				}
+				deadline := time.Now().Add(20 * time.Second)
+				for h.rcv.Stats().Delivered.Load() < matched && time.Now().Before(deadline) {
+					time.Sleep(10 * time.Millisecond)
+				}
+
+				h.mu.Lock()
+				defer h.mu.Unlock()
+				if uint64(len(h.seqs)) != matched {
+					t.Fatalf("delivered %d of %d matched messages (gaps lost: %v)", len(h.seqs), matched, h.gaps)
+				}
+				for i, s := range h.seqs {
+					if s != uint64(i+1) {
+						t.Fatalf("delivery %d has sequence %d: stream not dense/in-order", i, s)
+					}
+				}
+				if len(h.gaps) != 0 {
+					t.Fatalf("gaps declared lost despite full store: %v", h.gaps)
+				}
+				h.checkInstrumentOrder(t)
+				resharded := h.sw.Stats().Resharded.Load()
+				if tc.mode == IngressReusePortReshard && !tc.stub && workers > 1 && resharded == 0 {
+					t.Fatal("single-flow reshard run moved nothing lane-to-lane")
+				}
+				if (tc.mode == IngressReusePort || tc.stub || workers == 1) && resharded != 0 {
+					t.Fatalf("unexpected re-shard traffic: %d", resharded)
+				}
+				if h.rcv.Stats().Recovered.Load() == 0 && h.sw.Stats().RetxRequests.Load() == 0 {
+					t.Fatal("chaos plan injected no recoverable loss; test is vacuous")
+				}
+			})
+		}
 	}
 }
 

@@ -65,6 +65,7 @@ type Stats struct {
 	Heartbeats   telemetry.Counter // idle heartbeats sent
 	RetxRequests telemetry.Counter // retransmission requests served
 	RetxMessages telemetry.Counter // messages resent from the store
+	Resharded    telemetry.Counter // datagrams moved lane-to-lane by the re-shard hop
 }
 
 // register adopts every counter into reg under its canonical series name.
@@ -79,6 +80,7 @@ func (s *Stats) register(reg *telemetry.Registry) {
 	reg.RegisterCounter("camus_dataplane_heartbeats_total", &s.Heartbeats)
 	reg.RegisterCounter("camus_dataplane_retx_requests_total", &s.RetxRequests)
 	reg.RegisterCounter("camus_dataplane_retx_messages_total", &s.RetxMessages)
+	reg.RegisterCounter("camus_dataplane_resharded_total", &s.Resharded)
 }
 
 // Config configures a dataplane switch.
@@ -108,20 +110,31 @@ type Config struct {
 	// Heartbeat is the idle-heartbeat interval per port (0 disables).
 	Heartbeat time.Duration
 	// Workers is the number of parallel shard lanes evaluating ingress
-	// datagrams (default 1: the classic single read-process loop). With
-	// more than one, an ingress reader fans datagrams out by ITCH
-	// stock-locate (instrument) key, so all messages of one instrument
-	// are processed by the same lane in arrival order; per-port egress
-	// sequence numbering stays dense and race-free at any worker count.
+	// datagrams (default 1: the classic single read-process loop). How
+	// ingress reaches the lanes is set by IngressMode; in the default
+	// shared mode one reader fans datagrams out by ITCH stock-locate
+	// (instrument) key, so all messages of one instrument are processed
+	// by the same lane in arrival order; per-port egress sequence
+	// numbering stays dense and race-free at any worker count.
 	Workers int
+	// IngressMode selects the ingress architecture: IngressShared (one
+	// socket, one reader; the Auto default), IngressReusePort (one
+	// SO_REUSEPORT socket + read loop per lane, kernel flow hashing as
+	// the shard step), or IngressReusePortReshard (per-lane sockets plus
+	// a locate-keyed lane-to-lane handoff — the correctness fallback for
+	// single-flow feeds). The reuseport modes degrade to IngressShared
+	// on platforms without SO_REUSEPORT.
+	IngressMode IngressMode
 	// Batch is how many datagrams one socket operation moves when the
 	// platform supports batched I/O (recvmmsg/sendmmsg on Linux); on
 	// other platforms and on fault-injection wrapped sockets the switch
 	// transparently falls back to per-datagram calls. 0 selects the
 	// default (32); negative or 1 disables batching.
 	Batch int
-	// WrapConn, when non-nil, wraps each socket the switch opens (data
-	// first, then retransmission) — the fault-injection hook.
+	// WrapConn, when non-nil, wraps each socket the switch opens (the
+	// ingress data sockets in lane order — one in shared mode, Workers
+	// of them in the reuseport modes — then retransmission) — the
+	// fault-injection hook.
 	WrapConn func(Conn) Conn
 	// Telemetry, when non-nil, receives the switch's forwarding counters,
 	// a per-datagram processing-latency histogram, and everything the
@@ -160,7 +173,8 @@ type portState struct {
 
 // Switch is a running UDP dataplane.
 type Switch struct {
-	conn   Conn
+	conn   Conn   // first ingress socket: egress writes, heartbeats, EOS
+	conns  []Conn // all ingress sockets (one per lane in the reuseport modes)
 	retx   Conn
 	engine *core.PubSub
 
@@ -174,6 +188,8 @@ type Switch struct {
 	heartbeat time.Duration
 	workers   int
 	batch     int
+	mode      IngressMode // effective ingress mode (Auto resolved, fallback applied)
+	lanes     []*lane
 
 	stats    Stats
 	tel      *telemetry.Telemetry
@@ -181,13 +197,16 @@ type Switch struct {
 	portsG   *telemetry.Gauge
 	readBuf  int
 
-	// Per-stage busy time, for saturated-ingress throughput analysis:
-	// busyRead is time spent inside socket read calls (on an idle switch
-	// this includes waiting for traffic, so it is only meaningful when
-	// ingress is saturated, e.g. under a replay source); busyProc is time
-	// spent evaluating and forwarding datagrams, summed across lanes.
-	busyRead atomic.Int64 // ns
-	busyProc atomic.Int64 // ns
+	// Shared-mode reader busy time, for saturated-ingress throughput
+	// analysis (the reuseport modes account per lane instead — see
+	// LaneStats): busyRead is time inside socket read calls (on an idle
+	// switch this includes waiting for traffic, so it is only meaningful
+	// when ingress is saturated, e.g. under a replay source);
+	// busyDispatch is shard-key + handoff work; busyStall is time blocked
+	// on full lane inboxes (lane backpressure, not reader work).
+	busyRead     atomic.Int64 // ns
+	busyDispatch atomic.Int64 // ns
+	busyStall    atomic.Int64 // ns
 
 	closeMu   sync.Mutex
 	closed    bool
@@ -196,50 +215,87 @@ type Switch struct {
 }
 
 // Listen binds the ingress and retransmission sockets and
-// compiles/installs the initial subscription set.
+// compiles/installs the initial subscription set. In the reuseport
+// ingress modes one socket per worker lane is bound to the same ingress
+// address (SO_REUSEPORT), so the kernel's flow hash spreads publisher
+// flows across the lanes.
 func Listen(cfg Config) (*Switch, error) {
 	if cfg.Spec == nil {
 		return nil, errors.New("dataplane: Config.Spec is required")
 	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	mode := ResolveIngressMode(cfg.IngressMode)
+
 	addr := cfg.Ingress
 	if addr == "" {
 		addr = "127.0.0.1:0"
 	}
-	udpAddr, err := net.ResolveUDPAddr("udp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("dataplane: resolve ingress: %w", err)
+	var conns []Conn
+	closeConns := func() {
+		for _, c := range conns {
+			c.Close()
+		}
 	}
-	conn, err := net.ListenUDP("udp", udpAddr)
-	if err != nil {
-		return nil, fmt.Errorf("dataplane: listen: %w", err)
+	if mode == IngressShared {
+		udpAddr, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("dataplane: resolve ingress: %w", err)
+		}
+		conn, err := net.ListenUDP("udp", udpAddr)
+		if err != nil {
+			return nil, fmt.Errorf("dataplane: listen: %w", err)
+		}
+		conns = []Conn{conn}
+		// A deep socket buffer absorbs feed microbursts; best effort
+		// (the OS may clamp it).
+		_ = conn.SetReadBuffer(8 << 20)
+	} else {
+		first, err := listenReusePort(addr)
+		if err != nil {
+			return nil, fmt.Errorf("dataplane: listen reuseport: %w", err)
+		}
+		_ = first.SetReadBuffer(8 << 20)
+		conns = append(conns, first)
+		// The first bind resolves a possibly-wildcard port; the other
+		// lanes bind the concrete address it landed on.
+		concrete := first.LocalAddr().String()
+		for i := 1; i < workers; i++ {
+			c, err := listenReusePort(concrete)
+			if err != nil {
+				closeConns()
+				return nil, fmt.Errorf("dataplane: listen reuseport lane %d: %w", i, err)
+			}
+			_ = c.SetReadBuffer(8 << 20)
+			conns = append(conns, c)
+		}
 	}
-	// A deep socket buffer absorbs feed microbursts; best effort (the OS
-	// may clamp it).
-	_ = conn.SetReadBuffer(8 << 20)
 
 	retxAddr := cfg.Retx
 	if retxAddr == "" {
-		retxAddr = (&net.UDPAddr{IP: conn.LocalAddr().(*net.UDPAddr).IP}).String()
+		retxAddr = (&net.UDPAddr{IP: conns[0].LocalAddr().(*net.UDPAddr).IP}).String()
 	}
 	retxUDPAddr, err := net.ResolveUDPAddr("udp", retxAddr)
 	if err != nil {
-		conn.Close()
+		closeConns()
 		return nil, fmt.Errorf("dataplane: resolve retx: %w", err)
 	}
 	retx, err := net.ListenUDP("udp", retxUDPAddr)
 	if err != nil {
-		conn.Close()
+		closeConns()
 		return nil, fmt.Errorf("dataplane: listen retx: %w", err)
 	}
 
 	engine, err := core.NewPubSub(cfg.Spec, core.Config{Compiler: cfg.Options, Telemetry: cfg.Telemetry})
 	if err != nil {
-		conn.Close()
+		closeConns()
 		retx.Close()
 		return nil, err
 	}
 	sw := &Switch{
-		conn:      conn,
+		conns:     conns,
 		retx:      retx,
 		engine:    engine,
 		ports:     make(map[int]*portState, len(cfg.Ports)),
@@ -247,14 +303,11 @@ func Listen(cfg Config) (*Switch, error) {
 		session:   cfg.Session,
 		retxCap:   cfg.RetxBuffer,
 		heartbeat: cfg.Heartbeat,
+		workers:   workers,
+		mode:      mode,
 		tel:       cfg.Telemetry,
 		readBuf:   cfg.ReadBuffer,
 		runDone:   make(chan struct{}),
-	}
-	if reg := cfg.Telemetry.Reg(); reg != nil {
-		sw.stats.register(reg)
-		sw.procHist = reg.Histogram("camus_dataplane_process_seconds")
-		sw.portsG = reg.Gauge("camus_dataplane_ports_bound")
 	}
 	if sw.session == "" {
 		sw.session = "CAMUS"
@@ -265,10 +318,6 @@ func Listen(cfg Config) (*Switch, error) {
 	if sw.readBuf <= 0 {
 		sw.readBuf = 64 << 10
 	}
-	sw.workers = cfg.Workers
-	if sw.workers < 1 {
-		sw.workers = 1
-	}
 	sw.batch = cfg.Batch
 	if sw.batch == 0 {
 		sw.batch = defaultIOBatch
@@ -277,24 +326,52 @@ func Listen(cfg Config) (*Switch, error) {
 		sw.batch = 1
 	}
 	if cfg.WrapConn != nil {
-		sw.conn = cfg.WrapConn(sw.conn)
+		for i := range sw.conns {
+			sw.conns[i] = cfg.WrapConn(sw.conns[i])
+		}
 		sw.retx = cfg.WrapConn(sw.retx)
+	}
+	sw.conn = sw.conns[0]
+	sw.lanes = make([]*lane, sw.workers)
+	for i := range sw.lanes {
+		l := &lane{id: i, conn: sw.conn}
+		if sw.mode != IngressShared {
+			l.conn = sw.conns[i]
+		}
+		sw.lanes[i] = l
+	}
+	if reg := cfg.Telemetry.Reg(); reg != nil {
+		sw.stats.register(reg)
+		sw.procHist = reg.Histogram("camus_dataplane_process_seconds")
+		sw.portsG = reg.Gauge("camus_dataplane_ports_bound")
+		reg.Gauge("camus_dataplane_ingress_lanes").Set(int64(len(sw.lanes)))
+		reg.Gauge("camus_dataplane_ingress_mode", telemetry.L("mode", sw.mode.String())).Set(1)
+		for _, l := range sw.lanes {
+			l.register(reg)
+		}
 	}
 	for port, a := range cfg.Ports {
 		if err := sw.BindPort(port, a); err != nil {
-			sw.conn.Close()
-			sw.retx.Close()
+			sw.closeConns()
 			return nil, err
 		}
 	}
 	if cfg.Subscriptions != "" {
 		if _, err := engine.SetSubscriptions(cfg.Subscriptions); err != nil {
-			sw.conn.Close()
-			sw.retx.Close()
+			sw.closeConns()
 			return nil, err
 		}
 	}
 	return sw, nil
+}
+
+// closeConns closes every socket the switch owns (all ingress lanes and
+// the retransmission socket).
+func (sw *Switch) closeConns() {
+	for _, c := range sw.conns {
+		c.Close()
+	}
+	sw.retx.Close()
 }
 
 // Addr returns the ingress socket address publishers should send to.
@@ -424,6 +501,9 @@ func (sw *Switch) Close() error {
 
 	sw.endSession()
 	err := sw.conn.Close()
+	for _, c := range sw.conns[1:] {
+		c.Close()
+	}
 	sw.retx.Close()
 	if active {
 		<-sw.runDone
@@ -451,13 +531,15 @@ func (sw *Switch) endSession() {
 // its own MoldUDP64 session with a dense sequence space, so subscribers
 // can detect and repair loss.
 //
-// With Config.Workers > 1 the ingress socket is drained by one reader
-// that fans datagrams out to shard lanes keyed by the first add-order's
-// stock locate, so each instrument's messages are evaluated in arrival
-// order by a single lane; datagrams of different instruments may be
-// forwarded out of arrival order relative to each other, which the
-// per-port dense sequencing plus receiver-side gap recovery already
-// tolerates. Run may be called at most once.
+// With Config.Workers > 1 in the default shared ingress mode the ingress
+// socket is drained by one reader that fans datagrams out to shard lanes
+// keyed by the first add-order's stock locate, so each instrument's
+// messages are evaluated in arrival order by a single lane; datagrams of
+// different instruments may be forwarded out of arrival order relative
+// to each other, which the per-port dense sequencing plus receiver-side
+// gap recovery already tolerates. In the reuseport ingress modes every
+// lane drains its own SO_REUSEPORT socket instead (see IngressMode for
+// the ordering argument per mode). Run may be called at most once.
 func (sw *Switch) Run(ctx context.Context) error {
 	sw.closeMu.Lock()
 	if sw.closed {
@@ -484,16 +566,22 @@ func (sw *Switch) Run(ctx context.Context) error {
 	}()
 	defer func() {
 		close(hbStop)
-		sw.conn.Close()
-		sw.retx.Close()
+		sw.closeConns()
 		aux.Wait()
 		close(sw.runDone)
 	}()
 
-	if sw.workers > 1 {
-		return sw.runSharded(ctx)
+	for _, l := range sw.lanes {
+		l.st = sw.newProcStateOn(l.conn)
 	}
-	return sw.runSingle(ctx)
+	switch {
+	case sw.mode != IngressShared:
+		return sw.runReusePort(ctx, sw.mode == IngressReusePortReshard)
+	case sw.workers > 1:
+		return sw.runSharded(ctx)
+	default:
+		return sw.runLaneInline(ctx, sw.lanes[0])
+	}
 }
 
 // readErr maps a terminal socket error to Run's return value.
@@ -504,77 +592,46 @@ func (sw *Switch) readErr(ctx context.Context, err error) error {
 	return fmt.Errorf("dataplane: read: %w", err)
 }
 
-// runSingle is the classic loop: one goroutine reads (batched when the
-// socket supports it) and processes in place.
-func (sw *Switch) runSingle(ctx context.Context) error {
-	st := sw.newProcState()
-	if br := newBatchReader(sw.conn, sw.batch); br != nil {
-		bufs := make([][]byte, sw.batch)
-		sizes := make([]int, sw.batch)
-		for i := range bufs {
-			bufs[i] = make([]byte, sw.readBuf)
-		}
-		for {
-			rs := time.Now()
-			n, err := br.ReadBatch(bufs, sizes)
-			sw.busyRead.Add(int64(time.Since(rs)))
-			for i := 0; i < n; i++ {
-				sw.stats.Datagrams.Add(1)
-				sw.timeProcess(st, bufs[i][:sizes[i]])
-			}
-			if err != nil {
-				return sw.readErr(ctx, err)
-			}
-		}
-	}
-	buf := make([]byte, sw.readBuf)
-	for {
-		rs := time.Now()
-		n, _, err := sw.conn.ReadFromUDP(buf)
-		sw.busyRead.Add(int64(time.Since(rs)))
-		if err != nil {
-			return sw.readErr(ctx, err)
-		}
-		sw.stats.Datagrams.Add(1)
-		sw.timeProcess(st, buf[:n])
-	}
-}
-
-// dgram is one pooled ingress datagram in flight between the reader and
-// a shard lane.
+// dgram is one pooled ingress datagram in flight between a reader and
+// a shard lane. src is the lane that read it (for re-shard accounting).
 type dgram struct {
 	buf []byte
 	n   int
+	src int32
 }
 
-// runSharded fans ingress datagrams out to sw.workers processing lanes.
-// Buffers are pooled: the reader takes one from the pool, a lane returns
-// it after processing, so the steady state allocates nothing.
+// runSharded is the shared-socket fan-out: one reader drains the single
+// ingress socket and dispatches to sw.workers processing lanes keyed by
+// stock locate. Buffers come from a bounded free list: the reader takes
+// one, a lane returns it after processing, so the steady state allocates
+// nothing — and, unlike a sync.Pool, the working set survives GC cycles,
+// keeping allocs/op flat at any worker count.
 func (sw *Switch) runSharded(ctx context.Context) error {
-	chans := make([]chan *dgram, sw.workers)
-	for i := range chans {
-		chans[i] = make(chan *dgram, shardQueueDepth)
+	pool := newDgramPool(sw.poolCapacity(), sw.readBuf)
+	for _, l := range sw.lanes {
+		l.ch = make(chan *dgram, shardQueueDepth)
 	}
-	free := sync.Pool{New: func() any { return &dgram{buf: make([]byte, sw.readBuf)} }}
 	var wg sync.WaitGroup
-	for i := range chans {
+	for _, l := range sw.lanes {
 		wg.Add(1)
-		go func(ch chan *dgram) {
+		go func(l *lane) {
 			defer wg.Done()
-			st := sw.newProcState()
-			for d := range ch {
-				sw.timeProcess(st, d.buf[:d.n])
-				free.Put(d)
+			for d := range l.ch {
+				sw.timeProcess(l, d.buf[:d.n])
+				pool.put(d)
 			}
-		}(chans[i])
+		}(l)
 	}
 	dispatch := func(d *dgram) {
+		ds := time.Now()
 		sw.stats.Datagrams.Add(1)
-		shard := 0
+		owner := sw.lanes[0]
 		if loc, ok := itch.FirstAddOrderLocate(d.buf[:d.n]); ok {
-			shard = int(loc) % sw.workers
+			owner = sw.lanes[int(loc)%sw.workers]
 		}
-		chans[shard] <- d
+		owner.datagrams.Add(1)
+		d.src = int32(owner.id)
+		handoff(owner, d, ds, &sw.busyDispatch, &sw.busyStall)
 	}
 
 	var err error
@@ -584,7 +641,7 @@ func (sw *Switch) runSharded(ctx context.Context) error {
 		sizes := make([]int, sw.batch)
 		for {
 			for i := range ds {
-				ds[i] = free.Get().(*dgram)
+				ds[i] = pool.get()
 				bufs[i] = ds[i].buf
 			}
 			rs := time.Now()
@@ -595,7 +652,7 @@ func (sw *Switch) runSharded(ctx context.Context) error {
 				dispatch(ds[i])
 			}
 			for i := n; i < len(ds); i++ {
-				free.Put(ds[i])
+				pool.put(ds[i])
 			}
 			if rerr != nil {
 				err = sw.readErr(ctx, rerr)
@@ -604,21 +661,21 @@ func (sw *Switch) runSharded(ctx context.Context) error {
 		}
 	} else {
 		for {
-			d := free.Get().(*dgram)
+			d := pool.get()
 			rs := time.Now()
 			var rerr error
 			d.n, _, rerr = sw.conn.ReadFromUDP(d.buf)
 			sw.busyRead.Add(int64(time.Since(rs)))
 			if rerr != nil {
-				free.Put(d)
+				pool.put(d)
 				err = sw.readErr(ctx, rerr)
 				break
 			}
 			dispatch(d)
 		}
 	}
-	for _, ch := range chans {
-		close(ch)
+	for _, l := range sw.lanes {
+		close(l.ch)
 	}
 	wg.Wait()
 	return err
@@ -626,25 +683,32 @@ func (sw *Switch) runSharded(ctx context.Context) error {
 
 // timeProcess runs one datagram through the lane, accumulating lane busy
 // time and feeding the latency histogram when one is attached.
-func (sw *Switch) timeProcess(st *procState, datagram []byte) {
+func (sw *Switch) timeProcess(l *lane, datagram []byte) {
 	start := time.Now()
-	sw.processDatagram(st, datagram)
+	sw.processDatagram(l.st, datagram)
 	d := time.Since(start)
-	sw.busyProc.Add(int64(d))
+	l.busyProc.Add(int64(d))
 	if sw.procHist != nil {
 		sw.procHist.Observe(d)
 	}
 }
 
 // BusyNs reports cumulative per-stage busy time in nanoseconds: time
-// inside ingress read calls and time spent processing datagrams (summed
-// over lanes). Read time includes waiting for traffic, so the split is
-// meaningful only when ingress is saturated — it exists for throughput
-// experiments that replay a pre-generated feed (see
-// experiments.DataplaneThroughput). Call after Run returns, or accept
-// slightly stale values.
+// spent on the ingress side (socket reads plus shard dispatch, summed
+// over the shared reader and every lane; backpressure stalls excluded)
+// and time spent processing datagrams (summed over lanes). Read time
+// includes waiting for traffic, so the split is meaningful only when
+// ingress is saturated — it exists for throughput experiments that
+// replay a pre-generated feed (see experiments.DataplaneThroughput).
+// Call after Run returns, or accept slightly stale values. LaneStats
+// reports the same clocks broken out per lane.
 func (sw *Switch) BusyNs() (readNs, procNs int64) {
-	return sw.busyRead.Load(), sw.busyProc.Load()
+	readNs = sw.busyRead.Load() + sw.busyDispatch.Load()
+	for _, l := range sw.lanes {
+		readNs += l.busyRead.Load() + l.busyDispatch.Load()
+		procNs += l.busyProc.Load()
+	}
+	return readNs, procNs
 }
 
 // procState is one processing lane's reusable scratch: a per-lane
@@ -653,6 +717,7 @@ func (sw *Switch) BusyNs() (readNs, procNs int64) {
 // nothing here needs locking and the steady state is allocation-free.
 type procState struct {
 	proc    *core.Processor
+	conn    Conn          // egress socket (the lane's own in reuseport modes)
 	bw      *batchWriter  // sendmmsg egress, nil on fallback paths
 	order   itch.AddOrder // decode scratch, kept off the per-call stack
 	msgs    [][]byte      // raw wire bytes of this datagram's add-orders
@@ -665,10 +730,15 @@ type procState struct {
 
 type portMsgs struct{ msgs [][]byte }
 
-func (sw *Switch) newProcState() *procState {
-	st := &procState{proc: sw.engine.NewProcessor()}
+func (sw *Switch) newProcState() *procState { return sw.newProcStateOn(sw.conn) }
+
+// newProcStateOn builds a lane's scratch with egress bound to conn — in
+// the reuseport modes each lane ships its egress through its own socket,
+// spreading send-side work the same way ingress is spread.
+func (sw *Switch) newProcStateOn(conn Conn) *procState {
+	st := &procState{proc: sw.engine.NewProcessor(), conn: conn}
 	if sw.batch > 1 {
-		st.bw = newBatchWriter(sw.conn)
+		st.bw = newBatchWriter(conn)
 	}
 	return st
 }
@@ -810,7 +880,7 @@ func (sw *Switch) sendEgress(st *procState) {
 		}
 	}
 	for ; i < len(wires); i++ {
-		if _, err := sw.conn.WriteToUDP(wires[i], addrs[i]); err != nil {
+		if _, err := st.conn.WriteToUDP(wires[i], addrs[i]); err != nil {
 			sw.stats.SendErrors.Add(1)
 			continue
 		}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package dataplane
+
+// raceEnabled reports whether the race detector is compiled in;
+// allocation-count assertions are skipped under it because the detector
+// instruments the hot path with its own allocations.
+const raceEnabled = false

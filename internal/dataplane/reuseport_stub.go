@@ -1,0 +1,19 @@
+//go:build !linux
+
+package dataplane
+
+import (
+	"errors"
+	"net"
+)
+
+// SO_REUSEPORT lane sockets are Linux-only here; on other platforms the
+// switch transparently falls back to the shared-socket ingress (one
+// reader, software shard fan-out), which is portable and preserves the
+// same ordering guarantees.
+
+const reuseportOS = false
+
+func listenReusePort(string) (*net.UDPConn, error) {
+	return nil, errors.New("dataplane: SO_REUSEPORT ingress not supported on this platform")
+}

@@ -6,7 +6,6 @@ import (
 	"net"
 	"runtime"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -17,11 +16,11 @@ import (
 
 // DataplaneConfig parameterizes the software-dataplane throughput
 // experiment: a Fig. 5c-style rule set is installed on a real
-// dataplane.Switch whose ingress socket is replaced by an in-memory
-// replay source, so the measurement covers the full lane hot path
+// dataplane.Switch whose ingress sockets are replaced by in-memory
+// replay sources, so the measurement covers the full lane hot path
 // (Mold decode, batched pipeline evaluation, per-port framing, retx
 // store, egress) without kernel-socket noise — deterministic across
-// worker counts.
+// worker counts and ingress modes.
 type DataplaneConfig struct {
 	Workers       []int // worker counts to sweep (default 1,2,4,8)
 	Rules         int   // installed subscriptions (default 10000)
@@ -29,6 +28,14 @@ type DataplaneConfig struct {
 	MsgsPerPacket int   // add-orders per datagram (default 4)
 	Batch         int   // Config.Batch passed to the switch (default 32)
 	Seed          int64
+	// IngressMode selects the ingress architecture under test. The
+	// replay source follows the mode: in IngressReusePort the feed is
+	// pre-partitioned per lane by instrument (a multi-flow publisher
+	// whose flows the kernel hash would spread), in
+	// IngressReusePortReshard the whole feed lands on lane 0 (the
+	// single-flow publisher the re-shard hop exists for), and in
+	// IngressShared one replay source feeds the one shared socket.
+	IngressMode dataplane.IngressMode
 }
 
 // DataplaneSweep is the default worker-count axis.
@@ -38,55 +45,93 @@ var DataplaneSweep = []int{1, 2, 4, 8}
 //
 // Two throughput figures are reported. WallPacketsPerSec is the raw
 // wall-clock rate of the replay run on this host; it reflects lane
-// parallelism only when the host has at least workers+1 cores (reader +
-// lanes), and on a smaller machine (such as a 1-core CI box, see CPUs in
-// the emitted JSON) extra workers can only add scheduling overhead.
-// PacketsPerSec is the switch's pipeline capacity, derived the same way
-// the rest of this repo derives ASIC figures — from measured stage costs
-// on the real code path: a serial calibration run measures per-packet
-// socket-read and lane-processing time (Switch.BusyNs), the exact
-// replayed feed gives each lane's shard share, and capacity is the
-// bottleneck stage: max(reader stage, busiest lane's work). On a host
-// with enough cores the two figures converge; capacity is the
-// host-independent series tracked in BENCH_dataplane.json.
+// parallelism only when the host has enough cores for the mode's
+// goroutines, and on a smaller machine (such as a 1-core CI box, see
+// CPUs in the emitted JSON) extra workers can only add scheduling
+// overhead. PacketsPerSec is the switch's pipeline capacity, derived
+// the same way the rest of this repo derives ASIC figures — from
+// measured stage costs on the real code path: this run's own per-lane
+// busy clocks (Switch.LaneStats; backpressure stalls excluded) give the
+// ingress-stage cost and each lane's measured share of the feed, a
+// serial calibration run prices per-packet processing without scheduler
+// interference, and capacity is the bottleneck stage for the mode's
+// topology. On a host with enough cores the two figures converge;
+// capacity is the host-independent series tracked in
+// BENCH_dataplane.json.
 type DataplanePoint struct {
-	Workers           int     `json:"workers"`
-	Batch             int     `json:"batch"`
-	Rules             int     `json:"rules"`
-	Packets           int     `json:"packets"`
-	Messages          int     `json:"messages"`
-	Matched           uint64  `json:"matched"`
-	Forwarded         uint64  `json:"forwarded"`
-	Seconds           float64 `json:"wall_seconds"`         // wall clock of the replay run
-	WallPacketsPerSec float64 `json:"wall_packets_per_sec"` // host-bound wall-clock rate
-	ReadNsPerPacket   float64 `json:"read_ns_per_packet"`   // reader stage cost (read+shard+handoff)
-	ProcNsPerPacket   float64 `json:"proc_ns_per_packet"`   // lane cost, serial calibration
-	ShardImbalance    float64 `json:"shard_imbalance"`      // busiest lane / ideal even share
-	PacketsPerSec     float64 `json:"packets_per_sec"`      // pipeline capacity (bottleneck stage)
-	NsPerPacket       float64 `json:"ns_per_packet"`
-	NsPerMsg          float64 `json:"ns_per_msg"`
-	AllocsPerOp       float64 `json:"allocs_per_op"` // heap allocations per ingress datagram
-	MBPerSec          float64 `json:"mb_per_sec"`    // ingress payload rate at capacity
+	Workers           int             `json:"workers"`
+	Batch             int             `json:"batch"`
+	Rules             int             `json:"rules"`
+	IngressMode       string          `json:"ingress_mode"` // effective mode (after platform fallback)
+	Packets           int             `json:"packets"`
+	Messages          int             `json:"messages"`
+	Matched           uint64          `json:"matched"`
+	Forwarded         uint64          `json:"forwarded"`
+	Resharded         uint64          `json:"resharded"`            // datagrams moved lane-to-lane by the re-shard hop
+	Seconds           float64         `json:"wall_seconds"`         // wall clock of the post-warm-up measured phase
+	WallPacketsPerSec float64         `json:"wall_packets_per_sec"` // host-bound wall-clock rate, measured phase
+	ReadNsPerPacket   float64         `json:"read_ns_per_packet"`   // ingress stage cost, measured this run
+	ProcNsPerPacket   float64         `json:"proc_ns_per_packet"`   // lane cost, serial calibration
+	ShardImbalance    float64         `json:"shard_imbalance"`      // busiest lane / ideal even share
+	PacketsPerSec     float64         `json:"packets_per_sec"`      // pipeline capacity (bottleneck stage)
+	NsPerPacket       float64         `json:"ns_per_packet"`
+	NsPerMsg          float64         `json:"ns_per_msg"`
+	AllocsPerOp       float64         `json:"allocs_per_op"` // heap allocations per datagram, steady state (post-warm-up)
+	MBPerSec          float64         `json:"mb_per_sec"`    // ingress payload rate at capacity
+	Lanes             []DataplaneLane `json:"lanes"`         // per-lane measured accounting
 }
 
-// replayConn is the in-memory ingress source: ReadFromUDP serves a
+// DataplaneLane is one lane's measured share of a replay run, straight
+// from dataplane.Switch.LaneStats.
+type DataplaneLane struct {
+	Lane        int    `json:"lane"`
+	Packets     uint64 `json:"packets"`       // datagrams that arrived on (shared: were assigned to) this lane
+	ResharedIn  uint64 `json:"resharded_in"`  // received over the re-shard hop
+	ResharedOut uint64 `json:"resharded_out"` // read here, owned elsewhere
+	ReadNs      int64  `json:"read_ns"`       // socket read + shard dispatch busy time
+	ProcNs      int64  `json:"proc_ns"`       // processing busy time
+}
+
+// replayConn is an in-memory ingress source: ReadFromUDP serves its
 // pregenerated wire list until the packet budget is spent, then reports
-// the socket closed (ending Run cleanly); writes are counted and
-// discarded. It wraps the real socket only for identity and close.
+// the socket closed (ending that lane's read loop cleanly); writes are
+// counted and discarded. It wraps the real socket only for identity and
+// close. A zero-budget replayConn closes on the first read — the idle
+// lanes of a single-flow reshard run.
+//
+// The first warm datagrams flow freely; the read after them blocks until
+// gate closes. That lets the experiment warm every one-time structure
+// (retransmission rings, lane wire buffers, the ingress buffer pool's
+// in-flight working set) before opening the measurement window, so the
+// reported allocs/op and wall clock describe the steady state. Time
+// spent blocked on the gate is recorded so it can be subtracted from the
+// switch's read-stage busy clocks.
 type replayConn struct {
 	inner dataplane.Conn
 	pkts  [][]byte
 	total int64
+	warm  int64
+	gate  <-chan struct{}
 	next  atomic.Int64
 	raddr *net.UDPAddr
 
-	wrote atomic.Int64 // egress datagrams discarded
+	gateWait atomic.Int64 // ns blocked waiting for the gate
+	wrote    atomic.Int64 // egress datagrams discarded
 }
 
 func (c *replayConn) ReadFromUDP(b []byte) (int, *net.UDPAddr, error) {
 	i := c.next.Add(1) - 1
 	if i >= c.total {
 		return 0, nil, net.ErrClosed
+	}
+	if i >= c.warm && c.gate != nil {
+		select {
+		case <-c.gate:
+		default:
+			t := time.Now()
+			<-c.gate
+			c.gateWait.Add(time.Since(t).Nanoseconds())
+		}
 	}
 	return copy(b, c.pkts[int(i)%len(c.pkts)]), c.raddr, nil
 }
@@ -100,17 +145,69 @@ func (c *replayConn) SetReadDeadline(t time.Time) error { return c.inner.SetRead
 func (c *replayConn) Close() error                      { return c.inner.Close() }
 func (c *replayConn) LocalAddr() net.Addr               { return c.inner.LocalAddr() }
 
+// replayPart is one ingress socket's slice of the feed.
+type replayPart struct {
+	pkts  [][]byte
+	total int64
+}
+
+// partitionFeed lays the replay budget out across the mode's ingress
+// sockets. Shared mode has one socket, so one part cycles the whole
+// feed. IngressReusePort models the publisher the mode is designed for:
+// every instrument stays on its own flow, and the kernel hash lands each
+// flow on one lane socket — modeled as locate mod lanes, the same key
+// the software shard uses, so capacity is comparable across modes.
+// IngressReusePortReshard models the degenerate single-flow publisher:
+// the kernel cannot spread one flow, so every datagram arrives on lane
+// 0's socket and the other lanes' sockets stay silent.
+func partitionFeed(wires [][]byte, packets, lanes int, mode dataplane.IngressMode) []replayPart {
+	if lanes <= 1 || mode == dataplane.IngressShared {
+		return []replayPart{{pkts: wires, total: int64(packets)}}
+	}
+	parts := make([]replayPart, lanes)
+	if mode == dataplane.IngressReusePortReshard {
+		parts[0] = replayPart{pkts: wires, total: int64(packets)}
+		return parts
+	}
+	for i := 0; i < packets; i++ {
+		w := wires[i%len(wires)]
+		lane := 0
+		if loc, ok := itch.FirstAddOrderLocate(w); ok {
+			lane = int(loc) % lanes
+		}
+		parts[lane].pkts = append(parts[lane].pkts, w)
+	}
+	for i := range parts {
+		parts[i].total = int64(len(parts[i].pkts))
+	}
+	return parts
+}
+
 // replayRun is the raw outcome of one replay of the feed through a real
-// switch at a given worker count.
+// switch at a given worker count and ingress mode.
 type replayRun struct {
+	mode      dataplane.IngressMode // effective mode the switch ran
 	elapsed   time.Duration
-	readNs    int64 // Switch.BusyNs read side
-	procNs    int64 // Switch.BusyNs lane side
+	readNs    int64 // Switch.BusyNs ingress side, this run
+	procNs    int64 // Switch.BusyNs lane side, this run
+	lanes     []dataplane.LaneStat
 	pkts      int
+	measured  int // datagrams replayed after the warm-up gate opened
 	msgs      int
 	matched   uint64
 	forwarded uint64
+	resharded uint64
 	allocs    uint64
+}
+
+// owned returns how many datagrams each lane processed (not read): the
+// re-shard hop moves ownership from the reading lane to the keyed lane.
+func (r *replayRun) owned() []uint64 {
+	out := make([]uint64, len(r.lanes))
+	for i, l := range r.lanes {
+		out[i] = l.Datagrams + l.ResharedIn - l.ResharedOut
+	}
+	return out
 }
 
 // DataplaneThroughput runs the worker sweep and returns one point per
@@ -155,18 +252,41 @@ func DataplaneThroughput(cfg DataplaneConfig) ([]DataplanePoint, error) {
 		ports[h] = "127.0.0.1:9"
 	}
 
-	run := func(workers int) (replayRun, error) {
+	run := func(workers int, mode dataplane.IngressMode) (replayRun, error) {
 		var r replayRun
-		first := true
+		mode = dataplane.ResolveIngressMode(mode)
+		parts := partitionFeed(wires, cfg.Packets, workers, mode)
+		// Warm-up budget: enough replay to fill the retransmission rings,
+		// lane wire buffers and the ingress buffer pool's working set
+		// before measurement starts, spread across the parts in feed
+		// proportion so every lane warms its own scratch.
+		warmBudget := int64(cfg.Packets / 10)
+		if warmBudget > 2000 {
+			warmBudget = 2000
+		}
+		var warmTotal int64
+		gate := make(chan struct{})
+		rconns := make([]*replayConn, 0, len(parts))
+		idx := 0
+		// Listen hands WrapConn the ingress sockets in lane order and the
+		// retransmission socket last; each lane socket becomes its replay
+		// part, the retx socket passes through untouched.
 		wrap := func(c dataplane.Conn) dataplane.Conn {
-			if first {
-				first = false
-				return &replayConn{
+			if idx < len(parts) {
+				p := parts[idx]
+				idx++
+				warm := p.total * warmBudget / int64(cfg.Packets)
+				warmTotal += warm
+				rc := &replayConn{
 					inner: c,
-					pkts:  wires,
-					total: int64(cfg.Packets),
+					pkts:  p.pkts,
+					total: p.total,
+					warm:  warm,
+					gate:  gate,
 					raddr: &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 1},
 				}
+				rconns = append(rconns, rc)
+				return rc
 			}
 			return c
 		}
@@ -175,6 +295,7 @@ func DataplaneThroughput(cfg DataplaneConfig) ([]DataplanePoint, error) {
 			Subscriptions: subs,
 			Ports:         ports,
 			Workers:       workers,
+			IngressMode:   mode,
 			Batch:         cfg.Batch,
 			// A small retransmission ring keeps the fault-tolerance path
 			// live while letting its slot buffers warm up early, so the
@@ -186,86 +307,143 @@ func DataplaneThroughput(cfg DataplaneConfig) ([]DataplanePoint, error) {
 		if err != nil {
 			return r, err
 		}
+		r.mode = sw.IngressMode()
+
+		// Run the warm-up phase, wait until every warm message has been
+		// processed (readers are then parked on the gate), and only then
+		// open the measurement window: allocs/op and the wall clock
+		// describe the steady state, not one-time structure warm-up.
+		runErr := make(chan error, 1)
+		go func() { runErr <- sw.Run(context.Background()) }()
+		warmMsgs := uint64(warmTotal) * uint64(cfg.MsgsPerPacket)
+		deadline := time.Now().Add(30 * time.Second)
+		for sw.Stats().Messages.Load() < warmMsgs && time.Now().Before(deadline) {
+			time.Sleep(200 * time.Microsecond)
+		}
 		runtime.GC()
 		var m0, m1 runtime.MemStats
 		runtime.ReadMemStats(&m0)
 		start := time.Now()
-		if err := sw.Run(context.Background()); err != nil {
+		close(gate)
+		if err := <-runErr; err != nil {
 			sw.Close()
 			return r, err
 		}
 		r.elapsed = time.Since(start)
 		runtime.ReadMemStats(&m1)
 		r.readNs, r.procNs = sw.BusyNs()
+		r.lanes = sw.LaneStats()
+		// The moment a reader spent parked on the warm-up gate was clocked
+		// as read time by the switch; subtract it so the capacity figures
+		// price only real ingress work.
+		// Per-lane clocks carry the wait only when conns map 1:1 to lanes
+		// (reuseport modes, or the single inline lane); the shared-socket
+		// reader's wait lives in the switch-level clock instead.
+		var gateNs int64
+		for i, rc := range rconns {
+			w := rc.gateWait.Load()
+			gateNs += w
+			if len(rconns) == len(r.lanes) && i < len(r.lanes) {
+				r.lanes[i].ReadNs -= w
+			}
+		}
+		r.readNs -= gateNs
 		stats := sw.Stats()
 		r.pkts = int(stats.Datagrams.Load())
 		r.msgs = int(stats.Messages.Load())
+		r.measured = r.pkts - int(warmTotal)
+		if r.measured <= 0 {
+			r.measured = r.pkts
+		}
 		r.matched = stats.Matched.Load()
 		r.forwarded = stats.Forwarded.Load()
+		r.resharded = stats.Resharded.Load()
 		r.allocs = m1.Mallocs - m0.Mallocs
 		sw.Close()
 		return r, nil
 	}
 
-	// Serial calibration: a 1-worker run measures the per-packet read and
-	// lane costs with a single runnable goroutine, so the split is exact
-	// even on a 1-core host. Reused as the workers=1 sweep point when the
-	// axis includes it.
-	calib, err := run(1)
+	// Serial calibration: a 1-worker shared-mode run measures per-packet
+	// processing cost with a single runnable goroutine, so the figure is
+	// exact even on a 1-core host. Every sweep point's ingress-side cost
+	// is measured on its own run (per configuration, per lane); only the
+	// per-packet processing price comes from here, multiplied by each
+	// lane's measured share.
+	calib, err := run(1, dataplane.IngressShared)
 	if err != nil {
 		return nil, err
 	}
 	procPerPkt := float64(calib.procNs) / float64(calib.pkts)
-	readPerPkt := float64(calib.readNs) / float64(calib.pkts)
-
-	// The sharded reader additionally computes each datagram's shard key;
-	// timing the exact scan the dispatcher performs over the replayed
-	// sequence prices that in. The same pass yields each worker count's
-	// lane shares below.
-	locStart := time.Now()
-	locs := make([]int, cfg.Packets)
-	for i := 0; i < cfg.Packets; i++ {
-		if loc, ok := itch.FirstAddOrderLocate(wires[i%len(wires)]); ok {
-			locs[i] = int(loc)
-		}
-	}
-	locatePerPkt := float64(time.Since(locStart)) / float64(cfg.Packets)
-	handoffPerPkt := handoffCost()
 
 	bytesPerPkt := float64(ingressBytes) / float64(len(wires))
 	var out []DataplanePoint
 	for _, workers := range cfg.Workers {
 		r := calib
-		if workers != 1 {
-			if r, err = run(workers); err != nil {
+		mode := dataplane.ResolveIngressMode(cfg.IngressMode)
+		if workers != 1 || mode != dataplane.IngressShared {
+			if r, err = run(workers, mode); err != nil {
 				return nil, err
 			}
 		}
-		// Pipeline capacity: with one worker the read and process stages
-		// share a goroutine (serial); with N lanes the reader (read +
-		// shard key + buffer handoff) runs against the busiest lane.
-		var criticalNs, readStage, imbalance float64
-		if workers <= 1 {
-			readStage = readPerPkt
-			imbalance = 1
-			criticalNs = (readPerPkt + procPerPkt) * float64(r.pkts)
-		} else {
-			readStage = readPerPkt + locatePerPkt + handoffPerPkt
-			max := 0
-			counts := make([]int, workers)
-			for _, loc := range locs {
-				counts[loc%workers]++
+
+		owned := r.owned()
+		var maxOwned uint64
+		for _, o := range owned {
+			if o > maxOwned {
+				maxOwned = o
 			}
-			for _, c := range counts {
-				if c > max {
-					max = c
+		}
+		// Pipeline capacity is the bottleneck stage of the mode's
+		// topology, priced from this run's measured per-lane ingress
+		// clocks (stalls excluded) and the calibrated per-packet
+		// processing cost applied to each lane's measured share.
+		var criticalNs float64
+		switch {
+		case workers <= 1:
+			// One lane: read and process share a goroutine, serially.
+			criticalNs = float64(r.readNs) + procPerPkt*float64(r.pkts)
+		case r.mode == dataplane.IngressReusePort:
+			// N independent serial pipelines; the slowest lane bounds.
+			for i, l := range r.lanes {
+				laneNs := float64(l.ReadNs+l.DispatchNs) + procPerPkt*float64(owned[i])
+				if laneNs > criticalNs {
+					criticalNs = laneNs
 				}
 			}
-			imbalance = float64(max) * float64(workers) / float64(cfg.Packets)
-			laneNs := procPerPkt * float64(max)
-			criticalNs = readStage * float64(r.pkts)
-			if laneNs > criticalNs {
+		case r.mode == dataplane.IngressReusePortReshard:
+			// Readers and processors pipeline: the slowest reader runs
+			// against the busiest processing lane.
+			var readMax float64
+			for _, l := range r.lanes {
+				if ns := float64(l.ReadNs + l.DispatchNs); ns > readMax {
+					readMax = ns
+				}
+			}
+			criticalNs = readMax
+			if laneNs := procPerPkt * float64(maxOwned); laneNs > criticalNs {
 				criticalNs = laneNs
+			}
+		default:
+			// Shared: one reader fans out to N lanes.
+			criticalNs = float64(r.readNs)
+			if laneNs := procPerPkt * float64(maxOwned); laneNs > criticalNs {
+				criticalNs = laneNs
+			}
+		}
+
+		imbalance := 1.0
+		if workers > 1 {
+			imbalance = float64(maxOwned) * float64(workers) / float64(r.pkts)
+		}
+		lanes := make([]DataplaneLane, len(r.lanes))
+		for i, l := range r.lanes {
+			lanes[i] = DataplaneLane{
+				Lane:        l.Lane,
+				Packets:     l.Datagrams,
+				ResharedIn:  l.ResharedIn,
+				ResharedOut: l.ResharedOut,
+				ReadNs:      l.ReadNs + l.DispatchNs,
+				ProcNs:      l.ProcNs,
 			}
 		}
 		capacityPPS := float64(r.pkts) / criticalNs * 1e9
@@ -273,40 +451,26 @@ func DataplaneThroughput(cfg DataplaneConfig) ([]DataplanePoint, error) {
 			Workers:           workers,
 			Batch:             cfg.Batch,
 			Rules:             cfg.Rules,
+			IngressMode:       r.mode.String(),
 			Packets:           r.pkts,
 			Messages:          r.msgs,
 			Matched:           r.matched,
 			Forwarded:         r.forwarded,
+			Resharded:         r.resharded,
 			Seconds:           r.elapsed.Seconds(),
-			WallPacketsPerSec: float64(r.pkts) / r.elapsed.Seconds(),
-			ReadNsPerPacket:   readStage,
+			WallPacketsPerSec: float64(r.measured) / r.elapsed.Seconds(),
+			ReadNsPerPacket:   float64(r.readNs) / float64(r.pkts),
 			ProcNsPerPacket:   procPerPkt,
 			ShardImbalance:    imbalance,
 			PacketsPerSec:     capacityPPS,
 			NsPerPacket:       criticalNs / float64(r.pkts),
 			NsPerMsg:          criticalNs / float64(r.msgs),
-			AllocsPerOp:       float64(r.allocs) / float64(r.pkts),
+			AllocsPerOp:       float64(r.allocs) / float64(r.measured),
 			MBPerSec:          bytesPerPkt * capacityPPS / 1e6,
+			Lanes:             lanes,
 		})
 	}
 	return out, nil
-}
-
-// handoffCost measures the uncontended cost of moving one pooled buffer
-// from the reader to a lane and back: a sync.Pool get/put pair plus a
-// buffered-channel send/receive, the exact mechanism runSharded uses.
-func handoffCost() float64 {
-	type token struct{ buf []byte }
-	pool := sync.Pool{New: func() any { return &token{buf: make([]byte, 1)} }}
-	ch := make(chan *token, 256)
-	const iters = 1 << 16
-	start := time.Now()
-	for i := 0; i < iters; i++ {
-		t := pool.Get().(*token)
-		ch <- t
-		pool.Put(<-ch)
-	}
-	return float64(time.Since(start)) / iters
 }
 
 // FormatDataplane renders the sweep as an aligned table with the scaling
@@ -316,15 +480,15 @@ func FormatDataplane(pts []DataplanePoint) string {
 	if len(pts) == 0 {
 		return ""
 	}
-	fmt.Fprintf(&b, "Software dataplane capacity (%d rules, %d-datagram replay, batch %d, %d-core host):\n",
-		pts[0].Rules, pts[0].Packets, pts[0].Batch, runtime.NumCPU())
-	fmt.Fprintf(&b, "  %-8s %14s %12s %14s %10s %12s %10s %8s\n",
-		"workers", "packets/sec", "ns/packet", "wall pkt/s", "imbalance", "allocs/op", "MB/s", "scale")
+	fmt.Fprintf(&b, "Software dataplane capacity (%d rules, %d-datagram replay, batch %d, ingress %s, %d-core host):\n",
+		pts[0].Rules, pts[0].Packets, pts[0].Batch, pts[0].IngressMode, runtime.NumCPU())
+	fmt.Fprintf(&b, "  %-8s %14s %12s %14s %10s %10s %12s %10s %8s\n",
+		"workers", "packets/sec", "ns/packet", "wall pkt/s", "imbalance", "reshard", "allocs/op", "MB/s", "scale")
 	base := pts[0].PacketsPerSec
 	for _, p := range pts {
-		fmt.Fprintf(&b, "  %-8d %14.0f %12.1f %14.0f %10.3f %12.3f %10.1f %7.2fx\n",
+		fmt.Fprintf(&b, "  %-8d %14.0f %12.1f %14.0f %10.3f %10d %12.3f %10.1f %7.2fx\n",
 			p.Workers, p.PacketsPerSec, p.NsPerPacket, p.WallPacketsPerSec,
-			p.ShardImbalance, p.AllocsPerOp, p.MBPerSec, p.PacketsPerSec/base)
+			p.ShardImbalance, p.Resharded, p.AllocsPerOp, p.MBPerSec, p.PacketsPerSec/base)
 	}
 	return b.String()
 }

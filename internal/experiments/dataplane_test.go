@@ -1,6 +1,10 @@
 package experiments
 
-import "testing"
+import (
+	"testing"
+
+	"camus/internal/dataplane"
+)
 
 // TestDataplaneThroughputSmoke runs a small sweep end to end: every
 // requested worker count produces a fully populated point, the replay
@@ -37,6 +41,19 @@ func TestDataplaneThroughputSmoke(t *testing.T) {
 		if p.ReadNsPerPacket <= 0 || p.ProcNsPerPacket <= 0 || p.ShardImbalance < 1 {
 			t.Fatalf("workers=%d: unpopulated stage model: %+v", p.Workers, p)
 		}
+		if p.IngressMode != "shared" {
+			t.Fatalf("workers=%d: default mode %q, want shared", p.Workers, p.IngressMode)
+		}
+		if len(p.Lanes) != p.Workers {
+			t.Fatalf("workers=%d: %d lane rows", p.Workers, len(p.Lanes))
+		}
+		var lanePkts uint64
+		for _, l := range p.Lanes {
+			lanePkts += l.Packets
+		}
+		if lanePkts != uint64(p.Packets) {
+			t.Fatalf("workers=%d: lane packets sum %d, want %d", p.Workers, lanePkts, p.Packets)
+		}
 	}
 	if pts[0].Workers != 1 || pts[1].Workers != 2 {
 		t.Fatalf("worker axis wrong: %d, %d", pts[0].Workers, pts[1].Workers)
@@ -47,7 +64,101 @@ func TestDataplaneThroughputSmoke(t *testing.T) {
 		t.Fatalf("2-worker capacity %.0f did not exceed 1-worker %.0f (imbalance %.3f)",
 			pts[1].PacketsPerSec, pts[0].PacketsPerSec, pts[1].ShardImbalance)
 	}
+	// The ingress-side cost is measured per configuration now (the stale
+	// copied value was the bug): a multi-lane run's busy clocks are its
+	// own, so the figure must at least be populated and distinct runs
+	// must not be byte-identical by construction. Equality of two
+	// independently measured monotonic clocks over thousands of packets
+	// would mean the value was copied, not measured.
+	if pts[0].ReadNsPerPacket == pts[1].ReadNsPerPacket {
+		t.Fatalf("read_ns_per_packet identical across configurations (%.6f): not re-measured",
+			pts[0].ReadNsPerPacket)
+	}
 	if FormatDataplane(pts) == "" {
 		t.Fatal("empty formatted table")
+	}
+}
+
+// TestDataplaneThroughputReusePort sweeps the reuseport mode: the feed
+// is pre-partitioned per lane by instrument, so every lane both reads
+// and processes, nothing is resharded, and the lane rows account for
+// the whole budget.
+func TestDataplaneThroughputReusePort(t *testing.T) {
+	if !dataplane.ReusePortAvailable() {
+		t.Skip("SO_REUSEPORT unavailable on this platform")
+	}
+	pts, err := DataplaneThroughput(DataplaneConfig{
+		Workers:     []int{2},
+		Rules:       200,
+		Packets:     3000,
+		Batch:       8,
+		Seed:        7,
+		IngressMode: dataplane.IngressReusePort,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pts[0]
+	if p.IngressMode != "reuseport" {
+		t.Fatalf("mode %q, want reuseport", p.IngressMode)
+	}
+	if p.Packets != 3000 || p.Resharded != 0 {
+		t.Fatalf("packets=%d resharded=%d, want 3000/0", p.Packets, p.Resharded)
+	}
+	var lanePkts uint64
+	active := 0
+	for _, l := range p.Lanes {
+		lanePkts += l.Packets
+		if l.Packets > 0 {
+			active++
+		}
+		if l.ResharedIn != 0 || l.ResharedOut != 0 {
+			t.Fatalf("lane %d resharded in reuseport mode: %+v", l.Lane, l)
+		}
+	}
+	if lanePkts != 3000 || active != 2 {
+		t.Fatalf("lane shares %+v: sum=%d active=%d, want 3000 across 2 lanes", p.Lanes, lanePkts, active)
+	}
+	if p.Matched == 0 || p.Forwarded == 0 {
+		t.Fatalf("no traffic matched/forwarded: %+v", p)
+	}
+}
+
+// TestDataplaneThroughputReshard sweeps the single-flow fallback: the
+// whole feed arrives on lane 0's socket, and the re-shard hop must move
+// the other lanes' share across while every packet is still processed.
+func TestDataplaneThroughputReshard(t *testing.T) {
+	if !dataplane.ReusePortAvailable() {
+		t.Skip("SO_REUSEPORT unavailable on this platform")
+	}
+	pts, err := DataplaneThroughput(DataplaneConfig{
+		Workers:     []int{2},
+		Rules:       200,
+		Packets:     3000,
+		Batch:       8,
+		Seed:        7,
+		IngressMode: dataplane.IngressReusePortReshard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pts[0]
+	if p.IngressMode != "reshard" {
+		t.Fatalf("mode %q, want reshard", p.IngressMode)
+	}
+	if p.Packets != 3000 {
+		t.Fatalf("processed %d packets, want 3000", p.Packets)
+	}
+	if p.Resharded == 0 {
+		t.Fatal("single-flow feed resharded nothing: fallback path not exercised")
+	}
+	if p.Lanes[0].Packets != 3000 || p.Lanes[1].Packets != 0 {
+		t.Fatalf("single-flow feed should arrive entirely on lane 0: %+v", p.Lanes)
+	}
+	if p.Lanes[0].ResharedOut != p.Lanes[1].ResharedIn || p.Lanes[1].ResharedIn == 0 {
+		t.Fatalf("re-shard accounting inconsistent: %+v", p.Lanes)
+	}
+	if p.Matched == 0 || p.Forwarded == 0 {
+		t.Fatalf("no traffic matched/forwarded: %+v", p)
 	}
 }

@@ -1,0 +1,142 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// IngressMode mirrors camus/internal/dataplane.IngressMode for the
+// discrete-event model of the software switch's ingress half: how
+// datagrams reach the processing lanes. The simulator predicts the
+// wall-clock scaling of each architecture from per-stage costs before
+// anything is deployed — the same role the rest of netsim plays for the
+// paper's testbed topology.
+type IngressMode int
+
+const (
+	// IngressShared: one socket, one reader serving read + shard-key
+	// cost per packet, fanning out to per-lane processors.
+	IngressShared IngressMode = iota
+	// IngressReusePort: per-lane SO_REUSEPORT sockets; the kernel's flow
+	// hash assigns each packet's flow to a lane, which reads and
+	// processes inline.
+	IngressReusePort
+	// IngressReusePortReshard: per-lane sockets plus a software re-shard
+	// hop; the reading lane pays read + shard cost, the owning lane's
+	// processor pays the processing cost.
+	IngressReusePortReshard
+)
+
+func (m IngressMode) String() string {
+	switch m {
+	case IngressReusePort:
+		return "reuseport"
+	case IngressReusePortReshard:
+		return "reshard"
+	}
+	return "shared"
+}
+
+// IngressLaneConfig parameterizes the ingress-scaling model. The replay
+// is instantaneous (every packet available at t=0), so the makespan
+// measures capacity, exactly like the dataplane replay experiment.
+type IngressLaneConfig struct {
+	Packets int
+	Lanes   int
+	Mode    IngressMode
+	// Per-packet stage costs: socket read, shard key + handoff, and
+	// pipeline processing (measure them with the dataplane experiment's
+	// read/proc ns-per-packet figures).
+	ReadCost  time.Duration
+	ShardCost time.Duration
+	ProcCost  time.Duration
+	// Owner returns packet i's shard key (the stock locate): the owning
+	// lane is Owner(i) mod Lanes. Default: i mod 31.
+	Owner func(i int) int
+	// Flow returns packet i's publisher flow; the kernel hash pins flow
+	// f to lane f mod Lanes. Default: Owner — the multi-flow publisher
+	// that keeps each instrument on its own flow. A constant function
+	// models the single-flow feed the re-shard fallback exists for.
+	Flow func(i int) int
+}
+
+// IngressLaneResult is the model's outcome.
+type IngressLaneResult struct {
+	Makespan      time.Duration
+	PacketsPerSec float64
+	LanePackets   []int // packets processed per lane
+	Resharded     int   // packets whose reading lane != owning lane
+}
+
+// RunIngressLanes simulates one replay through the configured ingress
+// architecture and returns its capacity.
+func RunIngressLanes(cfg IngressLaneConfig) (*IngressLaneResult, error) {
+	if cfg.Packets <= 0 || cfg.Lanes <= 0 {
+		return nil, fmt.Errorf("netsim: ingress model needs packets > 0 and lanes > 0")
+	}
+	if cfg.Owner == nil {
+		cfg.Owner = func(i int) int { return i % 31 }
+	}
+	if cfg.Flow == nil {
+		cfg.Flow = cfg.Owner
+	}
+
+	sim := NewSim()
+	res := &IngressLaneResult{LanePackets: make([]int, cfg.Lanes)}
+
+	// A single lane is the serial loop in every mode: read then process
+	// on one goroutine, no shard step.
+	if cfg.Lanes == 1 {
+		sv := NewServer(sim)
+		for i := 0; i < cfg.Packets; i++ {
+			sv.Submit(cfg.ReadCost+cfg.ProcCost, func() { res.LanePackets[0]++ })
+		}
+	} else {
+		switch cfg.Mode {
+		case IngressReusePort:
+			lanes := make([]*Server, cfg.Lanes)
+			for i := range lanes {
+				lanes[i] = NewServer(sim)
+			}
+			for i := 0; i < cfg.Packets; i++ {
+				lane := cfg.Flow(i) % cfg.Lanes
+				lanes[lane].Submit(cfg.ReadCost+cfg.ProcCost, func() { res.LanePackets[lane]++ })
+			}
+		case IngressReusePortReshard:
+			readers := make([]*Server, cfg.Lanes)
+			procs := make([]*Server, cfg.Lanes)
+			for i := range readers {
+				readers[i] = NewServer(sim)
+				procs[i] = NewServer(sim)
+			}
+			for i := 0; i < cfg.Packets; i++ {
+				src := cfg.Flow(i) % cfg.Lanes
+				owner := cfg.Owner(i) % cfg.Lanes
+				if src != owner {
+					res.Resharded++
+				}
+				readers[src].Submit(cfg.ReadCost+cfg.ShardCost, func() {
+					procs[owner].Submit(cfg.ProcCost, func() { res.LanePackets[owner]++ })
+				})
+			}
+		default: // IngressShared
+			reader := NewServer(sim)
+			lanes := make([]*Server, cfg.Lanes)
+			for i := range lanes {
+				lanes[i] = NewServer(sim)
+			}
+			for i := 0; i < cfg.Packets; i++ {
+				owner := cfg.Owner(i) % cfg.Lanes
+				reader.Submit(cfg.ReadCost+cfg.ShardCost, func() {
+					lanes[owner].Submit(cfg.ProcCost, func() { res.LanePackets[owner]++ })
+				})
+			}
+		}
+	}
+
+	res.Makespan = sim.Run()
+	if res.Makespan > 0 {
+		res.PacketsPerSec = float64(cfg.Packets) / res.Makespan.Seconds()
+	}
+	return res, nil
+}

@@ -1,0 +1,111 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+// The model's costs: read 1µs, shard 200ns, proc 4µs — processing-bound,
+// like the real dataplane at 10k rules.
+func ingressCfg(mode IngressMode, lanes int) IngressLaneConfig {
+	return IngressLaneConfig{
+		Packets:   10000,
+		Lanes:     lanes,
+		Mode:      mode,
+		ReadCost:  time.Microsecond,
+		ShardCost: 200 * time.Nanosecond,
+		ProcCost:  4 * time.Microsecond,
+	}
+}
+
+// TestIngressSharedReaderBottleneck: with a shared socket the single
+// reader serializes read+shard, so capacity cannot exceed the reader's
+// service rate no matter how many lanes process.
+func TestIngressSharedReaderBottleneck(t *testing.T) {
+	cfg := ingressCfg(IngressShared, 8)
+	// Make the reader the bottleneck: shard cost dominates processing.
+	cfg.ReadCost = 4 * time.Microsecond
+	cfg.ProcCost = time.Microsecond
+	r, err := RunIngressLanes(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readerNs := (cfg.ReadCost + cfg.ShardCost) * time.Duration(cfg.Packets)
+	if r.Makespan < readerNs {
+		t.Fatalf("makespan %v beat the serial reader floor %v", r.Makespan, readerNs)
+	}
+	if r.Makespan > readerNs+time.Duration(cfg.Packets)*cfg.ProcCost {
+		t.Fatalf("makespan %v: lanes did not overlap the reader", r.Makespan)
+	}
+}
+
+// TestIngressReusePortScales: per-lane sockets with balanced flows give
+// near-linear speedup over the serial loop — the wall-clock scaling the
+// SO_REUSEPORT ingress exists to deliver.
+func TestIngressReusePortScales(t *testing.T) {
+	serial, err := RunIngressLanes(ingressCfg(IngressReusePort, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunIngressLanes(ingressCfg(IngressReusePort, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := par.PacketsPerSec / serial.PacketsPerSec
+	if speedup < 3 {
+		t.Fatalf("4-lane reuseport speedup %.2fx, want >= 3x", speedup)
+	}
+	if par.Resharded != 0 {
+		t.Fatalf("reuseport model resharded %d packets", par.Resharded)
+	}
+	total := 0
+	for _, n := range par.LanePackets {
+		total += n
+	}
+	if total != 10000 {
+		t.Fatalf("lane accounting %d, want 10000", total)
+	}
+}
+
+// TestIngressReshardSingleFlow: a single-flow feed lands every packet on
+// one reader, but the re-shard hop still spreads processing — capacity
+// approaches min(reader rate, aggregate lane rate) instead of the serial
+// loop's rate.
+func TestIngressReshardSingleFlow(t *testing.T) {
+	cfg := ingressCfg(IngressReusePortReshard, 4)
+	cfg.Flow = func(int) int { return 0 } // single-flow publisher
+	r, err := RunIngressLanes(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Resharded == 0 {
+		t.Fatal("single-flow reshard model moved nothing lane-to-lane")
+	}
+	serial, err := RunIngressLanes(ingressCfg(IngressReusePortReshard, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PacketsPerSec <= serial.PacketsPerSec {
+		t.Fatalf("reshard %f pkts/s did not beat serial %f", r.PacketsPerSec, serial.PacketsPerSec)
+	}
+	// Processing-bound config: the busiest lane's share is the floor.
+	var maxLane int
+	for _, n := range r.LanePackets {
+		if n > maxLane {
+			maxLane = n
+		}
+	}
+	floor := cfg.ProcCost * time.Duration(maxLane)
+	if r.Makespan < floor {
+		t.Fatalf("makespan %v beat the busiest-lane floor %v", r.Makespan, floor)
+	}
+}
+
+func TestIngressLanesRejectsBadConfig(t *testing.T) {
+	if _, err := RunIngressLanes(IngressLaneConfig{Packets: 0, Lanes: 1}); err == nil {
+		t.Fatal("accepted zero packets")
+	}
+	if _, err := RunIngressLanes(IngressLaneConfig{Packets: 1, Lanes: 0}); err == nil {
+		t.Fatal("accepted zero lanes")
+	}
+}
