@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 5a, 5b, 5c, 7a, 7b, throughput, ablation, order, churn, dataplane, vet, all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 5a, 5b, 5c, 7a, 7b, throughput, ablation, order, churn, dataplane, vet, fabric, all")
 		sizes    = flag.String("sizes", "", "comma-separated subscription counts (5c/throughput/churn override)")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		csv      = flag.Bool("csv", false, "emit CSV series instead of aligned tables")
@@ -41,6 +41,9 @@ func main() {
 		rules    = flag.Int("rules", 10000, "installed subscriptions for -dataplane")
 		packets  = flag.Int("packets", 200000, "replayed ingress datagrams for -dataplane")
 		ingress  = flag.String("ingress", "auto", "ingress mode for -dataplane: auto, shared, reuseport, reshard")
+		fabricB  = flag.Bool("fabric", false, "shorthand for -fig fabric: two-hop fabric covering-compression figure")
+		subs     = flag.Int("subscribers", 16, "subscriber hosts for -fabric")
+		leaves   = flag.Int("leaves", 2, "leaf switches for -fabric")
 	)
 	flag.Parse()
 	if *churn {
@@ -48,6 +51,9 @@ func main() {
 	}
 	if *dplane {
 		*fig = "dataplane"
+	}
+	if *fabricB {
+		*fig = "fabric"
 	}
 	if *churnPct <= 0 {
 		*churnPct = 1 // matches the experiment's own clamp, keeps the header honest
@@ -130,6 +136,46 @@ func main() {
 			pts, err := experiments.Fanout(16)
 			fatal(err)
 			fmt.Print(experiments.FormatFanout(pts))
+		case "fabric":
+			pts, err := experiments.FabricCovering(*subs, *leaves, *seed)
+			fatal(err)
+			if *jsonOut {
+				enc := json.NewEncoder(os.Stdout)
+				enc.SetIndent("", "  ")
+				type compressed struct {
+					EntryCompression float64 `json:"entry_compression"`
+					BytesRatio       float64 `json:"bytes_ratio_vs_broadcast"`
+				}
+				summary := compressed{}
+				if len(pts) == 2 {
+					summary.EntryCompression = pts[0].EntryCompression()
+					if pts[0].InterSwitchMB > 0 {
+						summary.BytesRatio = pts[1].InterSwitchMB / pts[0].InterSwitchMB
+					}
+				}
+				fatal(enc.Encode(struct {
+					GOOS        string                    `json:"goos"`
+					GOARCH      string                    `json:"goarch"`
+					CPUs        int                       `json:"cpus"`
+					Seed        int64                     `json:"seed"`
+					Subscribers int                       `json:"subscribers"`
+					Leaves      int                       `json:"leaves"`
+					Points      []experiments.FabricPoint `json:"points"`
+					Compression compressed                `json:"compression"`
+				}{runtime.GOOS, runtime.GOARCH, runtime.NumCPU(), *seed, *subs, *leaves, pts, summary}))
+				return
+			}
+			if *csv {
+				fmt.Println("mode,fabric_mb,host_mb,uplink_msgs,downlink_msgs,delivered_msgs,leaf_entries,spine_entries,entry_compression,recovered,worst_p99_us")
+				for _, p := range pts {
+					fmt.Printf("%s,%.3f,%.3f,%d,%d,%d,%d,%d,%.2f,%d,%.1f\n",
+						p.Mode, p.InterSwitchMB, p.HostMB, p.UplinkMsgs, p.DownlinkMsgs, p.DeliveredMsgs,
+						p.LeafEntries, p.SpineEntries, p.EntryCompression(), p.Recovered,
+						float64(p.WorstP99.Nanoseconds())/1000)
+				}
+				return
+			}
+			fmt.Print(experiments.FormatFabric(pts))
 		case "vet":
 			pts, err := experiments.VetEstimate(sizeList, *seed)
 			fatal(err)
@@ -235,7 +281,7 @@ func main() {
 	}
 
 	if *fig == "all" {
-		for _, name := range []string{"5a", "5b", "5c", "7a", "7b", "throughput", "ablation", "order", "fanout"} {
+		for _, name := range []string{"5a", "5b", "5c", "7a", "7b", "throughput", "ablation", "order", "fanout", "fabric"} {
 			run(name)
 		}
 		return

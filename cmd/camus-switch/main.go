@@ -40,14 +40,18 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"camus/internal/dataplane"
+	"camus/internal/fabric"
 	"camus/internal/faults"
 	"camus/internal/itch"
+	"camus/internal/lang"
 	"camus/internal/spec"
 	"camus/internal/telemetry"
 	"camus/internal/workload"
@@ -88,6 +92,9 @@ func main() {
 		batch      = flag.Int("batch", 0, "datagrams per socket operation where recvmmsg/sendmmsg is available (0 = default 32, 1 disables)")
 		ingress    = flag.String("ingress", "auto", "ingress mode: auto, shared (one socket, software shard), reuseport (per-lane SO_REUSEPORT sockets, kernel flow hash), reshard (per-lane sockets + locate-keyed lane handoff)")
 		reuseport  = flag.Bool("reuseport", false, "shorthand for -ingress reshard: per-lane SO_REUSEPORT sockets, safe for any feed including a single flow")
+		fabricMode = flag.Bool("fabric", false, "run an in-process two-hop leaf/spine fabric (covering spines, recovering inter-switch links) instead of a single switch")
+		fabLeaves  = flag.Int("fabric-leaves", 2, "leaf switches for -fabric (host h hangs off leaf h mod leaves)")
+		fabSpines  = flag.Int("fabric-spines", 1, "spine switches for -fabric (spines beyond the first are failover paths)")
 	)
 	flag.Var(ports, "port", "bind switch port to subscriber address, PORT=HOST:PORT (repeatable)")
 	flag.Parse()
@@ -108,6 +115,20 @@ func main() {
 
 	if *demo {
 		runDemo(sp)
+		return
+	}
+	if *fabricMode {
+		var plan faults.Plan
+		if *faultPlan != "" {
+			p, err := faults.ParsePlan(*faultPlan)
+			fatal(err)
+			plan = p
+			fmt.Fprintf(os.Stderr, "camus-switch: inter-switch fault plan active: %s\n", *faultPlan)
+		}
+		if *rulesPath == "" {
+			rules = "stock == GOOGL : fwd(1)\nstock == S001 && shares >= 500 : fwd(2)\n"
+		}
+		runFabric(sp, rules, ports, plan, *fabLeaves, *fabSpines, *workers, *statsSec, *admin)
 		return
 	}
 
@@ -194,6 +215,132 @@ func main() {
 		fmt.Fprintf(os.Stderr, "camus-switch: final metrics snapshot:\n%s\n", snap)
 	}
 	fatal(err)
+}
+
+// runFabric stands up a live two-hop leaf/spine fabric in one process and
+// serves it until SIGINT/SIGTERM: per leaf an up-plane switch gated by the
+// global cover, redundant spines running per-leaf covering programs, and
+// down-plane switches with the full subscriber rules. Hosts named by -port
+// bind external subscriber addresses; fwd targets without a binding get an
+// in-process gap-recovering subscriber whose delivery counts appear in the
+// stats log. Publishers send MoldUDP64/ITCH to any leaf's publish address.
+func runFabric(sp *spec.Spec, rulesSrc string, ports portMap, plan faults.Plan, leaves, spines, workers, statsSec int, admin string) {
+	rules, err := lang.ParseRules(rulesSrc)
+	fatal(err)
+
+	tel := telemetry.New()
+	fab, err := fabric.New(fabric.Config{
+		Spec:         sp,
+		Leaves:       leaves,
+		Spines:       spines,
+		LinkFaults:   plan,
+		Workers:      workers,
+		VerifyCovers: true,
+		Telemetry:    tel,
+	})
+	fatal(err)
+	defer fab.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Every fwd target needs a subscriber endpoint: -port bindings win,
+	// the rest get in-process recovering receivers.
+	hostSet := map[int]bool{}
+	for _, r := range rules {
+		for _, a := range r.Actions {
+			if a.Kind == lang.ActFwd {
+				for _, p := range a.Ports {
+					hostSet[p] = true
+				}
+			}
+		}
+	}
+	var hosts []int
+	for h := range hostSet {
+		hosts = append(hosts, h)
+	}
+	sort.Ints(hosts)
+	counts := map[int]*atomic.Uint64{}
+	for _, h := range hosts {
+		if addr, ok := ports[h]; ok {
+			fatal(fab.BindHost(h, addr))
+			fmt.Fprintf(os.Stderr, "camus-switch: host %d -> %s (external, leaf %d, retx %s)\n",
+				h, addr, fab.LeafForHost(h), fab.HostRetxAddr(h))
+			continue
+		}
+		n := &atomic.Uint64{}
+		counts[h] = n
+		rcv, err := dataplane.NewReceiver(dataplane.ReceiverConfig{
+			Retx:      fab.HostRetxAddr(h).String(),
+			OnMessage: func(uint64, []byte) { n.Add(1) },
+		})
+		fatal(err)
+		defer rcv.Close()
+		fatal(fab.BindHost(h, rcv.Addr().String()))
+		go func() { _ = rcv.Run(ctx) }()
+		fmt.Fprintf(os.Stderr, "camus-switch: host %d -> %s (in-process subscriber, leaf %d)\n",
+			h, rcv.Addr(), fab.LeafForHost(h))
+	}
+
+	fab.Start(ctx)
+	ep, err := fab.Apply(ctx, rules)
+	fatal(err)
+	fmt.Fprintf(os.Stderr, "camus-switch: fabric epoch %d committed: %d leaves, %d spines, %d leaf entries, %d spine entries (covers verified)\n",
+		ep.Seq, leaves, spines, ep.LeafEntries, ep.SpineEntries)
+	for j := 0; j < leaves; j++ {
+		fmt.Fprintf(os.Stderr, "camus-switch: leaf %d publish address %s\n", j, fab.PublishAddr(j))
+	}
+
+	if admin != "" {
+		srv, err := telemetry.Serve(admin, tel)
+		fatal(err)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "camus-switch: admin endpoint on http://%s (camus_fabric_* series included)\n", srv.Addr())
+	}
+
+	if statsSec > 0 {
+		go func() {
+			tick := time.NewTicker(time.Duration(statsSec) * time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					for j := 0; j < leaves; j++ {
+						down, up := fab.Leaf(j)
+						fmt.Fprintf(os.Stderr, "camus-switch: leaf %d: up matched=%d uplink-fwd=%d down matched=%d fwd=%d active-spine=%d\n",
+							j, up.Stats().Matched.Load(), fab.UplinkRelay(j).Forwarded(),
+							down.Stats().Matched.Load(), down.Stats().Forwarded.Load(), fab.ActiveSpine(j))
+					}
+					for s := 0; s < spines; s++ {
+						st := fab.Spine(s).Stats()
+						var dn []string
+						for j := 0; j < leaves; j++ {
+							dn = append(dn, fmt.Sprintf("leaf%d=%d", j, fab.DownlinkRelay(s, j).Forwarded()))
+						}
+						fmt.Fprintf(os.Stderr, "camus-switch: spine %d: datagrams=%d matched=%d fwd=%d downlinks %s\n",
+							s, st.Datagrams.Load(), st.Matched.Load(), st.Forwarded.Load(), strings.Join(dn, " "))
+					}
+					for _, h := range hosts {
+						if n, ok := counts[h]; ok {
+							fmt.Fprintf(os.Stderr, "camus-switch: host %d delivered=%d\n", h, n.Load())
+						}
+					}
+				}
+			}
+		}()
+	}
+
+	<-ctx.Done()
+	fmt.Fprintln(os.Stderr, "camus-switch: shutting down fabric")
+	if err := fab.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "camus-switch: fabric close:", err)
+	}
+	if snap, err := tel.Snapshot().MarshalIndent(); err == nil {
+		fmt.Fprintf(os.Stderr, "camus-switch: final metrics snapshot:\n%s\n", snap)
+	}
 }
 
 // orDefault substitutes def for an empty flag value in the config log.

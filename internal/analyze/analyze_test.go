@@ -48,9 +48,9 @@ func TestFixtureTriggersEveryCode(t *testing.T) {
 		{CodeUnsat, SevWarning, 1, 1},     // price > 100 && price < 50
 		{CodeShadowed, SevWarning, 3, 19}, // price > 20 subsumed by price > 10
 		{CodeDuplicate, SevWarning, 4, 19},
-		{CodeType, SevError, 5, 1},      // range predicate on exact-match stock
-		{CodeType, SevWarning, 6, 1},    // 5000000000 overflows 32-bit shares
-		{CodeUnsat, SevWarning, 6, 1},   // ...and therefore never matches
+		{CodeType, SevError, 5, 1},       // range predicate on exact-match stock
+		{CodeType, SevWarning, 6, 1},     // 5000000000 overflows 32-bit shares
+		{CodeUnsat, SevWarning, 6, 1},    // ...and therefore never matches
 		{CodeConflict, SevWarning, 8, 1}, // fwd overlaps rule 6's drop
 		{CodeResources, SevError, 8, 1},  // tiny budget
 	}

@@ -67,11 +67,15 @@ type Device interface {
 // transient device-write failure is retried, and how the retry delay
 // grows. The zero value uses the defaults below.
 type UpdatePolicy struct {
-	MaxRetries    int                 // transient-failure retries (default 3)
-	Backoff       time.Duration       // initial retry delay (default 1ms)
-	BackoffFactor float64             // delay growth per retry (default 2)
-	MaxBackoff    time.Duration       // delay cap (default 50ms)
-	Sleep         func(time.Duration) // delay hook (default time.Sleep)
+	MaxRetries    int           // transient-failure retries (default 3)
+	Backoff       time.Duration // initial retry delay (default 1ms)
+	BackoffFactor float64       // delay growth per retry (default 2)
+	MaxBackoff    time.Duration // delay cap (default 50ms)
+	// Sleep, when set, replaces the default backoff wait (a timer that
+	// also watches the context). It is a test hook: cancellation is
+	// still honored once it returns, but the hook itself is not
+	// interrupted, so production configs should leave it nil.
+	Sleep func(time.Duration)
 }
 
 func (p UpdatePolicy) withDefaults() UpdatePolicy {
@@ -87,10 +91,26 @@ func (p UpdatePolicy) withDefaults() UpdatePolicy {
 	if p.MaxBackoff <= 0 {
 		p.MaxBackoff = 50 * time.Millisecond
 	}
-	if p.Sleep == nil {
-		p.Sleep = time.Sleep
-	}
 	return p
+}
+
+// wait blocks for d or until ctx is done, whichever comes first, and
+// returns ctx.Err() when the wait was cut short. This is what makes a
+// canceled install return promptly instead of sleeping out the full
+// backoff schedule between retries.
+func (p UpdatePolicy) wait(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		p.Sleep(d)
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // transient reports whether a device error advertises itself as worth
@@ -101,10 +121,12 @@ func transient(err error) bool {
 }
 
 // commit pushes newProg to dev, retrying transient write failures per
-// policy until ctx is done. On permanent failure, retry exhaustion, or
-// cancellation it rolls the device back to oldProg with a compensating
-// reinstall, so the device never stays on a half-committed update. The
-// span, when non-nil, records each retry and the final outcome.
+// policy until ctx is done; the backoff wait between retries selects on
+// ctx.Done(), so cancellation interrupts the schedule mid-sleep. On
+// permanent failure, retry exhaustion, or cancellation it rolls the
+// device back to oldProg with a compensating reinstall, so the device
+// never stays on a half-committed update. The span, when non-nil,
+// records each retry and the final outcome.
 func commit(ctx context.Context, dev Device, pol UpdatePolicy, newProg, oldProg *compiler.Program, span *telemetry.Span) error {
 	pol = pol.withDefaults()
 	delay := pol.Backoff
@@ -124,7 +146,10 @@ func commit(ctx context.Context, dev Device, pol UpdatePolicy, newProg, oldProg 
 			break
 		}
 		retries++
-		pol.Sleep(delay)
+		if werr := pol.wait(ctx, delay); werr != nil {
+			err = fmt.Errorf("%w (last write error: %v)", werr, err)
+			break
+		}
 		delay = time.Duration(float64(delay) * pol.BackoffFactor)
 		if delay > pol.MaxBackoff {
 			delay = pol.MaxBackoff
@@ -234,6 +259,36 @@ func (c *Controller) Update(ctx context.Context, newProg *compiler.Program) (Del
 	c.tel.Reg().Counter("camus_controlplane_device_writes_total").Add(uint64(delta.Writes()))
 	return delta, nil
 }
+
+// Install is Update without the resource-admission phase: callers that
+// admit fleet-wide (the fabric's two-phase epoch checks every member's
+// resources before any member commits) run pipeline.CheckResources
+// themselves, then commit each member through Install. It aligns states,
+// diffs, and commits with the controller's retry/rollback policy; the
+// same guarantees as Update apply — on failure the device is rolled back
+// to the prior program and the controller does not advance. Rollback
+// reinstalls in particular must go through Install, not Update, so that a
+// program the device already ran is never re-rejected at admission.
+func (c *Controller) Install(ctx context.Context, newProg *compiler.Program) (Delta, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	span := c.tel.Trc().Start(ctx, "controlplane_install")
+	AlignStates(c.prog, newProg)
+	delta := DiffPrograms(c.prog, newProg)
+	span.SetLabel("writes", fmt.Sprint(delta.Writes()))
+	if err := commit(ctx, c.dev, c.Policy, newProg, c.prog, span); err != nil {
+		return Delta{}, err
+	}
+	c.prog = newProg
+	c.tel.Reg().Counter("camus_controlplane_device_writes_total").Add(uint64(delta.Writes()))
+	return delta, nil
+}
+
+// Adopt resynchronizes the controller with a program that was installed
+// on the device out of band (a fabric epoch driving the device through
+// its own member controller). Later Updates diff against prog.
+func (c *Controller) Adopt(prog *compiler.Program) { c.prog = prog }
 
 // AlignStates renumbers newProg's pipeline states so that states whose
 // sub-BDD behavior is identical to a state in oldProg get the old number.

@@ -108,6 +108,21 @@ func (ps *PubSub) SetSubscriptionsContext(ctx context.Context, src string) (cont
 // Program returns the currently installed compiled program.
 func (ps *PubSub) Program() *compiler.Program { return ps.ctl.Program() }
 
+// AdoptProgram resynchronizes the deployment with a program installed on
+// the switch out of band — the fabric's epoch controller commits through
+// its own per-member control plane, then adopts here so the extractor and
+// the embedded controller's diff base match what the device runs. No
+// device write happens; callers guarantee prog is what is installed.
+func (ps *PubSub) AdoptProgram(prog *compiler.Program) error {
+	ex, err := itch.NewExtractor(prog)
+	if err != nil {
+		return err
+	}
+	ps.ctl.Adopt(prog)
+	ps.ex = ex
+	return nil
+}
+
 // Switch exposes the underlying device model.
 func (ps *PubSub) Switch() *pipeline.Switch { return ps.sw }
 

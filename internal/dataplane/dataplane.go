@@ -29,6 +29,7 @@ import (
 	"camus/internal/compiler"
 	"camus/internal/core"
 	"camus/internal/itch"
+	"camus/internal/pipeline"
 	"camus/internal/spec"
 	"camus/internal/telemetry"
 )
@@ -65,6 +66,7 @@ type Stats struct {
 	Heartbeats   telemetry.Counter // idle heartbeats sent
 	RetxRequests telemetry.Counter // retransmission requests served
 	RetxMessages telemetry.Counter // messages resent from the store
+	RetxBad      telemetry.Counter // malformed or unroutable retransmission requests skipped
 	Resharded    telemetry.Counter // datagrams moved lane-to-lane by the re-shard hop
 }
 
@@ -80,6 +82,7 @@ func (s *Stats) register(reg *telemetry.Registry) {
 	reg.RegisterCounter("camus_dataplane_heartbeats_total", &s.Heartbeats)
 	reg.RegisterCounter("camus_dataplane_retx_requests_total", &s.RetxRequests)
 	reg.RegisterCounter("camus_dataplane_retx_messages_total", &s.RetxMessages)
+	reg.RegisterCounter("camus_dataplane_retx_bad_total", &s.RetxBad)
 	reg.RegisterCounter("camus_dataplane_resharded_total", &s.Resharded)
 }
 
@@ -212,6 +215,12 @@ type Switch struct {
 	closed    bool
 	runActive bool
 	runDone   chan struct{}
+	draining  atomic.Bool // graceful shutdown requested; readers wind down
+
+	// procTestHook, when non-nil, runs before each datagram is processed
+	// on a lane — a test seam for injecting lane failures (panics) into
+	// the parallel ingress paths.
+	procTestHook func(lane int, datagram []byte)
 }
 
 // Listen binds the ingress and retransmission sockets and
@@ -450,6 +459,27 @@ func (sw *Switch) BindPort(port int, addr string) error {
 	return nil
 }
 
+// UnbindPort removes a Camus output port: subsequent matches for the port
+// are dropped instead of sent, its MoldUDP64 session and retransmission
+// store are discarded, and its session stops answering retransmission
+// requests. Safe to call while Run is active; a later BindPort of the same
+// number starts a fresh sequence space. This is how a fabric spine stops
+// forwarding toward a leaf it has declared dead.
+func (sw *Switch) UnbindPort(port int) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	ps, ok := sw.ports[port]
+	if !ok {
+		return
+	}
+	delete(sw.ports, port)
+	delete(sw.bySession, ps.session)
+	if port >= 0 && port < len(sw.portIdx) {
+		sw.portIdx[port] = nil
+	}
+	sw.portsG.Set(int64(len(sw.ports)))
+}
+
 // portFor resolves a port number on the hot path. Callers hold sw.mu.
 func (sw *Switch) portFor(port int) *portState {
 	if port < 0 || port >= len(sw.portIdx) {
@@ -478,6 +508,23 @@ func (sw *Switch) SetSubscriptionsContext(ctx context.Context, src string) error
 // was created without Config.Telemetry).
 func (sw *Switch) Telemetry() *telemetry.Telemetry { return sw.tel }
 
+// Device exposes the underlying pipeline device for out-of-band control
+// planes (the fabric's epoch controller installs programs through it,
+// interposing fault-injection wrappers in tests). Writes to the device
+// are atomic program swaps; AdoptProgram must follow a successful install
+// so the switch's extractor matches the program the device runs.
+func (sw *Switch) Device() *pipeline.Switch { return sw.engine.Switch() }
+
+// AdoptProgram resynchronizes the switch with a program installed on its
+// device out of band: the ITCH extractor is rebuilt for the program's
+// field layout and the embedded controller's diff base advances. The swap
+// is serialized with packet processing.
+func (sw *Switch) AdoptProgram(prog *compiler.Program) error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.engine.AdoptProgram(prog)
+}
+
 // Program returns the installed compiled program.
 func (sw *Switch) Program() *compiler.Program {
 	sw.mu.RLock()
@@ -485,10 +532,16 @@ func (sw *Switch) Program() *compiler.Program {
 	return sw.engine.Program()
 }
 
-// Close announces end-of-session on every bound port, shuts both sockets,
-// and — when Run is active — returns only after the read loops have
+// Close shuts the switch down gracefully. When Run is active it begins a
+// drain: the ingress readers stop taking new datagrams, every datagram
+// already handed to a shard lane is processed and forwarded, and only
+// then is the MoldUDP64 end-of-session announcement emitted on every
+// bound port and the sockets closed — so no subscriber ever sees egress
+// after the end-of-session frame, and the frame's sequence number covers
+// everything that was delivered. Close returns after the read loops have
 // exited, so no goroutine is still touching the switch afterwards. Close
-// is idempotent; concurrent calls after the first return immediately.
+// is idempotent; concurrent calls after the first return immediately
+// (they may return before the first caller's drain completes).
 func (sw *Switch) Close() error {
 	sw.closeMu.Lock()
 	if sw.closed {
@@ -499,16 +552,28 @@ func (sw *Switch) Close() error {
 	active := sw.runActive
 	sw.closeMu.Unlock()
 
-	sw.endSession()
-	err := sw.conn.Close()
-	for _, c := range sw.conns[1:] {
-		c.Close()
-	}
-	sw.retx.Close()
 	if active {
+		// Run's deferred shutdown emits end-of-session after the lanes
+		// drain, then closes the sockets.
+		sw.beginDrain()
 		<-sw.runDone
+		return nil
 	}
-	return err
+	sw.endSession()
+	sw.closeConns()
+	return nil
+}
+
+// beginDrain asks every ingress reader to stop: an immediate read
+// deadline wakes blocking reads (including recvmmsg batches), and the
+// draining flag tells readErr to treat the resulting timeouts as a clean
+// end-of-stream rather than an error. Egress writes are unaffected, so
+// in-flight datagrams still go out.
+func (sw *Switch) beginDrain() {
+	sw.draining.Store(true)
+	for _, c := range sw.conns {
+		_ = c.SetReadDeadline(time.Now())
+	}
 }
 
 // endSession sends the MoldUDP64 end-of-session announcement to every
@@ -549,13 +614,14 @@ func (sw *Switch) Run(ctx context.Context) error {
 	sw.runActive = true
 	sw.closeMu.Unlock()
 
-	var aux sync.WaitGroup
+	var aux sync.WaitGroup // serveRetx; exits when the retx socket closes
+	var hb sync.WaitGroup  // heartbeatLoop; exits on hbStop
 	hbStop := make(chan struct{})
 	aux.Add(1)
 	go func() { defer aux.Done(); sw.serveRetx() }()
 	if sw.heartbeat > 0 {
-		aux.Add(1)
-		go func() { defer aux.Done(); sw.heartbeatLoop(hbStop) }()
+		hb.Add(1)
+		go func() { defer hb.Done(); sw.heartbeatLoop(hbStop) }()
 	}
 	go func() {
 		select {
@@ -564,8 +630,15 @@ func (sw *Switch) Run(ctx context.Context) error {
 		case <-sw.runDone:
 		}
 	}()
+	// Shutdown ordering is the graceful-drain contract: the processing
+	// loops have returned (every datagram handed to a lane has been
+	// forwarded), the heartbeat loop is stopped and joined so no
+	// heartbeat can follow, then end-of-session goes out on every port
+	// as the stream's final frame, and only then do the sockets close.
 	defer func() {
 		close(hbStop)
+		hb.Wait()
+		sw.endSession()
 		sw.closeConns()
 		aux.Wait()
 		close(sw.runDone)
@@ -584,10 +657,17 @@ func (sw *Switch) Run(ctx context.Context) error {
 	}
 }
 
-// readErr maps a terminal socket error to Run's return value.
+// readErr maps a terminal socket error to Run's return value. A read
+// deadline while draining is the graceful-shutdown signal, not a fault.
 func (sw *Switch) readErr(ctx context.Context, err error) error {
 	if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
 		return nil
+	}
+	if sw.draining.Load() {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return nil
+		}
 	}
 	return fmt.Errorf("dataplane: read: %w", err)
 }
@@ -608,6 +688,18 @@ type dgram struct {
 // keeping allocs/op flat at any worker count.
 func (sw *Switch) runSharded(ctx context.Context) error {
 	pool := newDgramPool(sw.poolCapacity(), sw.readBuf)
+	var errMu sync.Mutex
+	var firstErr error
+	record := func(err error) {
+		if err == nil {
+			return
+		}
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
 	for _, l := range sw.lanes {
 		l.ch = make(chan *dgram, shardQueueDepth)
 	}
@@ -616,6 +708,7 @@ func (sw *Switch) runSharded(ctx context.Context) error {
 		wg.Add(1)
 		go func(l *lane) {
 			defer wg.Done()
+			defer sw.recoverLane(l, record, pool)
 			for d := range l.ch {
 				sw.timeProcess(l, d.buf[:d.n])
 				pool.put(d)
@@ -634,7 +727,6 @@ func (sw *Switch) runSharded(ctx context.Context) error {
 		handoff(owner, d, ds, &sw.busyDispatch, &sw.busyStall)
 	}
 
-	var err error
 	if br := newBatchReader(sw.conn, sw.batch); br != nil {
 		ds := make([]*dgram, sw.batch)
 		bufs := make([][]byte, sw.batch)
@@ -655,7 +747,7 @@ func (sw *Switch) runSharded(ctx context.Context) error {
 				pool.put(ds[i])
 			}
 			if rerr != nil {
-				err = sw.readErr(ctx, rerr)
+				record(sw.readErr(ctx, rerr))
 				break
 			}
 		}
@@ -668,7 +760,7 @@ func (sw *Switch) runSharded(ctx context.Context) error {
 			sw.busyRead.Add(int64(time.Since(rs)))
 			if rerr != nil {
 				pool.put(d)
-				err = sw.readErr(ctx, rerr)
+				record(sw.readErr(ctx, rerr))
 				break
 			}
 			dispatch(d)
@@ -678,12 +770,33 @@ func (sw *Switch) runSharded(ctx context.Context) error {
 		close(l.ch)
 	}
 	wg.Wait()
-	return err
+	return firstErr
+}
+
+// recoverLane converts a processor-goroutine panic into Run's error.
+// Without it a dead lane deadlocks the whole switch: readers block
+// forever handing off to an inbox nobody drains. The panic is recorded
+// as the run's first error, every ingress socket is closed so the
+// readers exit promptly, and the lane keeps draining (and discarding)
+// its inbox until it is closed, so no in-flight handoff can block.
+func (sw *Switch) recoverLane(l *lane, record func(error), pool *dgramPool) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	record(fmt.Errorf("dataplane: lane %d processor failed: %v", l.id, r))
+	sw.closeConns()
+	for d := range l.ch {
+		pool.put(d)
+	}
 }
 
 // timeProcess runs one datagram through the lane, accumulating lane busy
 // time and feeding the latency histogram when one is attached.
 func (sw *Switch) timeProcess(l *lane, datagram []byte) {
+	if sw.procTestHook != nil {
+		sw.procTestHook(l.id, datagram)
+	}
 	start := time.Now()
 	sw.processDatagram(l.st, datagram)
 	d := time.Since(start)
@@ -721,9 +834,9 @@ type procState struct {
 	bw      *batchWriter  // sendmmsg egress, nil on fallback paths
 	order   itch.AddOrder // decode scratch, kept off the per-call stack
 	msgs    [][]byte      // raw wire bytes of this datagram's add-orders
-	perPort []portMsgs   // indexed by switch port number
-	touched []int        // ports with >= 1 message this datagram
-	wires   [][]byte     // reusable egress wire buffers
+	perPort []portMsgs    // indexed by switch port number
+	touched []int         // ports with >= 1 message this datagram
+	wires   [][]byte      // reusable egress wire buffers
 	addrs   []*net.UDPAddr
 	nOut    int
 }
@@ -925,6 +1038,11 @@ func (sw *Switch) heartbeatLoop(stop <-chan struct{}) {
 // stores. A request for messages that have aged out is answered from the
 // oldest retained sequence onward — the reply's sequence number tells the
 // subscriber exactly which prefix is unrecoverable.
+//
+// The request socket is reachable by anything that can send a UDP
+// datagram, so a request that fails to decode — or names a session this
+// switch does not serve — is counted (camus_dataplane_retx_bad_total)
+// and skipped; nothing a remote peer sends can terminate this loop.
 func (sw *Switch) serveRetx() {
 	// The request socket honors the same configured buffer size as the
 	// ingress socket (requests are tiny, but a fixed small buffer would
@@ -937,13 +1055,14 @@ func (sw *Switch) serveRetx() {
 		}
 		var req itch.MoldRequest
 		if err := req.DecodeFromBytes(buf[:n]); err != nil {
-			sw.stats.DecodeErrors.Add(1)
+			sw.stats.RetxBad.Add(1)
 			continue
 		}
 		sw.mu.RLock()
 		ps := sw.bySession[req.Session]
 		sw.mu.RUnlock()
 		if ps == nil {
+			sw.stats.RetxBad.Add(1)
 			continue // unknown session: not our stream
 		}
 		sw.stats.RetxRequests.Add(1)

@@ -358,6 +358,15 @@ func (sw *Switch) runReusePort(ctx context.Context, reshard bool) error {
 			wg.Add(1)
 			go func(l *lane) {
 				defer wg.Done()
+				// An inline lane has no inbox to drain, but a panic must
+				// still surface through Run (and stop the other lanes)
+				// rather than kill the process.
+				defer func() {
+					if r := recover(); r != nil {
+						record(fmt.Errorf("dataplane: lane %d processor failed: %v", l.id, r))
+						sw.closeConns()
+					}
+				}()
 				record(sw.runLaneInline(ctx, l))
 			}(l)
 		}
@@ -374,6 +383,7 @@ func (sw *Switch) runReusePort(ctx context.Context, reshard bool) error {
 		procWG.Add(1)
 		go func(l *lane) {
 			defer procWG.Done()
+			defer sw.recoverLane(l, record, pool)
 			for d := range l.ch {
 				if int(d.src) != l.id {
 					l.resharedIn.Add(1)

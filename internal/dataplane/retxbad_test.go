@@ -1,0 +1,96 @@
+package dataplane
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"camus/internal/itch"
+)
+
+// TestRetxBadRequestsCountedAndSkipped proves the retransmission server
+// survives hostile input: malformed datagrams and requests for foreign
+// sessions are counted under camus_dataplane_retx_bad_total and skipped,
+// and the goroutine keeps serving valid requests afterwards.
+func TestRetxBadRequestsCountedAndSkipped(t *testing.T) {
+	sw, pub, sub1, _ := startSwitch(t, "stock == GOOGL : fwd(1)")
+
+	// Put one message in port 1's store so a valid request is servable.
+	if _, err := pub.Write(moldWith(t, "SESS", 1, order("GOOGL", 100, 1000))); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvMold(t, sub1, 2*time.Second); !ok {
+		t.Fatal("no delivery")
+	}
+
+	req, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer req.Close()
+
+	bad := [][]byte{
+		{},                                  // empty
+		[]byte("short"),                     // truncated
+		make([]byte, itch.MoldRequestLen-1), // one byte shy of a request
+		[]byte("not a mold request at all, but long enough to decode"),
+	}
+	// A well-formed request for a session this switch does not serve is
+	// also bad: it cannot be routed to a port store.
+	var foreign itch.MoldRequest
+	foreign.SetSession("NOTOURS")
+	foreign.Sequence = 1
+	foreign.Count = 1
+	bad = append(bad, foreign.Bytes())
+
+	want := uint64(0)
+	for _, b := range bad {
+		if len(b) == 0 {
+			// A zero-length UDP payload is legal; it still reaches the
+			// server and fails to decode.
+			if _, err := req.WriteToUDP(nil, sw.RetxAddr()); err != nil {
+				t.Fatal(err)
+			}
+		} else if _, err := req.WriteToUDP(b, sw.RetxAddr()); err != nil {
+			t.Fatal(err)
+		}
+		want++
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for sw.Stats().RetxBad.Load() < want && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := sw.Stats().RetxBad.Load(); got < want {
+		t.Fatalf("retx bad counter = %d, want >= %d", got, want)
+	}
+	if got := sw.Stats().RetxRequests.Load(); got != 0 {
+		t.Fatalf("bad datagrams were served as requests: RetxRequests = %d", got)
+	}
+
+	// The serving loop must still be alive: a valid request is answered
+	// with the stored message.
+	var valid itch.MoldRequest
+	valid.SetSession(sw.PortSession(1))
+	valid.Sequence = 1
+	valid.Count = 1
+	if _, err := req.WriteToUDP(valid.Bytes(), sw.RetxAddr()); err != nil {
+		t.Fatal(err)
+	}
+	req.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 64<<10)
+	n, _, err := req.ReadFromUDP(buf)
+	if err != nil {
+		t.Fatalf("no retransmission reply after bad datagrams: %v", err)
+	}
+	var mp itch.MoldPacket
+	if err := mp.Decode(buf[:n]); err != nil {
+		t.Fatal(err)
+	}
+	if len(mp.Messages) != 1 || mp.Header.Sequence != 1 {
+		t.Fatalf("bad retransmission reply: %d messages at seq %d", len(mp.Messages), mp.Header.Sequence)
+	}
+	if sw.Stats().RetxRequests.Load() != 1 {
+		t.Fatalf("valid request not counted: RetxRequests = %d", sw.Stats().RetxRequests.Load())
+	}
+}

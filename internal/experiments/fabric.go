@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"camus/internal/compiler"
+	"camus/internal/fabric"
+	"camus/internal/faults"
+	"camus/internal/lang"
+	"camus/internal/netsim"
+	"camus/internal/workload"
+)
+
+// FabricPoint summarizes one spine mode of the two-hop fabric experiment.
+type FabricPoint struct {
+	Mode          string        `json:"mode"`
+	Subscribers   int           `json:"subscribers"`
+	Leaves        int           `json:"leaves"`
+	TotalMsgs     int           `json:"total_msgs"`
+	DeliveredMsgs int           `json:"delivered_msgs"`
+	UplinkMsgs    int           `json:"uplink_msgs"`
+	DownlinkMsgs  int           `json:"downlink_msgs"`
+	InterSwitchMB float64       `json:"inter_switch_mb"`
+	HostMB        float64       `json:"host_mb"`
+	LeafEntries   int           `json:"leaf_entries"`
+	SpineEntries  int           `json:"spine_entries"`
+	UpEntries     int           `json:"up_entries"`
+	Recovered     uint64        `json:"recovered_packets"`
+	WorstP99      time.Duration `json:"worst_p99_ns"`
+	CoverVerified bool          `json:"cover_verified"`
+}
+
+// EntryCompression is how many table entries the spine saves: installed
+// leaf entries per spine entry.
+func (p FabricPoint) EntryCompression() float64 {
+	if p.SpineEntries == 0 {
+		return 0
+	}
+	return float64(p.LeafEntries) / float64(p.SpineEntries)
+}
+
+// FabricCovering is the fabric-scaling figure: N subscribers behind a
+// two-leaf/one-spine topology, each watching a few symbols — half of them
+// price-qualified, which is precisely what the spine's covers quantify
+// away. Both spine modes run the same feed over inter-switch links under
+// a 1% drop + 0.5% dup + reorder plan (recovered by the simulated relay,
+// as in the live fabric), so the comparison isolates what the covering
+// tier changes: bytes and messages crossing the fabric, and the spine's
+// table footprint versus the union of leaf rules. The covering run also
+// proves containment — no leaf predicate escapes its cover — via the BDD
+// implication check before any traffic flows.
+func FabricCovering(subscribers, leaves int, seed int64) ([]FabricPoint, error) {
+	if subscribers <= 0 {
+		subscribers = 16
+	}
+	if leaves <= 0 {
+		leaves = 2
+	}
+	// Subscriber h watches 3 symbols from a pool of 40; every other
+	// subscription is price-qualified, so leaf rules are strictly finer
+	// than their symbol-only covers.
+	var src strings.Builder
+	hosts := make([]int, subscribers)
+	for s := 0; s < subscribers; s++ {
+		h := s + 1
+		hosts[s] = h
+		for k := 0; k < 3; k++ {
+			sym := workload.StockSymbol((int(seed)+s*3+k)%40 + 1)
+			if k%2 == 1 {
+				fmt.Fprintf(&src, "stock == %s && price > %d : fwd(%d)\n", sym, 3000+1000*k, h)
+			} else {
+				fmt.Fprintf(&src, "stock == %s : fwd(%d)\n", sym, h)
+			}
+		}
+	}
+	rules, err := lang.ParseRules(src.String())
+	if err != nil {
+		return nil, err
+	}
+	// The containment proof, stated standalone: every leaf's full program
+	// implies its spine cover.
+	if err := FabricVerifyAll(rules, leaves); err != nil {
+		return nil, err
+	}
+
+	feedCfg := workload.SyntheticFeedConfig()
+	feedCfg.Duration = 50 * time.Millisecond
+	feedCfg.Seed = seed
+	feed := workload.GenerateFeed(feedCfg)
+
+	chaos := &faults.Plan{Seed: seed + 1, Drop: 0.01, Duplicate: 0.005, Reorder: 0.01}
+	var out []FabricPoint
+	for _, mode := range []netsim.FabricMode{netsim.FabricCovering, netsim.FabricBroadcast} {
+		r, err := netsim.RunFabric(netsim.FabricSimConfig{
+			Feed:         feed,
+			Rules:        rules,
+			Leaves:       leaves,
+			Hosts:        hosts,
+			Mode:         mode,
+			LinkFaults:   chaos,
+			VerifyCovers: mode == netsim.FabricCovering,
+		})
+		if err != nil {
+			return nil, err
+		}
+		worst := time.Duration(0)
+		delivered := 0
+		for _, ps := range r.PerHost {
+			delivered += ps.DeliveredMsgs
+			if ps.Latency.Count() > 0 {
+				if p := ps.Latency.Percentile(99); p > worst {
+					worst = p
+				}
+			}
+		}
+		out = append(out, FabricPoint{
+			Mode:          mode.String(),
+			Subscribers:   subscribers,
+			Leaves:        leaves,
+			TotalMsgs:     r.TotalMsgs,
+			DeliveredMsgs: delivered,
+			UplinkMsgs:    r.UplinkMsgs,
+			DownlinkMsgs:  r.DownlinkMsgs,
+			InterSwitchMB: float64(r.InterSwitchBytes()) / 1e6,
+			HostMB:        float64(r.HostBytes) / 1e6,
+			LeafEntries:   r.LeafEntries,
+			SpineEntries:  r.SpineEntries,
+			UpEntries:     r.UpEntries,
+			Recovered:     r.Recovered,
+			WorstP99:      worst,
+			CoverVerified: mode == netsim.FabricCovering,
+		})
+	}
+	return out, nil
+}
+
+// FormatFabric renders the covering-compression comparison.
+func FormatFabric(pts []FabricPoint) string {
+	var b strings.Builder
+	if len(pts) > 0 {
+		fmt.Fprintf(&b, "Two-hop fabric, %d subscribers behind %d leaves (chaos on inter-switch links)\n",
+			pts[0].Subscribers, pts[0].Leaves)
+	}
+	fmt.Fprintf(&b, "%-16s %10s %12s %12s %12s %10s %10s\n",
+		"spine", "fabric-MB", "uplink-msgs", "leaf-entries", "spine-entries", "compress", "recovered")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%-16s %10.2f %12d %12d %12d %9.1fx %10d\n",
+			p.Mode, p.InterSwitchMB, p.UplinkMsgs, p.LeafEntries, p.SpineEntries,
+			p.EntryCompression(), p.Recovered)
+	}
+	if len(pts) == 2 && pts[0].InterSwitchMB > 0 {
+		fmt.Fprintf(&b, "covering spine moves %.1fx fewer fabric bytes than broadcast\n",
+			pts[1].InterSwitchMB/pts[0].InterSwitchMB)
+	}
+	return b.String()
+}
+
+// FabricVerifyAll re-proves containment for every leaf of the experiment's
+// rule set outside the simulator — the standalone check `camus-bench
+// -fabric` reports alongside the figure.
+func FabricVerifyAll(rules []lang.Rule, leaves int) error {
+	sp := workload.ITCHSpec()
+	parts, err := fabric.Place(rules, leaves)
+	if err != nil {
+		return err
+	}
+	for j, part := range parts {
+		cover, err := fabric.ComputeCover(sp, part, fabric.CoverOptions{})
+		if err != nil {
+			return err
+		}
+		coverProg, err := fabric.SpineProgram(sp, []fabric.Cover{cover}, []int{j}, compiler.Options{})
+		if err != nil {
+			return err
+		}
+		full, err := compiler.Compile(sp, part, compiler.Options{})
+		if err != nil {
+			return err
+		}
+		ok, witness, err := fabric.VerifyCover(full, coverProg)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("leaf %d predicate escapes its cover at %v", j, witness)
+		}
+	}
+	return nil
+}

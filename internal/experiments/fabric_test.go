@@ -1,0 +1,38 @@
+package experiments
+
+import "testing"
+
+// TestFabricCovering pins the acceptance claims of the fabric figure: the
+// covering spine delivers exactly what the broadcast spine delivers while
+// moving measurably fewer fabric bytes, its table footprint is measurably
+// coarser than the union of leaf rules, and the BDD containment proof ran.
+func TestFabricCovering(t *testing.T) {
+	pts, err := FabricCovering(16, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want covering+broadcast", len(pts))
+	}
+	cov, bro := pts[0], pts[1]
+	if !cov.CoverVerified {
+		t.Fatal("covering run skipped the containment proof")
+	}
+	if cov.DeliveredMsgs != bro.DeliveredMsgs {
+		t.Fatalf("covering delivered %d, broadcast %d — covers changed delivery",
+			cov.DeliveredMsgs, bro.DeliveredMsgs)
+	}
+	if cov.DeliveredMsgs == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if cov.InterSwitchMB >= bro.InterSwitchMB {
+		t.Fatalf("covering fabric bytes %.2fMB not below broadcast %.2fMB",
+			cov.InterSwitchMB, bro.InterSwitchMB)
+	}
+	if c := cov.EntryCompression(); c <= 1 {
+		t.Fatalf("spine cover not coarser than leaf rules: compression %.2fx", c)
+	}
+	if cov.Recovered == 0 {
+		t.Fatal("chaos plan never exercised recovery")
+	}
+}

@@ -1,0 +1,191 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"camus/internal/itch"
+)
+
+// healthSession frames a leaf's identity as a MoldUDP64 session
+// ("LEAF003") so liveness reuses the fabric's one wire codec.
+func healthSession(leaf int) [10]byte {
+	var h itch.MoldHeader
+	h.SetSession(fmt.Sprintf("LEAF%03d", leaf))
+	return h.Session
+}
+
+// leafFromSession decodes a health session back to a leaf index.
+func leafFromSession(s string) (int, bool) {
+	num, ok := strings.CutPrefix(s, "LEAF")
+	if !ok {
+		return 0, false
+	}
+	leaf, err := strconv.Atoi(num)
+	if err != nil || leaf < 0 {
+		return 0, false
+	}
+	return leaf, true
+}
+
+// heartbeater announces one leaf's liveness to one spine: a MoldUDP64
+// heartbeat every period on the leaf↔spine link's health channel.
+type heartbeater struct {
+	conn   *net.UDPConn
+	dst    *net.UDPAddr
+	sess   [10]byte
+	period time.Duration
+	seq    uint64
+	broken atomic.Bool
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+func newHeartbeater(leaf int, dst *net.UDPAddr, period time.Duration) (*heartbeater, error) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("fabric: heartbeater: %w", err)
+	}
+	return &heartbeater{
+		conn:   conn,
+		dst:    dst,
+		sess:   healthSession(leaf),
+		period: period,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}, nil
+}
+
+func (h *heartbeater) run() {
+	defer close(h.done)
+	t := time.NewTicker(h.period)
+	defer t.Stop()
+	for {
+		select {
+		case <-h.stop:
+			return
+		case <-t.C:
+			if h.broken.Load() {
+				continue
+			}
+			h.seq++
+			_, _ = h.conn.WriteToUDP(itch.HeartbeatBytes(h.sess, h.seq), h.dst)
+		}
+	}
+}
+
+// Break silences the heartbeater without stopping it — the liveness half
+// of a link failure.
+func (h *heartbeater) Break() { h.broken.Store(true) }
+
+func (h *heartbeater) Close() {
+	h.stopOnce.Do(func() { close(h.stop) })
+	<-h.done
+	h.conn.Close()
+}
+
+// healthMonitor is one spine's view of its leaf links: it reads leaf
+// heartbeats off a dedicated health socket and declares a link dead —
+// once, latched — when a leaf falls silent past the timeout. All leaves
+// are armed as live at start, so a leaf that never speaks is detected
+// too.
+type healthMonitor struct {
+	conn    *net.UDPConn
+	timeout time.Duration
+	onDown  func(leaf int)
+
+	mu       sync.Mutex
+	lastSeen []time.Time
+	down     []bool
+
+	done chan struct{}
+}
+
+func newHealthMonitor(leaves int, timeout time.Duration, onDown func(leaf int)) (*healthMonitor, error) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("fabric: health monitor: %w", err)
+	}
+	return &healthMonitor{
+		conn:     conn,
+		timeout:  timeout,
+		onDown:   onDown,
+		lastSeen: make([]time.Time, leaves),
+		down:     make([]bool, leaves),
+		done:     make(chan struct{}),
+	}, nil
+}
+
+// Addr is where the leaves' heartbeaters send.
+func (m *healthMonitor) Addr() *net.UDPAddr { return m.conn.LocalAddr().(*net.UDPAddr) }
+
+func (m *healthMonitor) run() {
+	defer close(m.done)
+	now := time.Now()
+	m.mu.Lock()
+	for j := range m.lastSeen {
+		m.lastSeen[j] = now
+	}
+	m.mu.Unlock()
+
+	poll := m.timeout / 4
+	if poll < time.Millisecond {
+		poll = time.Millisecond
+	}
+	buf := make([]byte, 256)
+	var hdr itch.MoldHeader
+	for {
+		m.conn.SetReadDeadline(time.Now().Add(poll))
+		n, _, err := m.conn.ReadFromUDP(buf)
+		switch {
+		case err == nil:
+			if hdr.DecodeFromBytes(buf[:n]) != nil {
+				break
+			}
+			if leaf, ok := leafFromSession(hdr.SessionString()); ok && leaf < len(m.lastSeen) {
+				m.mu.Lock()
+				m.lastSeen[leaf] = time.Now()
+				m.mu.Unlock()
+			}
+		case errors.Is(err, net.ErrClosed):
+			return
+		default:
+			var ne net.Error
+			if !errors.As(err, &ne) || !ne.Timeout() {
+				return
+			}
+		}
+		m.sweep()
+	}
+}
+
+// sweep latches links whose leaf has been silent past the timeout and
+// fires onDown outside the lock (it re-enters the fabric).
+func (m *healthMonitor) sweep() {
+	now := time.Now()
+	var dead []int
+	m.mu.Lock()
+	for j := range m.lastSeen {
+		if !m.down[j] && now.Sub(m.lastSeen[j]) > m.timeout {
+			m.down[j] = true
+			dead = append(dead, j)
+		}
+	}
+	m.mu.Unlock()
+	for _, j := range dead {
+		m.onDown(j)
+	}
+}
+
+func (m *healthMonitor) Close() {
+	m.conn.Close()
+	<-m.done
+}

@@ -1,0 +1,417 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"camus/internal/compiler"
+	"camus/internal/fabric"
+	"camus/internal/faults"
+	"camus/internal/itch"
+	"camus/internal/lang"
+	"camus/internal/pipeline"
+	"camus/internal/spec"
+	"camus/internal/stats"
+	"camus/internal/workload"
+)
+
+// FabricMode selects what the spine tier runs.
+type FabricMode int
+
+// Spine behaviors.
+const (
+	// FabricCovering: leaves run full rule sets, spines run covering rule
+	// sets — a message crosses an inter-switch link iff some subscriber
+	// on the far side could match it (the fabric package's live
+	// topology, mirrored into the simulator).
+	FabricCovering FabricMode = iota
+	// FabricBroadcast: spines flood every message to every leaf; leaves
+	// still filter. The baseline the covering fabric's compression is
+	// measured against.
+	FabricBroadcast
+)
+
+func (m FabricMode) String() string {
+	if m == FabricBroadcast {
+		return "broadcast-spine"
+	}
+	return "covering-spine"
+}
+
+// RecoveredStats tallies one recovering inter-switch hop.
+type RecoveredStats struct {
+	Sent       uint64 // packets offered
+	Recovered  uint64 // packets redelivered after a simulated drop
+	Duplicated uint64 // wire duplicates (deduplicated at the far end)
+	Reordered  uint64
+	Delayed    uint64
+	RetxBytes  int // extra wire bytes spent on recovery and duplicates
+}
+
+// RecoveringLink models an inter-switch hop terminated by a MoldUDP64
+// gap-recovering receiver (the live fabric's relay): every packet is
+// delivered exactly once, but faults cost time and wire bytes. A dropped
+// packet is redelivered after the gap-request round trip, a duplicate
+// burns bandwidth and is deduplicated, a reordered packet waits in the
+// resequencing buffer. Decisions come from a seeded faults.Injector, so
+// runs are replayable.
+type RecoveringLink struct {
+	sim   *Sim
+	link  *Link
+	inj   *faults.Injector
+	delay time.Duration // gap-detect + request + retransmit round trip
+	stats RecoveredStats
+}
+
+// NewRecoveringLink wraps link with plan; recovery is the simulated cost
+// of one gap-request round trip.
+func NewRecoveringLink(sim *Sim, link *Link, plan faults.Plan, recovery time.Duration) *RecoveringLink {
+	return &RecoveringLink{sim: sim, link: link, inj: faults.NewInjector(plan), delay: recovery}
+}
+
+// Stats returns the hop's fault-and-recovery tally.
+func (l *RecoveringLink) Stats() RecoveredStats { return l.stats }
+
+// MaxQueue exposes the underlying link's transmit-queue high-water mark.
+func (l *RecoveringLink) MaxQueue() int { return l.link.MaxQueue() }
+
+// Send transmits a packet; deliver runs exactly once at the far end.
+func (l *RecoveringLink) Send(bytes int, deliver func()) {
+	l.stats.Sent++
+	switch d := l.inj.Next(); {
+	case d.Drop:
+		// The original serializes and dies on the wire; the receiver
+		// notices the sequence gap and the retransmission traverses the
+		// link again one recovery round trip later.
+		l.stats.Recovered++
+		l.stats.RetxBytes += bytes
+		l.link.Send(bytes, func() {})
+		l.sim.After(l.delay, func() { l.link.Send(bytes, deliver) })
+	case d.Duplicate:
+		// Both copies burn wire time; the far end's sequence numbers
+		// deduplicate, so deliver fires once.
+		l.stats.Duplicated++
+		l.stats.RetxBytes += bytes
+		l.link.Send(bytes, deliver)
+		l.link.Send(bytes, func() {})
+	case d.Reorder:
+		// The packet arrives behind its successor; the resequencing
+		// buffer holds it for one hold interval before release.
+		l.stats.Reordered++
+		l.link.Send(bytes, func() { l.sim.After(reorderHold, deliver) })
+	case d.Delay:
+		l.stats.Delayed++
+		l.link.Send(bytes, func() { l.sim.After(l.inj.DelayBy(), deliver) })
+	default:
+		l.link.Send(bytes, deliver)
+	}
+}
+
+// FabricSimConfig describes one simulated two-hop fabric run: publishers
+// inject the feed at leaf ingress, leaf up planes forward what the global
+// cover admits onto the spine, the spine forwards per-leaf covers down,
+// and leaf down planes run the full subscriber rules.
+type FabricSimConfig struct {
+	Feed  []workload.FeedPacket
+	Spec  *spec.Spec
+	Rules []lang.Rule
+
+	Leaves int
+	Hosts  []int // subscriber host ids; host h hangs off leaf h mod Leaves
+	Mode   FabricMode
+
+	Cover    fabric.CoverOptions
+	Compiler compiler.Options
+	Host     HostConfig
+	// Propagation is the one-way per-hop delay.
+	Propagation time.Duration
+	// LinkFaults, when enabled, wraps every inter-switch hop in a
+	// RecoveringLink; each hop's injector gets a distinct seed offset.
+	LinkFaults *faults.Plan
+	// RecoveryDelay is the gap-request round trip; defaults to 20µs.
+	RecoveryDelay time.Duration
+	// PublishLeaf maps feed packet index to its ingress leaf; defaults to
+	// round-robin.
+	PublishLeaf func(i int) int
+	// VerifyCovers proves, per leaf, that the leaf program is contained
+	// in its spine cover before the run (the BDD implication check).
+	VerifyCovers bool
+}
+
+// FabricSimResult is the outcome of one fabric run: per-host delivery and
+// the inter-switch byte economics the covering tier exists to improve.
+type FabricSimResult struct {
+	Mode      FabricMode
+	TotalMsgs int
+	PerHost   map[int]*PortStats
+
+	UplinkMsgs    int // messages crossing leaf→spine, post up-plane filter
+	DownlinkMsgs  int // messages crossing spine→leaf, post cover filter
+	UplinkBytes   int
+	DownlinkBytes int
+	HostBytes     int
+
+	// Recovered counts packets redelivered across inter-switch hops; zero
+	// means the fault plan never fired.
+	Recovered uint64
+	RetxBytes int
+
+	// Program sizes: the compression argument in table entries.
+	LeafEntries  int // sum of down-plane programs (full rules)
+	SpineEntries int // the spine's covering program
+	UpEntries    int // one leaf's uplink (global cover) program
+}
+
+// InterSwitchBytes sums the bytes that crossed fabric-internal links,
+// recovery overhead included — the quantity covers compress.
+func (r *FabricSimResult) InterSwitchBytes() int {
+	return r.UplinkBytes + r.DownlinkBytes + r.RetxBytes
+}
+
+// RunFabric simulates the two-tier fabric and returns delivery and byte
+// statistics. Deliveries are exact in either mode — the covering tier
+// only changes what crosses the fabric's internal links.
+func RunFabric(cfg FabricSimConfig) (*FabricSimResult, error) {
+	if cfg.Spec == nil {
+		cfg.Spec = workload.ITCHSpec()
+	}
+	if cfg.Leaves <= 0 {
+		cfg.Leaves = 2
+	}
+	if len(cfg.Hosts) == 0 {
+		return nil, fmt.Errorf("netsim: fabric run needs subscriber hosts")
+	}
+	if cfg.Host.NICGbps == 0 {
+		cfg.Host = DefaultHostConfig()
+	}
+	if cfg.Propagation == 0 {
+		cfg.Propagation = 250 * time.Nanosecond
+	}
+	if cfg.RecoveryDelay == 0 {
+		cfg.RecoveryDelay = 20 * time.Microsecond
+	}
+	if cfg.PublishLeaf == nil {
+		cfg.PublishLeaf = func(i int) int { return i % cfg.Leaves }
+	}
+
+	// Compile the member programs exactly as the live fabric controller
+	// does: full rules per leaf down plane, per-leaf covers on the spine,
+	// the global cover on every up plane.
+	parts, err := fabric.Place(cfg.Rules, cfg.Leaves)
+	if err != nil {
+		return nil, err
+	}
+	res := &FabricSimResult{Mode: cfg.Mode, PerHost: make(map[int]*PortStats, len(cfg.Hosts))}
+	downSw := make([]*pipeline.Switch, cfg.Leaves)
+	downEx := make([]*itch.Extractor, cfg.Leaves)
+	covers := make([]fabric.Cover, cfg.Leaves)
+	downPorts := make([]int, cfg.Leaves)
+	for j := range parts {
+		prog, err := compiler.Compile(cfg.Spec, parts[j], cfg.Compiler)
+		if err != nil {
+			return nil, fmt.Errorf("netsim: leaf %d: %w", j, err)
+		}
+		res.LeafEntries += prog.Stats.TableEntries
+		if downSw[j], err = pipeline.New(prog, pipeline.DefaultConfig()); err != nil {
+			return nil, err
+		}
+		if downEx[j], err = itch.NewExtractor(prog); err != nil {
+			return nil, err
+		}
+		if covers[j], err = fabric.ComputeCover(cfg.Spec, parts[j], cfg.Cover); err != nil {
+			return nil, err
+		}
+		downPorts[j] = j
+		if cfg.VerifyCovers {
+			coverProg, err := fabric.SpineProgram(cfg.Spec, []fabric.Cover{covers[j]}, []int{j}, cfg.Compiler)
+			if err != nil {
+				return nil, err
+			}
+			ok, witness, err := fabric.VerifyCover(downSw[j].Program(), coverProg)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, fmt.Errorf("netsim: leaf %d predicate escapes its cover at %v", j, witness)
+			}
+		}
+	}
+	spineProg, err := fabric.SpineProgram(cfg.Spec, covers, downPorts, cfg.Compiler)
+	if err != nil {
+		return nil, err
+	}
+	res.SpineEntries = spineProg.Stats.TableEntries
+	spineSw, err := pipeline.New(spineProg, pipeline.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	spineEx, err := itch.NewExtractor(spineProg)
+	if err != nil {
+		return nil, err
+	}
+	global, err := fabric.ComputeCover(cfg.Spec, cfg.Rules, cfg.Cover)
+	if err != nil {
+		return nil, err
+	}
+	upProg, err := fabric.SpineProgram(cfg.Spec, []fabric.Cover{global}, []int{0}, cfg.Compiler)
+	if err != nil {
+		return nil, err
+	}
+	res.UpEntries = upProg.Stats.TableEntries
+	upSw, err := pipeline.New(upProg, pipeline.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	upEx, err := itch.NewExtractor(upProg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Topology: publisher→leaf links, one recovering uplink per leaf,
+	// one recovering downlink per leaf, one host link + CPU per host.
+	sim := NewSim()
+	var recovering []*RecoveringLink
+	interSwitch := func(seed int64) Carrier {
+		link := NewLink(sim, cfg.Host.NICGbps, cfg.Propagation)
+		if cfg.LinkFaults == nil || !cfg.LinkFaults.Enabled() {
+			return link
+		}
+		plan := *cfg.LinkFaults
+		plan.Seed += seed
+		rl := NewRecoveringLink(sim, link, plan, cfg.RecoveryDelay)
+		recovering = append(recovering, rl)
+		return rl
+	}
+	pubLinks := make([]*Link, cfg.Leaves)
+	uplinks := make([]Carrier, cfg.Leaves)
+	downlinks := make([]Carrier, cfg.Leaves)
+	for j := 0; j < cfg.Leaves; j++ {
+		pubLinks[j] = NewLink(sim, cfg.Host.NICGbps, cfg.Propagation)
+		uplinks[j] = interSwitch(int64(1 + j))
+		downlinks[j] = interSwitch(int64(101 + j))
+	}
+	hostLinks := make(map[int]*Link, len(cfg.Hosts))
+	hostCPU := make(map[int]*Server, len(cfg.Hosts))
+	hostLeaf := make(map[int]int, len(cfg.Hosts))
+	for _, h := range cfg.Hosts {
+		res.PerHost[h] = &PortStats{Latency: &stats.Dist{}}
+		hostLinks[h] = NewLink(sim, cfg.Host.NICGbps, cfg.Propagation)
+		hostCPU[h] = NewServer(sim)
+		hostLeaf[h] = h % cfg.Leaves
+	}
+
+	pipeUp, pipeSpine := upSw.Latency(), spineSw.Latency()
+	var upBatch, spineBatch, downBatch evalBatch
+
+	deliverHost := func(h int, pubAt time.Duration, n, bytes int) {
+		ps := res.PerHost[h]
+		cost := cfg.Host.PerPacketCost + time.Duration(n)*cfg.Host.PerMessageCost
+		hostCPU[h].Submit(cost, func() {
+			ps.DeliveredMsgs += n
+			ps.DeliveredBytes += bytes
+			ps.Latency.Add(sim.Now() - pubAt)
+		})
+	}
+
+	// atLeafDown runs one arrived datagram through leaf j's down plane
+	// (full rules) and fans matched messages out to its hosts.
+	atLeafDown := func(j int, pubAt time.Duration, orders []itch.AddOrder) {
+		sim.After(downSw[j].Latency(), func() {
+			outs := downBatch.run(downSw[j], downEx[j], orders, sim.Now())
+			perHost := make(map[int][]itch.AddOrder)
+			for i := range outs {
+				if outs[i].Dropped {
+					continue
+				}
+				for _, h := range outs[i].Ports {
+					if hostLeaf[h] == j {
+						perHost[h] = append(perHost[h], orders[i])
+					}
+				}
+			}
+			for h, msgs := range perHost {
+				h, msgs := h, msgs
+				bytes := packetBytes(len(msgs))
+				res.HostBytes += bytes
+				hostLinks[h].Send(bytes, func() {
+					deliverHost(h, pubAt, len(msgs), bytes)
+				})
+			}
+		})
+	}
+
+	// atSpine forwards an uplinked datagram toward every leaf whose cover
+	// admits at least one of its messages (or floods, in broadcast mode).
+	atSpine := func(pubAt time.Duration, orders []itch.AddOrder) {
+		sim.After(pipeSpine, func() {
+			perLeaf := make(map[int][]itch.AddOrder)
+			if cfg.Mode == FabricBroadcast {
+				for j := 0; j < cfg.Leaves; j++ {
+					perLeaf[j] = orders
+				}
+			} else {
+				outs := spineBatch.run(spineSw, spineEx, orders, sim.Now())
+				for i := range outs {
+					if outs[i].Dropped {
+						continue
+					}
+					for _, j := range outs[i].Ports {
+						perLeaf[j] = append(perLeaf[j], orders[i])
+					}
+				}
+			}
+			for j, msgs := range perLeaf {
+				j, msgs := j, msgs
+				bytes := packetBytes(len(msgs))
+				res.DownlinkMsgs += len(msgs)
+				res.DownlinkBytes += bytes
+				downlinks[j].Send(bytes, func() {
+					atLeafDown(j, pubAt, msgs)
+				})
+			}
+		})
+	}
+
+	for i, fp := range cfg.Feed {
+		fp := fp
+		leaf := cfg.PublishLeaf(i)
+		res.TotalMsgs += len(fp.Orders)
+		sim.Schedule(fp.At, func() {
+			pubLinks[leaf].Send(packetBytes(len(fp.Orders)), func() {
+				sim.After(pipeUp, func() {
+					// Up plane: the global cover gates the uplink — in
+					// broadcast mode everything climbs.
+					kept := fp.Orders
+					if cfg.Mode == FabricCovering {
+						outs := upBatch.run(upSw, upEx, fp.Orders, sim.Now())
+						kept = kept[:0:0]
+						for i := range outs {
+							if !outs[i].Dropped {
+								kept = append(kept, fp.Orders[i])
+							}
+						}
+					}
+					if len(kept) == 0 {
+						return
+					}
+					bytes := packetBytes(len(kept))
+					res.UplinkMsgs += len(kept)
+					res.UplinkBytes += bytes
+					uplinks[leaf].Send(bytes, func() {
+						atSpine(fp.At, kept)
+					})
+				})
+			})
+		})
+	}
+	sim.Run()
+	for h, cpu := range hostCPU {
+		res.PerHost[h].MaxHostQueue = cpu.MaxQueue()
+	}
+	for _, rl := range recovering {
+		s := rl.Stats()
+		res.Recovered += s.Recovered
+		res.RetxBytes += s.RetxBytes
+	}
+	return res, nil
+}

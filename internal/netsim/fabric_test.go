@@ -1,0 +1,140 @@
+package netsim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"camus/internal/faults"
+	"camus/internal/itch"
+	"camus/internal/lang"
+	"camus/internal/workload"
+)
+
+// fabricFeed builds a deterministic feed: packets of three orders, stocks
+// cycling S000..S(stocks-1), one packet per interval.
+func fabricFeed(packets, stocks int) []workload.FeedPacket {
+	feed := make([]workload.FeedPacket, packets)
+	msg := 0
+	for i := range feed {
+		feed[i].At = time.Duration(i) * 2 * time.Microsecond
+		for k := 0; k < 3; k++ {
+			var o itch.AddOrder
+			o.SetStock(workload.StockSymbol(msg % stocks))
+			o.Shares = uint32(msg + 1)
+			o.Price = 1000
+			o.Side = itch.Buy
+			feed[i].Orders = append(feed[i].Orders, o)
+			msg++
+		}
+	}
+	return feed
+}
+
+func fabricRules(t *testing.T, hosts []int, stocks int) []lang.Rule {
+	t.Helper()
+	var src strings.Builder
+	for _, h := range hosts {
+		fmt.Fprintf(&src, "stock == %s : fwd(%d)\n", workload.StockSymbol(h%stocks), h)
+	}
+	rules, err := lang.ParseRules(src.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rules
+}
+
+// TestFabricSimExactDelivery: covering and broadcast spines deliver the
+// identical per-host message counts — the covers change only what crosses
+// the fabric's internal links, which must shrink measurably.
+func TestFabricSimExactDelivery(t *testing.T) {
+	hosts := []int{1, 2, 3, 4}
+	rules := fabricRules(t, hosts, 3)
+	// Six stocks published, three subscribed: half the feed is dark.
+	feed := fabricFeed(200, 6)
+
+	run := func(mode FabricMode) *FabricSimResult {
+		res, err := RunFabric(FabricSimConfig{
+			Feed: feed, Rules: rules, Leaves: 2, Hosts: hosts,
+			Mode: mode, VerifyCovers: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	cov, bro := run(FabricCovering), run(FabricBroadcast)
+
+	// 600 messages, stocks cycle 0..5; host h subscribes S(h%3).
+	perStock := 100
+	for _, h := range hosts {
+		want := perStock
+		if got := cov.PerHost[h].DeliveredMsgs; got != want {
+			t.Fatalf("covering: host %d delivered %d, want %d", h, got, want)
+		}
+		if got := bro.PerHost[h].DeliveredMsgs; got != want {
+			t.Fatalf("broadcast: host %d delivered %d, want %d", h, got, want)
+		}
+	}
+
+	// Covering uplinks carry only covered stocks (S000-S002 of six): the
+	// dark half of the feed never leaves its leaf.
+	if cov.UplinkMsgs != 300 {
+		t.Fatalf("covering uplink carried %d msgs, want 300", cov.UplinkMsgs)
+	}
+	if bro.UplinkMsgs != 600 {
+		t.Fatalf("broadcast uplink carried %d msgs, want 600", bro.UplinkMsgs)
+	}
+	if cov.InterSwitchBytes() >= bro.InterSwitchBytes() {
+		t.Fatalf("covering fabric bytes %d not below broadcast %d",
+			cov.InterSwitchBytes(), bro.InterSwitchBytes())
+	}
+	if cov.SpineEntries >= cov.LeafEntries {
+		t.Fatalf("spine cover (%d entries) not coarser than leaf rules (%d)",
+			cov.SpineEntries, cov.LeafEntries)
+	}
+}
+
+// TestFabricSimRecovery: with faults on every inter-switch hop, delivery
+// counts are unchanged (the recovering links hide loss, as the live
+// relays do) but recovery demonstrably happened and cost bytes and tail
+// latency.
+func TestFabricSimRecovery(t *testing.T) {
+	hosts := []int{1, 2, 3, 4}
+	rules := fabricRules(t, hosts, 3)
+	feed := fabricFeed(400, 3)
+
+	run := func(plan *faults.Plan) *FabricSimResult {
+		res, err := RunFabric(FabricSimConfig{
+			Feed: feed, Rules: rules, Leaves: 2, Hosts: hosts,
+			Mode: FabricCovering, LinkFaults: plan,
+			RecoveryDelay: 50 * time.Microsecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	clean := run(nil)
+	chaos := run(&faults.Plan{Seed: 7, Drop: 0.02, Duplicate: 0.01, Reorder: 0.01})
+
+	if chaos.Recovered == 0 {
+		t.Fatal("fault plan never dropped a packet; chaos vacuous")
+	}
+	if chaos.RetxBytes == 0 {
+		t.Fatal("recovery cost no bytes")
+	}
+	for _, h := range hosts {
+		if c, f := clean.PerHost[h].DeliveredMsgs, chaos.PerHost[h].DeliveredMsgs; c != f {
+			t.Fatalf("host %d: chaos delivered %d, clean %d — recovery lost messages", h, f, c)
+		}
+	}
+	// Recovery shows up where it should: the worst-case delivery latency.
+	for _, h := range hosts {
+		c, f := clean.PerHost[h].Latency.Max(), chaos.PerHost[h].Latency.Max()
+		if f <= c {
+			t.Fatalf("host %d: chaos max latency %v not above clean %v", h, f, c)
+		}
+	}
+}
