@@ -357,6 +357,12 @@ type (
 	UDPSwitch = dataplane.Switch
 	// UDPSwitchConfig configures ListenUDP.
 	UDPSwitchConfig = dataplane.Config
+	// SubscriberConfig describes one subscriber endpoint for
+	// UDPSwitch.Subscribe.
+	SubscriberConfig = dataplane.SubscriberConfig
+	// Subscription is the owning handle for one attached subscriber;
+	// Close detaches it.
+	Subscription = dataplane.Subscription
 )
 
 // ListenUDP binds the dataplane's ingress socket and installs the initial

@@ -41,6 +41,9 @@ func main() {
 		rules    = flag.Int("rules", 10000, "installed subscriptions for -dataplane")
 		packets  = flag.Int("packets", 200000, "replayed ingress datagrams for -dataplane")
 		ingress  = flag.String("ingress", "auto", "ingress mode for -dataplane: auto, shared, reuseport, reshard")
+		fanoutB  = flag.Bool("fanout", false, "with -dataplane: add the multicast egress fanout series (encode-once vs per-subscriber encode)")
+		portsF   = flag.String("ports", "", "comma-separated subscriber counts for the -fanout series (default 100,1000,10000)")
+		fanoutG  = flag.Int("fanout-groups", 20, "compiled multicast groups for the -fanout series")
 		fabricB  = flag.Bool("fabric", false, "shorthand for -fig fabric: two-hop fabric covering-compression figure")
 		subs     = flag.Int("subscribers", 16, "subscriber hosts for -fabric")
 		leaves   = flag.Int("leaves", 2, "leaf switches for -fabric")
@@ -49,7 +52,7 @@ func main() {
 	if *churn {
 		*fig = "churn"
 	}
-	if *dplane {
+	if *dplane || *fanoutB {
 		*fig = "dataplane"
 	}
 	if *fabricB {
@@ -217,19 +220,38 @@ func main() {
 				IngressMode: mode,
 			})
 			fatal(err)
+			var fanoutPts []experiments.EgressFanoutPoint
+			if *fanoutB {
+				var portList []int
+				if *portsF != "" {
+					for _, s := range strings.Split(*portsF, ",") {
+						n, err := strconv.Atoi(strings.TrimSpace(s))
+						fatal(err)
+						portList = append(portList, n)
+					}
+				}
+				fanoutPts, err = experiments.DataplaneFanout(experiments.EgressFanoutConfig{
+					Ports:   portList,
+					Groups:  *fanoutG,
+					Packets: *packets,
+					Seed:    *seed,
+				})
+				fatal(err)
+			}
 			if *jsonOut {
 				enc := json.NewEncoder(os.Stdout)
 				enc.SetIndent("", "  ")
 				fatal(enc.Encode(struct {
-					GOOS    string                       `json:"goos"`
-					GOARCH  string                       `json:"goarch"`
-					CPUs    int                          `json:"cpus"`
-					Rules   int                          `json:"rules"`
-					Seed    int64                        `json:"seed"`
-					Ingress string                       `json:"ingress_mode"`
-					Points  []experiments.DataplanePoint `json:"points"`
+					GOOS    string                          `json:"goos"`
+					GOARCH  string                          `json:"goarch"`
+					CPUs    int                             `json:"cpus"`
+					Rules   int                             `json:"rules"`
+					Seed    int64                           `json:"seed"`
+					Ingress string                          `json:"ingress_mode"`
+					Points  []experiments.DataplanePoint    `json:"points"`
+					Fanout  []experiments.EgressFanoutPoint `json:"fanout,omitempty"`
 				}{runtime.GOOS, runtime.GOARCH, runtime.NumCPU(), *rules, *seed,
-					dataplane.ResolveIngressMode(mode).String(), pts}))
+					dataplane.ResolveIngressMode(mode).String(), pts, fanoutPts}))
 				return
 			}
 			if *csv {
@@ -239,9 +261,21 @@ func main() {
 						p.Workers, p.Batch, p.IngressMode, p.PacketsPerSec, p.NsPerPacket, p.NsPerMsg,
 						p.WallPacketsPerSec, p.Resharded, p.AllocsPerOp, p.MBPerSec)
 				}
+				if *fanoutB {
+					fmt.Println("ports,groups,fanout,proc_ns_per_packet,perport_ns_per_packet,speedup_vs_perport,encode_once_ratio,group_bytes_saved,allocs_per_op")
+					for _, p := range fanoutPts {
+						fmt.Printf("%d,%d,%d,%.1f,%.1f,%.2f,%.4f,%d,%.3f\n",
+							p.Ports, p.Groups, p.Fanout, p.ProcNsPerPacket, p.PerPortNsPerPacket,
+							p.Speedup, p.EncodeOnceRatio, p.GroupBytesSaved, p.AllocsPerOp)
+					}
+				}
 				return
 			}
 			fmt.Print(experiments.FormatDataplane(pts))
+			if *fanoutB {
+				fmt.Println()
+				fmt.Print(experiments.FormatEgressFanout(fanoutPts))
+			}
 		case "churn":
 			reg := telemetry.NewRegistry()
 			pts, err := experiments.ChurnInstrumented(sizeList, *churnPct, *seed, reg)

@@ -161,7 +161,6 @@ func main() {
 	sw, err := dataplane.Listen(dataplane.Config{
 		Ingress:       *listen,
 		Retx:          *retx,
-		Ports:         ports,
 		Spec:          sp,
 		Subscriptions: rules,
 		Session:       *session,
@@ -174,6 +173,10 @@ func main() {
 		Telemetry:     tel,
 	})
 	fatal(err)
+	for p, a := range ports {
+		_, err := sw.Subscribe(dataplane.SubscriberConfig{Port: p, Addr: a, Group: "cli"})
+		fatal(err)
+	}
 	fmt.Fprintf(os.Stderr, "camus-switch: listening on %s (retx %s), %d ports bound, %d table entries installed\n",
 		sw.Addr(), sw.RetxAddr(), len(ports), sw.Program().Stats.TableEntries)
 	fmt.Fprintf(os.Stderr, "camus-switch: config: rules=%s spec=%s session=%q retx-buffer=%d heartbeat=%s workers=%d ingress=%s batch=%d stats=%ds fault-plan=%q admin=%q\n",
@@ -198,12 +201,13 @@ func main() {
 				case <-ctx.Done():
 					return
 				case <-tick.C:
-					s := sw.Stats()
+					m := sw.Metric
 					fmt.Fprintf(os.Stderr, "camus-switch: datagrams=%d msgs=%d matched=%d forwarded=%d unbound=%d hb=%d retx-req=%d retx-msgs=%d errs=%d\n",
-						s.Datagrams.Load(), s.Messages.Load(), s.Matched.Load(),
-						s.Forwarded.Load(), s.UnboundPort.Load(), s.Heartbeats.Load(),
-						s.RetxRequests.Load(), s.RetxMessages.Load(),
-						s.DecodeErrors.Load()+s.SendErrors.Load())
+						m("camus_dataplane_datagrams_total"), m("camus_dataplane_messages_total"),
+						m("camus_dataplane_matched_total"), m("camus_dataplane_forwarded_total"),
+						m("camus_dataplane_unbound_port_total"), m("camus_dataplane_heartbeats_total"),
+						m("camus_dataplane_retx_requests_total"), m("camus_dataplane_retx_messages_total"),
+						m("camus_dataplane_decode_errors_total")+m("camus_dataplane_send_errors_total"))
 				}
 			}
 		}()
@@ -311,17 +315,20 @@ func runFabric(sp *spec.Spec, rulesSrc string, ports portMap, plan faults.Plan, 
 					for j := 0; j < leaves; j++ {
 						down, up := fab.Leaf(j)
 						fmt.Fprintf(os.Stderr, "camus-switch: leaf %d: up matched=%d uplink-fwd=%d down matched=%d fwd=%d active-spine=%d\n",
-							j, up.Stats().Matched.Load(), fab.UplinkRelay(j).Forwarded(),
-							down.Stats().Matched.Load(), down.Stats().Forwarded.Load(), fab.ActiveSpine(j))
+							j, up.Metric("camus_dataplane_matched_total"), fab.UplinkRelay(j).Forwarded(),
+							down.Metric("camus_dataplane_matched_total"),
+							down.Metric("camus_dataplane_forwarded_total"), fab.ActiveSpine(j))
 					}
 					for s := 0; s < spines; s++ {
-						st := fab.Spine(s).Stats()
+						sp := fab.Spine(s)
 						var dn []string
 						for j := 0; j < leaves; j++ {
 							dn = append(dn, fmt.Sprintf("leaf%d=%d", j, fab.DownlinkRelay(s, j).Forwarded()))
 						}
 						fmt.Fprintf(os.Stderr, "camus-switch: spine %d: datagrams=%d matched=%d fwd=%d downlinks %s\n",
-							s, st.Datagrams.Load(), st.Matched.Load(), st.Forwarded.Load(), strings.Join(dn, " "))
+							s, sp.Metric("camus_dataplane_datagrams_total"),
+							sp.Metric("camus_dataplane_matched_total"),
+							sp.Metric("camus_dataplane_forwarded_total"), strings.Join(dn, " "))
 					}
 					for _, h := range hosts {
 						if n, ok := counts[h]; ok {
@@ -412,10 +419,10 @@ stock == S001 && shares >= 500 : fwd(2)
 	<-done1
 	<-done2
 
-	s := sw.Stats()
 	fmt.Printf("published %d datagrams / %d messages over loopback UDP\n", len(feed), totalMsgs)
 	fmt.Printf("switch:   evaluated=%d matched=%d forwarded-datagrams=%d\n",
-		s.Messages.Load(), s.Matched.Load(), s.Forwarded.Load())
+		sw.Metric("camus_dataplane_messages_total"), sw.Metric("camus_dataplane_matched_total"),
+		sw.Metric("camus_dataplane_forwarded_total"))
 	fmt.Printf("subscriber 1 (GOOGL):             %d messages\n", got1)
 	fmt.Printf("subscriber 2 (S001 block trades): %d messages\n", got2)
 	if got1 == 0 || got2 == 0 {

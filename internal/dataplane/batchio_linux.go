@@ -164,10 +164,16 @@ func newBatchWriter(c Conn) *batchWriter {
 	return bw
 }
 
-// WriteBatch sends pkts[i] to addrs[i] in one sendmmsg call and returns
-// how many datagrams the kernel accepted; the caller re-invokes with the
-// remainder on partial sends. A non-nil error refers to pkts[n].
-func (bw *batchWriter) WriteBatch(pkts [][]byte, addrs []*net.UDPAddr) (int, error) {
+// WriteBatch sends one datagram per entry in a single sendmmsg call and
+// returns how many the kernel accepted; the caller re-invokes with the
+// remainder on partial sends. A non-nil error refers to entry n.
+//
+// Entry i is pkts[i] alone when tails[i] is nil, or the scatter pair
+// pkts[i]+tails[i] when it is not — the multicast egress shape, where
+// pkts[i] is a per-port MoldUDP64 header and tails[i] a body shared by
+// every member of the group. The kernel gathers the pair on the way into
+// the skb, so member datagrams never exist contiguously in user memory.
+func (bw *batchWriter) WriteBatch(pkts, tails [][]byte, addrs []*net.UDPAddr) (int, error) {
 	n := len(pkts)
 	if n == 0 {
 		return 0, nil
@@ -175,21 +181,30 @@ func (bw *batchWriter) WriteBatch(pkts [][]byte, addrs []*net.UDPAddr) (int, err
 	if n > len(bw.hdrs) {
 		grow := n - len(bw.hdrs)
 		bw.hdrs = append(bw.hdrs, make([]mmsghdr, grow)...)
-		bw.iovs = append(bw.iovs, make([]syscall.Iovec, grow)...)
 		bw.names = append(bw.names, make([]sockaddrBuf, grow)...)
+	}
+	if 2*n > len(bw.iovs) {
+		bw.iovs = append(bw.iovs, make([]syscall.Iovec, 2*n-len(bw.iovs))...)
 	}
 	for i := 0; i < n; i++ {
 		salen, ok := putSockaddr(&bw.names[i], addrs[i])
 		if !ok {
 			return 0, syscall.EINVAL
 		}
-		bw.iovs[i].Base = &pkts[i][0]
-		bw.iovs[i].Len = uint64(len(pkts[i]))
+		iov := &bw.iovs[2*i]
+		iov.Base = &pkts[i][0]
+		iov.Len = uint64(len(pkts[i]))
 		h := &bw.hdrs[i].hdr
 		h.Name = &bw.names[i][0]
 		h.Namelen = salen
-		h.Iov = &bw.iovs[i]
+		h.Iov = iov
 		h.Iovlen = 1
+		if i < len(tails) && len(tails[i]) > 0 {
+			tv := &bw.iovs[2*i+1]
+			tv.Base = &tails[i][0]
+			tv.Len = uint64(len(tails[i]))
+			h.Iovlen = 2
+		}
 	}
 	bw.req, bw.sent, bw.errno = n, 0, 0
 	if err := bw.rc.Write(bw.writeFn); err != nil {

@@ -18,4 +18,4 @@ func newBatchWriter(Conn) *batchWriter { return nil }
 
 func (*batchReader) ReadBatch([][]byte, []int) (int, error) { return 0, nil }
 
-func (*batchWriter) WriteBatch([][]byte, []*net.UDPAddr) (int, error) { return 0, nil }
+func (*batchWriter) WriteBatch(_, _ [][]byte, _ []*net.UDPAddr) (int, error) { return 0, nil }

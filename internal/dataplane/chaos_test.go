@@ -98,9 +98,15 @@ func startChaosMode(t *testing.T, plan faults.Plan, egressOnly bool, retxBuffer 
 			return faults.WrapConn(c, &in, &eg)
 		}
 	}
+	// A second fwd target on the same predicate makes ports {1, 7} a
+	// compiled multicast group, so every chaos run drives the shared-body
+	// egress engine: the receiver's frames — and every retransmission it
+	// recovers — are served from group-encoded shared buffers. Port 7 is
+	// a plain sink socket; its copy is not asserted on, it exists to keep
+	// the group real.
 	sw, err := Listen(Config{
 		Spec:          spec.MustParse(workload.ITCHSpecSource),
-		Subscriptions: "stock == GOOGL : fwd(1)",
+		Subscriptions: "stock == GOOGL : fwd(1)\nstock == GOOGL : fwd(7)",
 		RetxBuffer:    retxBuffer,
 		Heartbeat:     20 * time.Millisecond,
 		Workers:       workers,
@@ -113,7 +119,19 @@ func startChaosMode(t *testing.T, plan faults.Plan, egressOnly bool, retxBuffer 
 	}
 	h.sw = sw
 	t.Cleanup(func() { sw.Close() })
-	if err := sw.BindPort(1, h.rcv.Addr().String()); err != nil {
+	sink, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sink.Close() })
+	sub, err := sw.Subscribe(SubscriberConfig{Port: 1, Addr: h.rcv.Addr().String(), Group: "chaos"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Port() != 1 || sub.Group() != "chaos" {
+		t.Fatalf("subscription identity: port=%d group=%q", sub.Port(), sub.Group())
+	}
+	if _, err := sw.Subscribe(SubscriberConfig{Port: 7, Addr: sink.LocalAddr().String(), Group: "chaos"}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -240,11 +258,11 @@ func (h *chaosHarness) checkInstrumentOrder(t *testing.T) {
 func (h *chaosHarness) stableMatched(t *testing.T) uint64 {
 	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)
-	last := h.sw.Stats().Matched.Load()
+	last := h.sw.stats.Matched.Load()
 	stableSince := time.Now()
 	for time.Now().Before(deadline) {
 		time.Sleep(25 * time.Millisecond)
-		cur := h.sw.Stats().Matched.Load()
+		cur := h.sw.stats.Matched.Load()
 		if cur != last {
 			last, stableSince = cur, time.Now()
 			continue
@@ -280,7 +298,7 @@ func TestChaosRecoveryFullStream(t *testing.T) {
 				t.Fatal("nothing matched")
 			}
 			deadline := time.Now().Add(20 * time.Second)
-			for h.rcv.Stats().Delivered.Load() < matched && time.Now().Before(deadline) {
+			for h.rcv.stats.Delivered.Load() < matched && time.Now().Before(deadline) {
 				time.Sleep(10 * time.Millisecond)
 			}
 
@@ -297,7 +315,7 @@ func TestChaosRecoveryFullStream(t *testing.T) {
 			if len(h.gaps) != 0 {
 				t.Fatalf("gaps declared lost despite full store: %v", h.gaps)
 			}
-			if h.rcv.Stats().Recovered.Load() == 0 && h.sw.Stats().RetxRequests.Load() == 0 {
+			if h.rcv.stats.Recovered.Load() == 0 && h.sw.stats.RetxRequests.Load() == 0 {
 				t.Fatal("chaos plan injected no recoverable loss; test is vacuous")
 			}
 		})
@@ -353,7 +371,7 @@ func TestChaosIngressModes(t *testing.T) {
 					t.Fatalf("matched %d of %d published messages on a clean ingress", matched, total)
 				}
 				deadline := time.Now().Add(20 * time.Second)
-				for h.rcv.Stats().Delivered.Load() < matched && time.Now().Before(deadline) {
+				for h.rcv.stats.Delivered.Load() < matched && time.Now().Before(deadline) {
 					time.Sleep(10 * time.Millisecond)
 				}
 
@@ -371,14 +389,14 @@ func TestChaosIngressModes(t *testing.T) {
 					t.Fatalf("gaps declared lost despite full store: %v", h.gaps)
 				}
 				h.checkInstrumentOrder(t)
-				resharded := h.sw.Stats().Resharded.Load()
+				resharded := h.sw.stats.Resharded.Load()
 				if tc.mode == IngressReusePortReshard && !tc.stub && workers > 1 && resharded == 0 {
 					t.Fatal("single-flow reshard run moved nothing lane-to-lane")
 				}
 				if (tc.mode == IngressReusePort || tc.stub || workers == 1) && resharded != 0 {
 					t.Fatalf("unexpected re-shard traffic: %d", resharded)
 				}
-				if h.rcv.Stats().Recovered.Load() == 0 && h.sw.Stats().RetxRequests.Load() == 0 {
+				if h.rcv.stats.Recovered.Load() == 0 && h.sw.stats.RetxRequests.Load() == 0 {
 					t.Fatal("chaos plan injected no recoverable loss; test is vacuous")
 				}
 			})
@@ -410,8 +428,8 @@ func TestChaosAgedOutStoreReportsGapLost(t *testing.T) {
 
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	lost := h.rcv.Stats().GapsLost.Load()
-	delivered := h.rcv.Stats().Delivered.Load()
+	lost := h.rcv.stats.GapsLost.Load()
+	delivered := h.rcv.stats.Delivered.Load()
 	if lost == 0 {
 		t.Fatal("no gap-lost events despite aged-out store")
 	}
@@ -432,10 +450,10 @@ func TestReceiverEndOfSession(t *testing.T) {
 	h.publish(t, 10, 2)
 
 	deadline := time.Now().Add(5 * time.Second)
-	for h.rcv.Stats().Delivered.Load() < 10 && time.Now().Before(deadline) {
+	for h.rcv.stats.Delivered.Load() < 10 && time.Now().Before(deadline) {
 		time.Sleep(5 * time.Millisecond)
 	}
-	if got := h.rcv.Stats().Delivered.Load(); got != 10 {
+	if got := h.rcv.stats.Delivered.Load(); got != 10 {
 		t.Fatalf("delivered %d before close", got)
 	}
 	if err := h.sw.Close(); err != nil {

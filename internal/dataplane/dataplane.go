@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,15 +48,17 @@ type Conn interface {
 
 var _ Conn = (*net.UDPConn)(nil)
 
-// Stats are the switch's forwarding counters. All fields are updated
-// atomically and may be read concurrently with Run.
+// switchStats are the switch's forwarding counters. All fields are
+// updated atomically and may be read concurrently with Run.
 //
 // The fields are telemetry.Counter values: when the switch is created
 // with Config.Telemetry they are registered in the shared registry (as
 // camus_dataplane_*_total) and this struct is a view over it — the
-// counters read here and the series scraped from /metrics are the same
-// memory.
-type Stats struct {
+// counters updated here and the series scraped from /metrics are the
+// same memory. The struct itself is unexported: out-of-package readers
+// go through Switch.Metric (one series at a time, by registry name) or
+// the unified telemetry Snapshot.
+type switchStats struct {
 	Datagrams    telemetry.Counter // ingress datagrams received
 	Messages     telemetry.Counter // ITCH messages evaluated
 	Matched      telemetry.Counter // messages that matched >= 1 subscription
@@ -68,10 +71,19 @@ type Stats struct {
 	RetxMessages telemetry.Counter // messages resent from the store
 	RetxBad      telemetry.Counter // malformed or unroutable retransmission requests skipped
 	Resharded    telemetry.Counter // datagrams moved lane-to-lane by the re-shard hop
+
+	// Multicast egress engine: a "group encode" serializes one matched
+	// message batch once for a whole multicast group; a "group send" is
+	// one member port served from that shared encoding. sends/encodes is
+	// the encode-once hit ratio (the effective fanout amplification that
+	// per-port serialization used to pay in CPU).
+	GroupEncodes    telemetry.Counter // shared bodies serialized (one per touched group per datagram)
+	GroupSends      telemetry.Counter // member-port datagrams served from a shared body
+	GroupBytesSaved telemetry.Counter // body bytes NOT re-serialized thanks to sharing
 }
 
 // register adopts every counter into reg under its canonical series name.
-func (s *Stats) register(reg *telemetry.Registry) {
+func (s *switchStats) register(reg *telemetry.Registry) {
 	reg.RegisterCounter("camus_dataplane_datagrams_total", &s.Datagrams)
 	reg.RegisterCounter("camus_dataplane_messages_total", &s.Messages)
 	reg.RegisterCounter("camus_dataplane_matched_total", &s.Matched)
@@ -84,6 +96,9 @@ func (s *Stats) register(reg *telemetry.Registry) {
 	reg.RegisterCounter("camus_dataplane_retx_messages_total", &s.RetxMessages)
 	reg.RegisterCounter("camus_dataplane_retx_bad_total", &s.RetxBad)
 	reg.RegisterCounter("camus_dataplane_resharded_total", &s.Resharded)
+	reg.RegisterCounter("camus_dataplane_group_encodes_total", &s.GroupEncodes)
+	reg.RegisterCounter("camus_dataplane_group_sends_total", &s.GroupSends)
+	reg.RegisterCounter("camus_dataplane_group_bytes_saved_total", &s.GroupBytesSaved)
 }
 
 // Config configures a dataplane switch.
@@ -139,6 +154,12 @@ type Config struct {
 	// of them in the reuseport modes — then retransmission) — the
 	// fault-injection hook.
 	WrapConn func(Conn) Conn
+	// PerPortEncode disables the multicast egress engine: every member
+	// of a multicast group gets its own independently serialized frame
+	// and its own retransmission-store copy, exactly as if the group did
+	// not exist. This is the measured baseline for the encode-once
+	// speedup figures; production configs leave it false.
+	PerPortEncode bool
 	// Telemetry, when non-nil, receives the switch's forwarding counters,
 	// a per-datagram processing-latency histogram, and everything the
 	// embedded compiler/control-plane/pipeline layers record.
@@ -163,15 +184,27 @@ const maxRetxDatagram = 1400
 // portState is one output port's delivery state: its own MoldUDP64
 // session with a dense sequence space and a bounded retransmission store.
 type portState struct {
-	port    int
-	session [10]byte
-
+	// The leading fields are everything a group-egress member visit
+	// touches, packed so the visit dirties a single cacheline: at high
+	// fanout thousands of portStates are walked per datagram and none
+	// stay cache-resident, so the per-member cost is line fills, not
+	// instructions. lastEgress is UnixNano rather than time.Time for
+	// the same reason (8 bytes instead of 24).
 	mu         sync.Mutex
-	addr       *net.UDPAddr
 	nextSeq    uint64 // sequence of the next egress message
+	addr       *net.UDPAddr
 	store      *retxStore
-	lastEgress time.Time
-	scratch    itch.MoldPacket
+	lastEgress int64 // UnixNano of the latest egress frame
+	session    [10]byte
+
+	port    int
+	scratch itch.MoldPacket
+
+	// sub is the Subscription that currently owns the port (nil for
+	// legacy BindPort bindings); group its operator-assigned cohort
+	// label. Both are guarded by Switch.mu, not ps.mu.
+	sub   *Subscription
+	group string
 }
 
 // Switch is a running UDP dataplane.
@@ -194,11 +227,28 @@ type Switch struct {
 	mode      IngressMode // effective ingress mode (Auto resolved, fallback applied)
 	lanes     []*lane
 
-	stats    Stats
+	// Multicast egress engine state: bodies is the shared-buffer free
+	// list group frames are encoded into; perPortEncode reverts to the
+	// baseline one-serialization-per-member path.
+	bodies        *sharedPool
+	perPortEncode bool
+
+	stats    switchStats
 	tel      *telemetry.Telemetry
 	procHist *telemetry.Histogram // per-datagram processing latency; nil when untimed
 	portsG   *telemetry.Gauge
+	groupsG  *telemetry.Gauge // multicast groups in the installed program
 	readBuf  int
+
+	// Per-port egress write-error attribution, created lazily on a
+	// port's first failed write so series cardinality stays bounded by
+	// the set of ports that have ever erred.
+	portErrMu sync.Mutex
+	portErrs  map[int]*telemetry.Counter
+
+	// Subscriber-group occupancy (camus_dataplane_subscribers{group=…}),
+	// maintained by Subscribe/Close under mu.
+	subCounts map[string]int
 
 	// Shared-mode reader busy time, for saturated-ingress throughput
 	// analysis (the reuseport modes account per lane instead — see
@@ -304,19 +354,22 @@ func Listen(cfg Config) (*Switch, error) {
 		return nil, err
 	}
 	sw := &Switch{
-		conns:     conns,
-		retx:      retx,
-		engine:    engine,
-		ports:     make(map[int]*portState, len(cfg.Ports)),
-		bySession: make(map[[10]byte]*portState, len(cfg.Ports)),
-		session:   cfg.Session,
-		retxCap:   cfg.RetxBuffer,
-		heartbeat: cfg.Heartbeat,
-		workers:   workers,
-		mode:      mode,
-		tel:       cfg.Telemetry,
-		readBuf:   cfg.ReadBuffer,
-		runDone:   make(chan struct{}),
+		conns:         conns,
+		retx:          retx,
+		engine:        engine,
+		ports:         make(map[int]*portState, len(cfg.Ports)),
+		bySession:     make(map[[10]byte]*portState, len(cfg.Ports)),
+		session:       cfg.Session,
+		retxCap:       cfg.RetxBuffer,
+		heartbeat:     cfg.Heartbeat,
+		workers:       workers,
+		mode:          mode,
+		tel:           cfg.Telemetry,
+		readBuf:       cfg.ReadBuffer,
+		perPortEncode: cfg.PerPortEncode,
+		portErrs:      make(map[int]*telemetry.Counter),
+		subCounts:     make(map[string]int),
+		runDone:       make(chan struct{}),
 	}
 	if sw.session == "" {
 		sw.session = "CAMUS"
@@ -349,10 +402,12 @@ func Listen(cfg Config) (*Switch, error) {
 		}
 		sw.lanes[i] = l
 	}
+	sw.bodies = newSharedPool(sharedPoolCapacity)
 	if reg := cfg.Telemetry.Reg(); reg != nil {
 		sw.stats.register(reg)
 		sw.procHist = reg.Histogram("camus_dataplane_process_seconds")
 		sw.portsG = reg.Gauge("camus_dataplane_ports_bound")
+		sw.groupsG = reg.Gauge("camus_dataplane_egress_groups")
 		reg.Gauge("camus_dataplane_ingress_lanes").Set(int64(len(sw.lanes)))
 		reg.Gauge("camus_dataplane_ingress_mode", telemetry.L("mode", sw.mode.String())).Set(1)
 		for _, l := range sw.lanes {
@@ -360,7 +415,7 @@ func Listen(cfg Config) (*Switch, error) {
 		}
 	}
 	for port, a := range cfg.Ports {
-		if err := sw.BindPort(port, a); err != nil {
+		if _, err := sw.Subscribe(SubscriberConfig{Port: port, Addr: a}); err != nil {
 			sw.closeConns()
 			return nil, err
 		}
@@ -371,7 +426,19 @@ func Listen(cfg Config) (*Switch, error) {
 			return nil, err
 		}
 	}
+	sw.noteGroups()
 	return sw, nil
+}
+
+// noteGroups publishes how many multicast groups the installed program
+// carries. Callers hold no locks, or sw.mu at most.
+func (sw *Switch) noteGroups() {
+	if sw.groupsG == nil {
+		return
+	}
+	if prog := sw.engine.Program(); prog != nil {
+		sw.groupsG.Set(int64(len(prog.Groups)))
+	}
 }
 
 // closeConns closes every socket the switch owns (all ingress lanes and
@@ -390,12 +457,47 @@ func (sw *Switch) Addr() *net.UDPAddr { return sw.conn.LocalAddr().(*net.UDPAddr
 // recover through.
 func (sw *Switch) RetxAddr() *net.UDPAddr { return sw.retx.LocalAddr().(*net.UDPAddr) }
 
-// Stats returns the forwarding counters.
-//
-// Deprecated: the counters are a view over the shared telemetry registry;
-// new code should read Snapshot (one schema across every subsystem) or
-// scrape the admin endpoint. Stats remains for typed in-process access.
-func (sw *Switch) Stats() *Stats { return &sw.stats }
+// Metric returns the live value of one of the switch's canonical counter
+// series by its registry name (for example
+// "camus_dataplane_matched_total"), whether or not the switch was created
+// with Config.Telemetry. Unknown names return 0. This replaces the
+// removed Stats() struct view: in-process readers name the one series
+// they want; everything at once is Snapshot.
+func (sw *Switch) Metric(name string) uint64 {
+	switch name {
+	case "camus_dataplane_datagrams_total":
+		return sw.stats.Datagrams.Load()
+	case "camus_dataplane_messages_total":
+		return sw.stats.Messages.Load()
+	case "camus_dataplane_matched_total":
+		return sw.stats.Matched.Load()
+	case "camus_dataplane_forwarded_total":
+		return sw.stats.Forwarded.Load()
+	case "camus_dataplane_decode_errors_total":
+		return sw.stats.DecodeErrors.Load()
+	case "camus_dataplane_send_errors_total":
+		return sw.stats.SendErrors.Load()
+	case "camus_dataplane_unbound_port_total":
+		return sw.stats.UnboundPort.Load()
+	case "camus_dataplane_heartbeats_total":
+		return sw.stats.Heartbeats.Load()
+	case "camus_dataplane_retx_requests_total":
+		return sw.stats.RetxRequests.Load()
+	case "camus_dataplane_retx_messages_total":
+		return sw.stats.RetxMessages.Load()
+	case "camus_dataplane_retx_bad_total":
+		return sw.stats.RetxBad.Load()
+	case "camus_dataplane_resharded_total":
+		return sw.stats.Resharded.Load()
+	case "camus_dataplane_group_encodes_total":
+		return sw.stats.GroupEncodes.Load()
+	case "camus_dataplane_group_sends_total":
+		return sw.stats.GroupSends.Load()
+	case "camus_dataplane_group_bytes_saved_total":
+		return sw.stats.GroupBytesSaved.Load()
+	}
+	return 0
+}
 
 // Snapshot captures every metric of the switch — socket counters,
 // pipeline tables, compiler and control-plane series — in the unified
@@ -426,58 +528,25 @@ func sessionFor(dst *[10]byte, base string, port int) {
 	dst[9] = byte('0' + p%10)
 }
 
-// BindPort maps a Camus output port to a subscriber UDP address. Safe to
-// call while Run is active. Rebinding an existing port redirects its
-// stream without resetting the sequence space.
+// BindPort maps a Camus output port to a subscriber UDP address.
+//
+// Deprecated: use Subscribe, which returns a Subscription handle that
+// owns the binding (and can carry a subscriber-group label). BindPort
+// remains as a thin wrapper: it subscribes and discards the handle.
 func (sw *Switch) BindPort(port int, addr string) error {
-	udpAddr, err := net.ResolveUDPAddr("udp", addr)
-	if err != nil {
-		return fmt.Errorf("dataplane: port %d: %w", port, err)
-	}
-	sw.mu.Lock()
-	defer sw.mu.Unlock()
-	if ps, ok := sw.ports[port]; ok {
-		ps.mu.Lock()
-		ps.addr = udpAddr
-		ps.mu.Unlock()
-		return nil
-	}
-	ps := &portState{port: port, addr: udpAddr, nextSeq: 1}
-	sessionFor(&ps.session, sw.session, port)
-	if sw.retxCap > 0 {
-		ps.store = newRetxStore(sw.retxCap)
-	}
-	sw.ports[port] = ps
-	sw.bySession[ps.session] = ps
-	if port >= 0 {
-		for port >= len(sw.portIdx) {
-			sw.portIdx = append(sw.portIdx, nil)
-		}
-		sw.portIdx[port] = ps
-	}
-	sw.portsG.Set(int64(len(sw.ports)))
-	return nil
+	_, err := sw.Subscribe(SubscriberConfig{Port: port, Addr: addr})
+	return err
 }
 
-// UnbindPort removes a Camus output port: subsequent matches for the port
-// are dropped instead of sent, its MoldUDP64 session and retransmission
-// store are discarded, and its session stops answering retransmission
-// requests. Safe to call while Run is active; a later BindPort of the same
-// number starts a fresh sequence space. This is how a fabric spine stops
-// forwarding toward a leaf it has declared dead.
+// UnbindPort removes a Camus output port regardless of which
+// Subscription owns it.
+//
+// Deprecated: close the Subscription returned by Subscribe instead;
+// Close only detaches the port if that subscription still owns it, which
+// is race-free under rebinds. UnbindPort remains as the unconditional
+// form.
 func (sw *Switch) UnbindPort(port int) {
-	sw.mu.Lock()
-	defer sw.mu.Unlock()
-	ps, ok := sw.ports[port]
-	if !ok {
-		return
-	}
-	delete(sw.ports, port)
-	delete(sw.bySession, ps.session)
-	if port >= 0 && port < len(sw.portIdx) {
-		sw.portIdx[port] = nil
-	}
-	sw.portsG.Set(int64(len(sw.ports)))
+	sw.unbind(port, nil)
 }
 
 // portFor resolves a port number on the hot path. Callers hold sw.mu.
@@ -501,6 +570,9 @@ func (sw *Switch) SetSubscriptionsContext(ctx context.Context, src string) error
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
 	_, err := sw.engine.SetSubscriptionsContext(ctx, src)
+	if err == nil {
+		sw.noteGroups()
+	}
 	return err
 }
 
@@ -522,7 +594,11 @@ func (sw *Switch) Device() *pipeline.Switch { return sw.engine.Switch() }
 func (sw *Switch) AdoptProgram(prog *compiler.Program) error {
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
-	return sw.engine.AdoptProgram(prog)
+	err := sw.engine.AdoptProgram(prog)
+	if err == nil {
+		sw.noteGroups()
+	}
+	return err
 }
 
 // Program returns the installed compiled program.
@@ -581,12 +657,17 @@ func (sw *Switch) beginDrain() {
 func (sw *Switch) endSession() {
 	sw.mu.RLock()
 	defer sw.mu.RUnlock()
+	// One frame buffer reused across ports: at large subscriber counts a
+	// per-port allocation here is the dominant Mallocs source of a whole
+	// replay run, polluting steady-state alloc measurements.
+	var eos [itch.MoldHeaderLen]byte
 	for _, ps := range sw.ports {
 		ps.mu.Lock()
-		eos := itch.EndOfSessionBytes(ps.session, ps.nextSeq)
+		h := itch.MoldHeader{Session: ps.session, Sequence: ps.nextSeq, Count: itch.EndOfSessionCount}
+		h.SerializeTo(eos[:])
 		addr := ps.addr
 		ps.mu.Unlock()
-		_, _ = sw.conn.WriteToUDP(eos, addr)
+		_, _ = sw.conn.WriteToUDP(eos[:], addr)
 	}
 }
 
@@ -825,23 +906,52 @@ func (sw *Switch) BusyNs() (readNs, procNs int64) {
 }
 
 // procState is one processing lane's reusable scratch: a per-lane
-// pipeline Processor (own value buffers), per-port message buckets, and
-// per-egress wire buffers. One lane processes one datagram at a time, so
-// nothing here needs locking and the steady state is allocation-free.
+// pipeline Processor (own value buffers), per-port and per-group message
+// buckets, and per-egress wire buffers. One lane processes one datagram
+// at a time, so nothing here needs locking and the steady state is
+// allocation-free.
+//
+// Egress entry i is either a unicast frame — wires[i] is the complete
+// datagram in a lane-owned reusable buffer, tails[i] nil — or a
+// multicast-group frame: wires[i] is a lane-owned 20-byte MoldUDP64
+// header carrying the member port's session/sequence, tails[i] the
+// group's shared encoded body, and shared[i] the refcounted buffer the
+// body lives in. The batch writer emits the pair as one sendmmsg scatter
+// entry; the fallback path patches the header into the shared buffer in
+// place and writes it whole.
 type procState struct {
-	proc    *core.Processor
-	conn    Conn          // egress socket (the lane's own in reuseport modes)
-	bw      *batchWriter  // sendmmsg egress, nil on fallback paths
-	order   itch.AddOrder // decode scratch, kept off the per-call stack
-	msgs    [][]byte      // raw wire bytes of this datagram's add-orders
-	perPort []portMsgs    // indexed by switch port number
-	touched []int         // ports with >= 1 message this datagram
-	wires   [][]byte      // reusable egress wire buffers
-	addrs   []*net.UDPAddr
-	nOut    int
+	proc     *core.Processor
+	conn     Conn          // egress socket (the lane's own in reuseport modes)
+	bw       *batchWriter  // sendmmsg egress, nil on fallback paths
+	order    itch.AddOrder // decode scratch, kept off the per-call stack
+	msgs     [][]byte      // raw wire bytes of this datagram's add-orders
+	perPort  []portMsgs    // indexed by switch port number
+	touched  []int         // ports with >= 1 unicast message this datagram
+	perGroup []groupMsgs   // indexed by multicast group id
+	touchedG []int         // groups with >= 1 message this datagram
+
+	wires    [][]byte // egress wires: full frame (unicast) or header (group)
+	tails    [][]byte // shared body per entry; nil marks a unicast entry
+	shared   []*sharedBuf
+	outPorts []int // destination port per entry, for error attribution
+	addrs    []*net.UDPAddr
+	ubufs    [][]byte // lane-owned unicast frame buffers, reused per slot
+	ghdrs    [][]byte // lane-owned 20-byte group headers, reused per slot
+	nOut     int
+
+	gspans []msgSpan    // per-group scratch: message extents in the shared body
+	owned  []*sharedBuf // buffers this datagram holds a lane reference on
 }
 
 type portMsgs struct{ msgs [][]byte }
+
+// groupMsgs buckets one multicast group's matched messages for a single
+// datagram. ports aliases the installed program's ActionSet member list
+// (read-only, stable under sw.mu).
+type groupMsgs struct {
+	msgs  [][]byte
+	ports []int
+}
 
 func (sw *Switch) newProcState() *procState { return sw.newProcStateOn(sw.conn) }
 
@@ -865,12 +975,26 @@ func (st *procState) bucket(port int) *portMsgs {
 	return &st.perPort[port]
 }
 
-// nextOut claims one egress slot, growing the wire/addr arrays on demand
-// while keeping previously grown wire buffers for reuse.
+// gbucket returns the lane's message bucket for a multicast group,
+// growing the dense index on first sight.
+func (st *procState) gbucket(g int) *groupMsgs {
+	for g >= len(st.perGroup) {
+		st.perGroup = append(st.perGroup, groupMsgs{})
+	}
+	return &st.perGroup[g]
+}
+
+// nextOut claims one egress slot, growing the parallel entry arrays on
+// demand while keeping previously grown per-slot buffers for reuse.
 func (st *procState) nextOut() int {
 	if st.nOut == len(st.wires) {
 		st.wires = append(st.wires, nil)
+		st.tails = append(st.tails, nil)
+		st.shared = append(st.shared, nil)
+		st.outPorts = append(st.outPorts, 0)
 		st.addrs = append(st.addrs, nil)
+		st.ubufs = append(st.ubufs, nil)
+		st.ghdrs = append(st.ghdrs, nil)
 	}
 	st.nOut++
 	return st.nOut - 1
@@ -908,10 +1032,22 @@ func (sw *Switch) processDatagram(st *procState, datagram []byte) {
 		return
 	}
 
-	// Bucket matched messages by output port.
+	// Bucket matched messages: by multicast group where the program
+	// assigned one (so the body is serialized once for the whole member
+	// set), by output port otherwise.
 	st.touched = st.touched[:0]
+	st.touchedG = st.touchedG[:0]
 	for i := range results {
 		if results[i].Dropped {
+			continue
+		}
+		if g := results[i].Group; g >= 0 && !sw.perPortEncode {
+			gb := st.gbucket(g)
+			if len(gb.msgs) == 0 {
+				st.touchedG = append(st.touchedG, g)
+				gb.ports = results[i].Ports
+			}
+			gb.msgs = append(gb.msgs, st.msgs[i])
 			continue
 		}
 		for _, port := range results[i].Ports {
@@ -927,8 +1063,9 @@ func (sw *Switch) processDatagram(st *procState, datagram []byte) {
 		}
 	}
 
-	// Frame one egress datagram per touched port; socket writes happen
-	// after the install lock drops, batched when the platform allows.
+	// Frame one egress datagram per touched port and one shared body per
+	// touched group; socket writes happen after the install lock drops,
+	// batched when the platform allows.
 	st.nOut = 0
 	for _, port := range st.touched {
 		pb := &st.perPort[port]
@@ -941,12 +1078,114 @@ func (sw *Switch) processDatagram(st *procState, datagram []byte) {
 			continue
 		}
 		i := st.nextOut()
-		st.wires[i], st.addrs[i] = ps.frame(pb.msgs, st.wires[i])
+		st.ubufs[i], st.addrs[i] = ps.frame(pb.msgs, st.ubufs[i])
+		st.wires[i] = st.ubufs[i]
+		st.tails[i] = nil
+		st.shared[i] = nil
+		st.outPorts[i] = port
 		pb.msgs = pb.msgs[:0]
+	}
+	for _, g := range st.touchedG {
+		gb := &st.perGroup[g]
+		sw.frameGroup(st, gb)
+		gb.msgs = gb.msgs[:0]
+		gb.ports = nil
 	}
 	sw.mu.RUnlock()
 
 	sw.sendEgress(st)
+}
+
+// frameGroup serializes one multicast group's matched messages once into
+// a shared refcounted body and claims one egress entry per member port,
+// each carrying only that port's 20-byte MoldUDP64 header. The member
+// ports' retransmission stores retain views into the shared body (one
+// reference per retained message), so recovery is served from the same
+// bytes that went out. Callers hold sw.mu.
+func (sw *Switch) frameGroup(st *procState, gb *groupMsgs) {
+	need := itch.MoldHeaderLen
+	for _, m := range gb.msgs {
+		need += 2 + len(m)
+	}
+	sb := sw.bodies.get(need)
+	st.owned = append(st.owned, sb)
+	body := sb.b[:itch.MoldHeaderLen]
+	st.gspans = st.gspans[:0]
+	for _, m := range gb.msgs {
+		body = append(body, byte(len(m)>>8), byte(len(m)))
+		st.gspans = append(st.gspans, msgSpan{off: uint32(len(body)), ln: uint32(len(m))})
+		body = append(body, m...)
+	}
+	sb.b = body
+	tail := body[itch.MoldHeaderLen:]
+	count := uint16(len(gb.msgs))
+	now := time.Now().UnixNano()
+
+	// Every member's ring slots are paid for with one atomic up front;
+	// unbound members hand their share back after the loop. The lane's
+	// own reference (held until sendEgress completes) keeps the count
+	// positive throughout, so the refund can never recycle the buffer.
+	ringRefs := sw.retxCap > 0
+	if ringRefs {
+		sb.refGroup(len(gb.ports) * len(st.gspans))
+	}
+	var ev evictAcc
+	members := 0
+	for _, port := range gb.ports {
+		ps := sw.portFor(port)
+		if ps == nil {
+			sw.stats.UnboundPort.Add(1)
+			continue
+		}
+		i := st.nextOut()
+		if st.ghdrs[i] == nil {
+			st.ghdrs[i] = make([]byte, itch.MoldHeaderLen)
+		}
+		// Session and count are stable outside the lock: the session is
+		// fixed when the port is first bound, and count is this frame's.
+		hdr := st.ghdrs[i]
+		copy(hdr[0:10], ps.session[:])
+		hdr[18] = byte(count >> 8)
+		hdr[19] = byte(count)
+		ps.mu.Lock()
+		putUint64BE(hdr[10:18], ps.nextSeq)
+		if ps.store != nil {
+			ps.store.addSharedGroup(st.gspans, sb, &ev)
+		}
+		ps.nextSeq += uint64(count)
+		ps.lastEgress = now
+		addr := ps.addr
+		ps.mu.Unlock()
+		st.wires[i] = hdr
+		st.tails[i] = tail
+		st.shared[i] = sb
+		st.outPorts[i] = port
+		st.addrs[i] = addr
+		members++
+	}
+	ev.flush()
+	if ringRefs && members < len(gb.ports) {
+		sb.unrefN(int32((len(gb.ports) - members) * len(st.gspans)))
+	}
+	sw.stats.GroupEncodes.Add(1)
+	sw.stats.GroupSends.Add(uint64(members))
+	if members > 1 {
+		sw.stats.GroupBytesSaved.Add(uint64(members-1) * uint64(len(tail)))
+	}
+}
+
+// putUint64BE is encoding/binary.BigEndian.PutUint64, open-coded to keep
+// the hot path's imports flat.
+func putUint64BE(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v >> 56)
+	b[1] = byte(v >> 48)
+	b[2] = byte(v >> 40)
+	b[3] = byte(v >> 32)
+	b[4] = byte(v >> 24)
+	b[5] = byte(v >> 16)
+	b[6] = byte(v >> 8)
+	b[7] = byte(v)
 }
 
 // frame serializes msgs as the port's next egress datagram into buf
@@ -965,40 +1204,95 @@ func (ps *portState) frame(msgs [][]byte, buf []byte) ([]byte, *net.UDPAddr) {
 		}
 	}
 	ps.nextSeq += uint64(len(msgs))
-	ps.lastEgress = time.Now()
+	ps.lastEgress = time.Now().UnixNano()
 	addr := ps.addr
 	ps.mu.Unlock()
 	return wire, addr
 }
 
 // sendEgress ships the lane's framed datagrams, preferring one sendmmsg
-// per datagram-burst and falling back to per-datagram writes.
+// per datagram-burst (group entries ride as header+shared-body scatter
+// pairs) and falling back to per-datagram writes. On the fallback a group
+// entry's per-port header is patched into the shared buffer in place
+// before the write — safe because every datagram the buffer describes
+// carries identical body bytes and the retransmission stores alias only
+// the body region. Write failures are attributed to the destination port
+// (camus_dataplane_port_send_errors_total{port=…}) on both paths, on top
+// of the global send-error counter.
 func (sw *Switch) sendEgress(st *procState) {
-	wires, addrs := st.wires[:st.nOut], st.addrs[:st.nOut]
+	n := st.nOut
 	st.nOut = 0
+	wires, tails, addrs := st.wires[:n], st.tails[:n], st.addrs[:n]
 	i := 0
-	if st.bw != nil && len(wires) > 0 {
-		for i < len(wires) {
-			n, err := st.bw.WriteBatch(wires[i:], addrs[i:])
-			sw.stats.Forwarded.Add(uint64(n))
-			i += n
+	if st.bw != nil && n > 0 {
+		for i < n {
+			k, err := st.bw.WriteBatch(wires[i:], tails[i:], addrs[i:])
+			sw.stats.Forwarded.Add(uint64(k))
+			i += k
 			if err != nil {
 				// Skip the datagram the kernel rejected; the rest of
 				// the burst still goes out.
 				sw.stats.SendErrors.Add(1)
+				sw.portSendError(st.outPorts[i])
 				i++
-			} else if n == 0 {
+			} else if k == 0 {
 				break // writer unavailable; finish on the slow path
 			}
 		}
 	}
-	for ; i < len(wires); i++ {
-		if _, err := st.conn.WriteToUDP(wires[i], addrs[i]); err != nil {
+	var sent uint64
+	for ; i < n; i++ {
+		wire := wires[i]
+		if sb := st.shared[i]; sb != nil {
+			full := sb.b[:itch.MoldHeaderLen+len(tails[i])]
+			copy(full, wire)
+			wire = full
+		}
+		if _, err := st.conn.WriteToUDP(wire, addrs[i]); err != nil {
 			sw.stats.SendErrors.Add(1)
+			sw.portSendError(st.outPorts[i])
 			continue
 		}
-		sw.stats.Forwarded.Add(1)
+		sent++
 	}
+	if sent > 0 {
+		sw.stats.Forwarded.Add(sent)
+	}
+	for j := range st.shared[:n] {
+		st.shared[j] = nil
+	}
+	for j, sb := range st.owned {
+		st.owned[j] = nil
+		sb.unref()
+	}
+	st.owned = st.owned[:0]
+}
+
+// portSendError attributes one failed egress write to its destination
+// port. The labeled series is created on a port's first error, keeping
+// cardinality bounded by the set of ports that have ever failed; on a
+// switch without telemetry the counters still count (detached).
+func (sw *Switch) portSendError(port int) {
+	sw.portErrMu.Lock()
+	c, ok := sw.portErrs[port]
+	if !ok {
+		c = sw.tel.Reg().Counter("camus_dataplane_port_send_errors_total",
+			telemetry.L("port", strconv.Itoa(port)))
+		sw.portErrs[port] = c
+	}
+	sw.portErrMu.Unlock()
+	c.Add(1)
+}
+
+// PortSendErrors reports how many egress writes to port have failed.
+func (sw *Switch) PortSendErrors(port int) uint64 {
+	sw.portErrMu.Lock()
+	c := sw.portErrs[port]
+	sw.portErrMu.Unlock()
+	if c == nil {
+		return 0
+	}
+	return c.Load()
 }
 
 // heartbeatLoop emits a MoldUDP64 heartbeat on every port that has been
@@ -1018,11 +1312,19 @@ func (sw *Switch) heartbeatLoop(stop <-chan struct{}) {
 			states = append(states, ps)
 		}
 		sw.mu.RUnlock()
+		nowNs := time.Now().UnixNano()
 		for _, ps := range states {
 			ps.mu.Lock()
-			idle := time.Since(ps.lastEgress) >= sw.heartbeat
-			hb := itch.HeartbeatBytes(ps.session, ps.nextSeq)
-			addr := ps.addr
+			idle := nowNs-ps.lastEgress >= int64(sw.heartbeat)
+			var hb []byte
+			var addr *net.UDPAddr
+			if idle {
+				// Serialize only for idle ports: on a switch with many
+				// thousands of busy subscribers, building a heartbeat per
+				// port per tick would be the only steady-state allocation.
+				hb = itch.HeartbeatBytes(ps.session, ps.nextSeq)
+				addr = ps.addr
+			}
 			ps.mu.Unlock()
 			if !idle {
 				continue
@@ -1104,23 +1406,110 @@ func (sw *Switch) replyRetx(ps *portState, req *itch.MoldRequest, raddr *net.UDP
 // retxStore is a bounded ring of the port's most recent egress messages,
 // indexed by sequence number. Sequences are dense, so position is just
 // seq modulo capacity.
+//
+// A slot holds the message either privately (copied into a slot-owned
+// buffer — the unicast path, owner nil) or as an extent of a refcounted
+// shared group body (the multicast path, one reference per slot). get
+// reconstructs the message bytes from whichever storage backs the slot;
+// recording an extent rather than a slice keeps a shared reference that
+// must be dropped when the slot moves on, and a private buffer that must
+// never be reused while older bytes could still be requested.
+//
+// The slot is deliberately 16 bytes: at high fanout a datagram touches
+// thousands of rings, none cache-resident, so the insert cost is line
+// fills and the ring's footprint sets the miss rate. Four slots share a
+// line, and the unicast-only copy buffers sit in a side array allocated
+// on first private add — rings fed purely by the multicast path never
+// pay for them.
+type retxSlot struct {
+	owner *sharedBuf // non-nil when the slot aliases a shared body
+	off   uint32     // extent start within owner's body
+	ln    uint32     // message length (private slots use priv[i][:ln])
+}
+
+// msgSpan is one encoded message's extent within a shared group body.
+type msgSpan struct {
+	off, ln uint32
+}
+
 type retxStore struct {
-	msgs [][]byte
-	lo   uint64 // oldest retained sequence
-	hi   uint64 // next sequence to be stored
+	slots []retxSlot
+	priv  [][]byte // slot-private copy buffers; nil until first add
+	lo    uint64   // oldest retained sequence
+	hi    uint64   // next sequence to be stored
 }
 
 func newRetxStore(capacity int) *retxStore {
-	return &retxStore{msgs: make([][]byte, capacity), lo: 1, hi: 1}
+	return &retxStore{
+		slots: make([]retxSlot, capacity),
+		lo:    1,
+		hi:    1,
+	}
+}
+
+// release drops slot i's shared-body reference, if it holds one.
+func (s *retxStore) release(i uint64) {
+	if o := s.slots[i].owner; o != nil {
+		s.slots[i].owner = nil
+		o.unref()
+	}
+}
+
+// releaseAll empties the store, returning every shared-body reference.
+// Called when the port is unbound so its ring cannot pin group buffers
+// (or serve stale bytes from recycled ones).
+func (s *retxStore) releaseAll() {
+	for i := range s.slots {
+		s.release(uint64(i))
+		s.slots[i] = retxSlot{}
+	}
+	s.lo = s.hi
+}
+
+// advance moves the ring head one sequence forward.
+func (s *retxStore) advance() {
+	s.hi++
+	if s.hi-s.lo > uint64(len(s.slots)) {
+		s.lo = s.hi - uint64(len(s.slots))
+	}
 }
 
 // add retains one egress message (copied; callers reuse buffers).
 func (s *retxStore) add(m []byte) {
-	i := s.hi % uint64(len(s.msgs))
-	s.msgs[i] = append(s.msgs[i][:0], m...)
-	s.hi++
-	if s.hi-s.lo > uint64(len(s.msgs)) {
-		s.lo = s.hi - uint64(len(s.msgs))
+	if s.priv == nil {
+		s.priv = make([][]byte, len(s.slots))
+	}
+	i := s.hi % uint64(len(s.slots))
+	sl := &s.slots[i]
+	if o := sl.owner; o != nil {
+		sl.owner = nil
+		o.unref()
+	}
+	s.priv[i] = append(s.priv[i][:0], m...)
+	sl.ln = uint32(len(m))
+	s.advance()
+}
+
+// addSharedGroup retains one group-encoded batch, each message aliasing
+// the shared body (references already taken via refGroup). Evicted
+// slots' owners are handed to ev rather than dropped here: every member
+// of a group evicts slots aliasing the same earlier bodies, so the
+// accumulator turns members x messages atomic drops into roughly one
+// per retired body per datagram.
+func (s *retxStore) addSharedGroup(spans []msgSpan, sb *sharedBuf, ev *evictAcc) {
+	capacity := uint64(len(s.slots))
+	for _, sp := range spans {
+		sl := &s.slots[s.hi%capacity]
+		if o := sl.owner; o != nil {
+			ev.add(o)
+		}
+		sl.owner = sb
+		sl.off = sp.off
+		sl.ln = sp.ln
+		s.hi++
+	}
+	if s.hi-s.lo > capacity {
+		s.lo = s.hi - capacity
 	}
 }
 
@@ -1146,7 +1535,14 @@ func (s *retxStore) get(from uint64, count int, maxBytes int) ([][]byte, uint64)
 	var out [][]byte
 	bytes := 0
 	for seq := start; seq < end; seq++ {
-		m := s.msgs[seq%uint64(len(s.msgs))]
+		i := seq % uint64(len(s.slots))
+		sl := s.slots[i]
+		var m []byte
+		if sl.owner != nil {
+			m = sl.owner.b[sl.off : sl.off+sl.ln]
+		} else {
+			m = s.priv[i][:sl.ln]
+		}
 		bytes += 2 + len(m)
 		if bytes > maxBytes && len(out) > 0 {
 			break

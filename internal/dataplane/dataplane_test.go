@@ -145,11 +145,11 @@ stock == MSFT && shares >= 500 : fwd(2)
 	}
 
 	// Counters.
-	if sw.Stats().Datagrams.Load() != 1 || sw.Stats().Messages.Load() != 3 ||
-		sw.Stats().Matched.Load() != 2 || sw.Stats().Forwarded.Load() != 2 {
+	if sw.stats.Datagrams.Load() != 1 || sw.stats.Messages.Load() != 3 ||
+		sw.stats.Matched.Load() != 2 || sw.stats.Forwarded.Load() != 2 {
 		t.Fatalf("stats: datagrams=%d msgs=%d matched=%d fwd=%d",
-			sw.Stats().Datagrams.Load(), sw.Stats().Messages.Load(),
-			sw.Stats().Matched.Load(), sw.Stats().Forwarded.Load())
+			sw.stats.Datagrams.Load(), sw.stats.Messages.Load(),
+			sw.stats.Matched.Load(), sw.stats.Forwarded.Load())
 	}
 }
 
@@ -197,10 +197,10 @@ func TestUDPMalformedDatagramCounted(t *testing.T) {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(2 * time.Second)
-	for sw.Stats().DecodeErrors.Load() == 0 && time.Now().Before(deadline) {
+	for sw.stats.DecodeErrors.Load() == 0 && time.Now().Before(deadline) {
 		time.Sleep(5 * time.Millisecond)
 	}
-	if sw.Stats().DecodeErrors.Load() == 0 {
+	if sw.stats.DecodeErrors.Load() == 0 {
 		t.Fatal("malformed datagram not counted")
 	}
 }
@@ -231,12 +231,12 @@ func TestUnboundPortBlackholes(t *testing.T) {
 	if _, ok := recvMold(t, sub1, 300*time.Millisecond); ok {
 		t.Fatal("message leaked to a different port")
 	}
-	if sw.Stats().SendErrors.Load() != 0 {
+	if sw.stats.SendErrors.Load() != 0 {
 		t.Fatal("unbound port should not count as send error")
 	}
 	// The black-holed forward must be observable, not silent.
-	if sw.Stats().UnboundPort.Load() != 1 {
-		t.Fatalf("UnboundPort = %d, want 1", sw.Stats().UnboundPort.Load())
+	if sw.stats.UnboundPort.Load() != 1 {
+		t.Fatalf("UnboundPort = %d, want 1", sw.stats.UnboundPort.Load())
 	}
 }
 

@@ -1,0 +1,124 @@
+package dataplane
+
+import "sync/atomic"
+
+// sharedPoolCapacity bounds the free list of recycled group bodies. Like
+// the ingress dgramPool this is a plain channel, not a sync.Pool: the
+// working set survives GC cycles, so steady-state allocs stay at zero.
+// Buffers beyond the bound are simply dropped to the GC.
+const sharedPoolCapacity = 1024
+
+// sharedBuf is one multicast group's encoded egress body, shared by
+// every member port of the group: the sendmmsg scatter path pairs it
+// with per-port headers, the fallback path patches the header region
+// ([0:MoldHeaderLen)) in place between writes, and each member's
+// retransmission ring retains per-message views into the body region.
+//
+// Lifetime is reference counted: the encoding lane holds one reference
+// for the duration of the datagram's sends, and every retransmission
+// ring slot that aliases the body holds one more. The buffer returns to
+// the pool when the last reference drops — which is when no ring can
+// still serve bytes from it, so recycling can never corrupt a pending
+// retransmission.
+type sharedBuf struct {
+	b    []byte
+	refs atomic.Int32
+	pool *sharedPool
+}
+
+// refGroup takes n references at once — one per ring slot a member port
+// is about to fill — so the hot path pays a single atomic per (port,
+// body) instead of one per message.
+func (sb *sharedBuf) refGroup(n int) { sb.refs.Add(int32(n)) }
+
+// unref drops one reference, recycling the buffer on the last drop.
+func (sb *sharedBuf) unref() {
+	if sb.refs.Add(-1) == 0 {
+		sb.pool.put(sb)
+	}
+}
+
+// unrefN drops n references at once — the counterpart of refGroup when a
+// ring evicts a whole batch of slots that alias the same body.
+func (sb *sharedBuf) unrefN(n int32) {
+	if sb.refs.Add(-n) == 0 {
+		sb.pool.put(sb)
+	}
+}
+
+// evictAcc coalesces reference drops for bodies evicted from many
+// retransmission rings during one datagram. Consecutive evictions almost
+// always retire the same body (each member of a group holds views of the
+// same earlier bodies in the same ring order), so the run-length fast
+// path collapses them into one atomic. Delaying the drop is safe: it
+// only postpones the body's return to the free list.
+type evictAcc struct {
+	owner *sharedBuf
+	n     int32
+}
+
+func (a *evictAcc) add(o *sharedBuf) {
+	if o == a.owner {
+		a.n++
+		return
+	}
+	if a.owner != nil {
+		a.owner.unrefN(a.n)
+	}
+	a.owner, a.n = o, 1
+}
+
+func (a *evictAcc) flush() {
+	if a.owner != nil {
+		a.owner.unrefN(a.n)
+		a.owner, a.n = nil, 0
+	}
+}
+
+// sharedPool is the bounded free list sharedBufs circulate through.
+type sharedPool struct {
+	free chan *sharedBuf
+}
+
+func newSharedPool(capacity int) *sharedPool {
+	return &sharedPool{free: make(chan *sharedBuf, capacity)}
+}
+
+// get returns a buffer with capacity for at least need bytes and one
+// reference (the caller's). Capacities are rounded up to a power-of-two
+// size class (min 256 bytes): group bodies vary with how many of a
+// datagram's messages hit the group, and without the rounding a small
+// recycled body forces a fresh allocation whenever a larger need comes
+// off the free list — visible as steady-state allocs at high fanout.
+func (p *sharedPool) get(need int) *sharedBuf {
+	select {
+	case sb := <-p.free:
+		sb.refs.Store(1)
+		if cap(sb.b) < need {
+			sb.b = make([]byte, 0, bodyClass(need))
+		}
+		return sb
+	default:
+	}
+	sb := &sharedBuf{b: make([]byte, 0, bodyClass(need)), pool: p}
+	sb.refs.Store(1)
+	return sb
+}
+
+// bodyClass rounds need up to the next power of two, floored at 256.
+func bodyClass(need int) int {
+	c := 256
+	for c < need {
+		c <<= 1
+	}
+	return c
+}
+
+// put recycles a buffer, dropping it if the free list is full.
+func (p *sharedPool) put(sb *sharedBuf) {
+	sb.b = sb.b[:0]
+	select {
+	case p.free <- sb:
+	default:
+	}
+}

@@ -242,7 +242,7 @@ stock == MSFT : fwd(2)
 			drain(sub1, "GOOGL")
 			drain(sub2, "MSFT")
 
-			if got := sw.Stats().Messages.Load(); got != uint64(sent) {
+			if got := sw.stats.Messages.Load(); got != uint64(sent) {
 				t.Fatalf("messages evaluated %d, want %d", got, sent)
 			}
 			var lanePkts uint64
@@ -252,7 +252,7 @@ stock == MSFT : fwd(2)
 			if lanePkts != uint64(sent) {
 				t.Fatalf("lane datagram accounting %d, want %d", lanePkts, sent)
 			}
-			resharded := sw.Stats().Resharded.Load()
+			resharded := sw.stats.Resharded.Load()
 			switch {
 			case tc.mode == IngressReusePortReshard && !tc.stub:
 				// A single flow lands on one socket; three distinct
@@ -355,7 +355,7 @@ func TestShardedSteadyStateAllocs(t *testing.T) {
 			// Wait for the warm-up share to be fully processed (each
 			// datagram carries two messages), then settle the heap.
 			deadline := time.Now().Add(10 * time.Second)
-			for sw.Stats().Messages.Load() < 2*warm {
+			for sw.stats.Messages.Load() < 2*warm {
 				if time.Now().After(deadline) {
 					t.Fatal("warm-up never completed")
 				}

@@ -13,12 +13,14 @@ import (
 	"camus/internal/telemetry"
 )
 
-// ReceiverStats count the subscriber side of the recovery protocol.
+// receiverStats count the subscriber side of the recovery protocol.
 //
 // The fields are telemetry.Counter values: when the receiver is created
 // with ReceiverConfig.Telemetry they are registered in the shared
-// registry (as camus_receiver_*_total) and this struct is a view over it.
-type ReceiverStats struct {
+// registry (as camus_receiver_*_total) and this struct is a view over
+// it. Out-of-package readers go through Receiver.Metric or a telemetry
+// Snapshot.
+type receiverStats struct {
 	Datagrams    telemetry.Counter // datagrams received (data + control)
 	Delivered    telemetry.Counter // messages handed to OnMessage, in order
 	Duplicates   telemetry.Counter // already-delivered messages discarded
@@ -30,7 +32,7 @@ type ReceiverStats struct {
 }
 
 // register adopts every counter into reg under its canonical series name.
-func (s *ReceiverStats) register(reg *telemetry.Registry) {
+func (s *receiverStats) register(reg *telemetry.Registry) {
 	reg.RegisterCounter("camus_receiver_datagrams_total", &s.Datagrams)
 	reg.RegisterCounter("camus_receiver_delivered_total", &s.Delivered)
 	reg.RegisterCounter("camus_receiver_duplicates_total", &s.Duplicates)
@@ -96,7 +98,7 @@ type Receiver struct {
 	retxAddr *net.UDPAddr
 	cfg      ReceiverConfig
 	rng      *rand.Rand
-	stats    ReceiverStats
+	stats    receiverStats
 
 	// Stream state (owned by Run's goroutine).
 	next      uint64 // next sequence to deliver
@@ -182,12 +184,32 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 // Addr returns the address the switch port should be bound to.
 func (r *Receiver) Addr() *net.UDPAddr { return r.conn.LocalAddr().(*net.UDPAddr) }
 
-// Stats returns the recovery counters.
-//
-// Deprecated: the counters are a view over the shared telemetry registry;
-// new code should take a telemetry Snapshot for the unified schema.
-// Stats remains for typed in-process access.
-func (r *Receiver) Stats() *ReceiverStats { return &r.stats }
+// Metric returns the live value of one of the receiver's canonical
+// counter series by its registry name (for example
+// "camus_receiver_delivered_total"), whether or not the receiver was
+// created with Telemetry. Unknown names return 0. This replaces the
+// removed Stats() struct view.
+func (r *Receiver) Metric(name string) uint64 {
+	switch name {
+	case "camus_receiver_datagrams_total":
+		return r.stats.Datagrams.Load()
+	case "camus_receiver_delivered_total":
+		return r.stats.Delivered.Load()
+	case "camus_receiver_duplicates_total":
+		return r.stats.Duplicates.Load()
+	case "camus_receiver_heartbeats_total":
+		return r.stats.Heartbeats.Load()
+	case "camus_receiver_requests_total":
+		return r.stats.Requests.Load()
+	case "camus_receiver_recovered_total":
+		return r.stats.Recovered.Load()
+	case "camus_receiver_gaps_lost_total":
+		return r.stats.GapsLost.Load()
+	case "camus_receiver_decode_errors_total":
+		return r.stats.DecodeErrors.Load()
+	}
+	return 0
+}
 
 // Close shuts the subscriber socket, unblocking Run.
 func (r *Receiver) Close() error { return r.conn.Close() }

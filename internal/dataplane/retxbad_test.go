@@ -58,13 +58,13 @@ func TestRetxBadRequestsCountedAndSkipped(t *testing.T) {
 	}
 
 	deadline := time.Now().Add(2 * time.Second)
-	for sw.Stats().RetxBad.Load() < want && time.Now().Before(deadline) {
+	for sw.stats.RetxBad.Load() < want && time.Now().Before(deadline) {
 		time.Sleep(5 * time.Millisecond)
 	}
-	if got := sw.Stats().RetxBad.Load(); got < want {
+	if got := sw.stats.RetxBad.Load(); got < want {
 		t.Fatalf("retx bad counter = %d, want >= %d", got, want)
 	}
-	if got := sw.Stats().RetxRequests.Load(); got != 0 {
+	if got := sw.stats.RetxRequests.Load(); got != 0 {
 		t.Fatalf("bad datagrams were served as requests: RetxRequests = %d", got)
 	}
 
@@ -90,7 +90,7 @@ func TestRetxBadRequestsCountedAndSkipped(t *testing.T) {
 	if len(mp.Messages) != 1 || mp.Header.Sequence != 1 {
 		t.Fatalf("bad retransmission reply: %d messages at seq %d", len(mp.Messages), mp.Header.Sequence)
 	}
-	if sw.Stats().RetxRequests.Load() != 1 {
-		t.Fatalf("valid request not counted: RetxRequests = %d", sw.Stats().RetxRequests.Load())
+	if sw.stats.RetxRequests.Load() != 1 {
+		t.Fatalf("valid request not counted: RetxRequests = %d", sw.stats.RetxRequests.Load())
 	}
 }

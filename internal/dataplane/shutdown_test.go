@@ -65,10 +65,10 @@ func TestGracefulShutdownDrainsBeforeEOS(t *testing.T) {
 			// then queued in the shard lanes (processing is slowed to
 			// ~100us/datagram), which is exactly what Close must drain.
 			ingestDeadline := time.Now().Add(5 * time.Second)
-			for sw.Stats().Datagrams.Load() < published && time.Now().Before(ingestDeadline) {
+			for sw.stats.Datagrams.Load() < published && time.Now().Before(ingestDeadline) {
 				time.Sleep(time.Millisecond)
 			}
-			if got := sw.Stats().Datagrams.Load(); got < published {
+			if got := sw.stats.Datagrams.Load(); got < published {
 				t.Fatalf("switch ingested only %d/%d datagrams", got, published)
 			}
 			if err := sw.Close(); err != nil {

@@ -57,7 +57,7 @@ func TestTelemetryAgreesWithChaosGroundTruth(t *testing.T) {
 	if got := snap.Counters["camus_receiver_delivered_total"]; got != groundDelivered {
 		t.Errorf("registry delivered = %d, ground truth = %d", got, groundDelivered)
 	}
-	if got := h.rcv.Stats().GapsLost.Load(); got != groundLost {
+	if got := h.rcv.stats.GapsLost.Load(); got != groundLost {
 		t.Errorf("Stats view gaps_lost = %d, ground truth = %d", got, groundLost)
 	}
 	if groundDelivered+groundLost != matched {
@@ -66,7 +66,7 @@ func TestTelemetryAgreesWithChaosGroundTruth(t *testing.T) {
 	if got := snap.Counters["camus_dataplane_matched_total"]; got != matched {
 		t.Errorf("registry matched = %d, switch counter = %d", got, matched)
 	}
-	if got, want := snap.Counters["camus_receiver_requests_total"], h.rcv.Stats().Requests.Load(); got != want {
+	if got, want := snap.Counters["camus_receiver_requests_total"], h.rcv.stats.Requests.Load(); got != want {
 		t.Errorf("registry retx requests = %d, Stats view = %d", got, want)
 	}
 	for _, name := range []string{
@@ -98,7 +98,7 @@ func TestAdminEndpointServesLiveMetrics(t *testing.T) {
 		t.Fatal("nothing matched")
 	}
 	deadline := time.Now().Add(10 * time.Second)
-	for h.rcv.Stats().Delivered.Load() < matched && time.Now().Before(deadline) {
+	for h.rcv.stats.Delivered.Load() < matched && time.Now().Before(deadline) {
 		time.Sleep(10 * time.Millisecond)
 	}
 

@@ -121,10 +121,10 @@ stock == MSFT : fwd(2)
 	drain(sub1, "GOOGL")
 	drain(sub2, "MSFT")
 
-	if got := sw.Stats().Messages.Load(); got != uint64(sent) {
+	if got := sw.stats.Messages.Load(); got != uint64(sent) {
 		t.Fatalf("messages evaluated %d, want %d", got, sent)
 	}
-	if got := sw.Stats().Matched.Load(); got != 2*perSym {
+	if got := sw.stats.Matched.Load(); got != 2*perSym {
 		t.Fatalf("matched %d, want %d", got, 2*perSym)
 	}
 }

@@ -317,7 +317,7 @@ func DataplaneThroughput(cfg DataplaneConfig) ([]DataplanePoint, error) {
 		go func() { runErr <- sw.Run(context.Background()) }()
 		warmMsgs := uint64(warmTotal) * uint64(cfg.MsgsPerPacket)
 		deadline := time.Now().Add(30 * time.Second)
-		for sw.Stats().Messages.Load() < warmMsgs && time.Now().Before(deadline) {
+		for sw.Metric("camus_dataplane_messages_total") < warmMsgs && time.Now().Before(deadline) {
 			time.Sleep(200 * time.Microsecond)
 		}
 		runtime.GC()
@@ -348,16 +348,15 @@ func DataplaneThroughput(cfg DataplaneConfig) ([]DataplanePoint, error) {
 			}
 		}
 		r.readNs -= gateNs
-		stats := sw.Stats()
-		r.pkts = int(stats.Datagrams.Load())
-		r.msgs = int(stats.Messages.Load())
+		r.pkts = int(sw.Metric("camus_dataplane_datagrams_total"))
+		r.msgs = int(sw.Metric("camus_dataplane_messages_total"))
 		r.measured = r.pkts - int(warmTotal)
 		if r.measured <= 0 {
 			r.measured = r.pkts
 		}
-		r.matched = stats.Matched.Load()
-		r.forwarded = stats.Forwarded.Load()
-		r.resharded = stats.Resharded.Load()
+		r.matched = sw.Metric("camus_dataplane_matched_total")
+		r.forwarded = sw.Metric("camus_dataplane_forwarded_total")
+		r.resharded = sw.Metric("camus_dataplane_resharded_total")
 		r.allocs = m1.Mallocs - m0.Mallocs
 		sw.Close()
 		return r, nil

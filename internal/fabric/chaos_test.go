@@ -375,8 +375,8 @@ func TestFabricChaosTwoHopDelivery(t *testing.T) {
 	// was vacuous.
 	var recovered uint64
 	for j := 0; j < 2; j++ {
-		recovered += h.fab.UplinkRelay(j).Stats().Recovered.Load()
-		recovered += h.fab.DownlinkRelay(0, j).Stats().Recovered.Load()
+		recovered += h.fab.UplinkRelay(j).Recovered()
+		recovered += h.fab.DownlinkRelay(0, j).Recovered()
 	}
 	if recovered == 0 {
 		t.Fatal("no link relay recovered anything; chaos plan injected no loss")

@@ -74,6 +74,10 @@ type Fabric struct {
 
 	upRelays   []*Relay   // leaf j's uplink, targeted at its active spine
 	downRelays [][]*Relay // [spine][leaf]
+	// downSubs are the spine egress subscriptions feeding the downlink
+	// relays, [spine][leaf]; onLinkDown closes a subscription to stop
+	// the spine forwarding into a dead link.
+	downSubs [][]*dataplane.Subscription
 
 	monitors []*healthMonitor
 	hbs      [][]*heartbeater // [leaf][spine]
@@ -222,13 +226,16 @@ func (f *Fabric) build() error {
 			return err
 		}
 		f.upRelays = append(f.upRelays, r)
-		if err := up.BindPort(0, r.Addr().String()); err != nil {
+		if _, err := up.Subscribe(dataplane.SubscriberConfig{
+			Port: 0, Addr: r.Addr().String(), Group: "uplink",
+		}); err != nil {
 			return err
 		}
 	}
 	// Downlinks: spine s egresses port j into relay (s,j), which
 	// republishes into leaf j's down plane.
 	f.downRelays = make([][]*Relay, cfg.Spines)
+	f.downSubs = make([][]*dataplane.Subscription, cfg.Spines)
 	for s, sw := range f.spines {
 		for j, down := range f.downs {
 			r, err := NewRelay(RelayConfig{
@@ -243,9 +250,13 @@ func (f *Fabric) build() error {
 				return err
 			}
 			f.downRelays[s] = append(f.downRelays[s], r)
-			if err := sw.BindPort(j, r.Addr().String()); err != nil {
+			sub, err := sw.Subscribe(dataplane.SubscriberConfig{
+				Port: j, Addr: r.Addr().String(), Group: "downlink",
+			})
+			if err != nil {
 				return err
 			}
+			f.downSubs[s] = append(f.downSubs[s], sub)
 		}
 	}
 
@@ -306,7 +317,10 @@ func (f *Fabric) LeafForHost(host int) int { return host % f.cfg.Leaves }
 // BindHost binds subscriber host's delivery address on its leaf's down
 // plane.
 func (f *Fabric) BindHost(host int, addr string) error {
-	return f.downs[f.LeafForHost(host)].BindPort(host, addr)
+	_, err := f.downs[f.LeafForHost(host)].Subscribe(dataplane.SubscriberConfig{
+		Port: host, Addr: addr, Group: "host",
+	})
+	return err
 }
 
 // HostRetxAddr is the retransmission channel a subscriber host recovers
@@ -407,7 +421,7 @@ func (f *Fabric) onLinkDown(leaf, spine int) {
 	if g := f.linkUpG[leaf][spine]; g != nil {
 		g.Set(0)
 	}
-	f.spines[spine].UnbindPort(leaf)
+	f.downSubs[spine][leaf].Close()
 	f.downRelays[spine][leaf].Sever()
 
 	for l := 0; l < f.cfg.Leaves; l++ {

@@ -119,8 +119,12 @@ func (r *Relay) Sever() { r.down.Store(true) }
 // Forwarded is how many messages crossed the link exactly once.
 func (r *Relay) Forwarded() uint64 { return r.forwarded.Load() }
 
-// Stats exposes the link receiver's recovery counters.
-func (r *Relay) Stats() *dataplane.ReceiverStats { return r.rcv.Stats() }
+// Recovered is how many messages the link receiver repaired through the
+// upstream retransmission channel.
+func (r *Relay) Recovered() uint64 { return r.rcv.Metric("camus_receiver_recovered_total") }
+
+// GapsLost is how many messages the link declared unrecoverable.
+func (r *Relay) GapsLost() uint64 { return r.rcv.Metric("camus_receiver_gaps_lost_total") }
 
 // Run drives the link until ctx is canceled, the socket closes, or the
 // upstream announces end-of-session.

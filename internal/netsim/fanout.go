@@ -49,6 +49,15 @@ type FanoutResult struct {
 	TotalMsgs int
 	// FabricBytes counts all bytes crossing switch→host links.
 	FabricBytes int
+	// Encode-once accounting, mirroring the dataplane's multicast egress
+	// engine: each compiled multicast group's body is serialized once per
+	// datagram (GroupEncodes) and fanned out to every member (GroupSends),
+	// so SharedBytesSaved of serialization work never happens compared to
+	// encoding per subscriber. Zero in Broadcast mode and when the program
+	// has no multi-port ActionSets.
+	GroupEncodes     int
+	GroupSends       int
+	SharedBytesSaved int
 }
 
 // DeliveredTotal sums messages over ports.
@@ -134,12 +143,36 @@ func RunFanout(cfg FanoutConfig) (*FanoutResult, error) {
 					// multicast engine replicates to matched ports.
 					outs := batch.run(cfg.Switch, ex, fp.Orders, sim.Now())
 					perPort := make(map[int]int)
+					perGroup := make(map[int]int)
+					groupPorts := make(map[int][]int)
 					for i := range outs {
 						if outs[i].Dropped {
 							continue
 						}
+						if g := outs[i].Group; g >= 0 {
+							if _, ok := perGroup[g]; !ok {
+								groupPorts[g] = outs[i].Ports
+							}
+							perGroup[g]++
+						}
 						for _, port := range outs[i].Ports {
 							perPort[port]++
+						}
+					}
+					for g, n := range perGroup {
+						members := 0
+						for _, p := range groupPorts[g] {
+							if _, ok := links[p]; ok {
+								members++
+							}
+						}
+						if members == 0 {
+							continue
+						}
+						res.GroupEncodes++
+						res.GroupSends += members
+						if body := packetBytes(n) - itch.MoldHeaderLen; body > 0 {
+							res.SharedBytesSaved += (members - 1) * body
 						}
 					}
 					for port, n := range perPort {

@@ -1,0 +1,75 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"camus/internal/compiler"
+	"camus/internal/pipeline"
+	"camus/internal/workload"
+)
+
+// groupFanout runs the simulated fan-out with each of 4 symbols
+// multicast to `members` subscriber ports under identical predicates, so
+// the compiler folds each symbol into one multicast group (members == 1
+// degenerates to unicast ActionSets with no group).
+func groupFanout(t *testing.T, members int) *FanoutResult {
+	t.Helper()
+	sp := workload.ITCHSpec()
+	rules := ""
+	var ports []int
+	for s := 0; s < 4; s++ {
+		for m := 0; m < members; m++ {
+			port := s*members + m + 1
+			rules += fmt.Sprintf("stock == %s : fwd(%d)\n", workload.StockSymbol(s), port)
+			ports = append(ports, port)
+		}
+	}
+	prog, err := compiler.CompileSource(sp, rules, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := pipeline.New(prog, pipeline.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedCfg := workload.SyntheticFeedConfig()
+	feedCfg.Duration = 10 * time.Millisecond
+	r, err := RunFanout(FanoutConfig{
+		Feed:   workload.GenerateFeed(feedCfg),
+		Switch: sw,
+		Ports:  ports,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestFanoutGroupEncodeAccounting: the simulator's encode-once ledger
+// must mirror the dataplane engine — one body serialization per touched
+// group per datagram, one send per member, and the saved serialization
+// work grows with fanout. A unicast program reports no group activity.
+func TestFanoutGroupEncodeAccounting(t *testing.T) {
+	uni := groupFanout(t, 1)
+	if uni.GroupEncodes != 0 || uni.GroupSends != 0 || uni.SharedBytesSaved != 0 {
+		t.Fatalf("unicast program reported group activity: %+v", uni)
+	}
+
+	grp := groupFanout(t, 3)
+	if grp.GroupEncodes == 0 {
+		t.Fatal("multicast program encoded no group bodies")
+	}
+	if grp.GroupSends != 3*grp.GroupEncodes {
+		t.Fatalf("group sends %d, want 3x encodes (%d)", grp.GroupSends, grp.GroupEncodes)
+	}
+	if grp.SharedBytesSaved == 0 {
+		t.Fatal("no serialization bytes saved at fanout 3")
+	}
+	// Delivery semantics are unchanged by the accounting: every member of
+	// a symbol's group sees the symbol's messages.
+	if grp.DeliveredTotal() == 0 {
+		t.Fatal("nothing delivered")
+	}
+}

@@ -95,6 +95,44 @@ func ITCHSubscriptions(cfg ITCHSubsConfig) []lang.Rule {
 	return rules
 }
 
+// FanoutSubscriptions generates the multicast-fanout workload: groups
+// symbols, each subscribed by a dedicated contiguous range of ports/groups
+// end-hosts under the identical predicate "stock == S : fwd(h)". Equal
+// predicates fold into one ActionSet at compile time, so every symbol
+// becomes one compiled multicast group of fanout member ports — the
+// workload the encode-once egress engine is sized against. Ports are
+// assigned densely from 1: group g owns [g*fanout+1, (g+1)*fanout].
+func FanoutSubscriptions(groups, ports int) []lang.Rule {
+	fanout := ports / groups
+	if fanout < 1 {
+		fanout = 1
+	}
+	rules := make([]lang.Rule, 0, groups*fanout)
+	for g := 0; g < groups; g++ {
+		stock := StockSymbol(g)
+		for m := 0; m < fanout; m++ {
+			rules = append(rules, lang.Rule{
+				ID:      len(rules),
+				Cond:    lang.Cmp{LHS: lang.Operand{Field: "stock"}, Op: lang.OpEq, RHS: lang.Symbol(stock)},
+				Actions: []lang.Action{lang.Fwd(g*fanout + m + 1)},
+			})
+		}
+	}
+	return rules
+}
+
+// FanoutSubscriptionSource renders the fanout workload in the surface
+// syntax.
+func FanoutSubscriptionSource(groups, ports int) string {
+	rules := FanoutSubscriptions(groups, ports)
+	out := make([]byte, 0, len(rules)*32)
+	for _, r := range rules {
+		out = append(out, r.String()...)
+		out = append(out, '\n')
+	}
+	return string(out)
+}
+
 // ITCHSubscriptionSource renders the workload in the surface syntax (for
 // the camusc CLI and documentation examples).
 func ITCHSubscriptionSource(cfg ITCHSubsConfig) string {

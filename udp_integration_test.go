@@ -70,7 +70,7 @@ func TestUDPSwitchPublicAPI(t *testing.T) {
 	if o.Shares != 500 {
 		t.Fatalf("wrong message forwarded: shares=%d", o.Shares)
 	}
-	if sw.Stats().Matched.Load() != 1 {
-		t.Fatalf("matched = %d", sw.Stats().Matched.Load())
+	if sw.Metric("camus_dataplane_matched_total") != 1 {
+		t.Fatalf("matched = %d", sw.Metric("camus_dataplane_matched_total"))
 	}
 }
