@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// amd64Sizes is the layout model every size/offset check in this suite
+// uses: the deployment target is linux/amd64, and pinning the sizes
+// keeps diagnostics identical regardless of the host the linter runs
+// on.
+var amd64Sizes = types.SizesFor("gc", "amd64")
+
+// CacheLine turns struct-packing claims into compile-time checks: a
+// struct annotated `//camus:cacheline N` must occupy at most N bytes
+// under amd64 layout; with `prefix=Field` only the leading fields
+// through Field must fit (the hot prefix idiom — cold tail fields may
+// spill past the boundary). Over-budget structs get the wasted-padding
+// fix spelled out: the minimal achievable size under a descending
+// align/size field ordering.
+var CacheLine = &Analyzer{
+	Name: "cacheline",
+	Doc: "check that structs annotated //camus:cacheline N fit their declared " +
+		"byte budget under amd64 layout, reporting the reordering fix",
+	Run: runCacheLine,
+}
+
+func runCacheLine(pass *Pass) error {
+	supp := newSuppressions(pass.Fset, pass.Files, "ok")
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				d, ok := typeDirective(pass, gd, ts, "cacheline")
+				if !ok {
+					continue
+				}
+				checkCacheLine(pass, ts, d, supp)
+			}
+		}
+	}
+	return nil
+}
+
+// typeDirective finds a //camus:<verb> directive in the doc comment of
+// a type declaration (on the GenDecl or the individual TypeSpec).
+func typeDirective(pass *Pass, gd *ast.GenDecl, ts *ast.TypeSpec, verb string) (directive, bool) {
+	for _, cg := range []*ast.CommentGroup{gd.Doc, ts.Doc, ts.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if d, ok := parseDirective(pass.Fset, c); ok && d.verb == verb {
+				return d, true
+			}
+		}
+	}
+	return directive{}, false
+}
+
+func checkCacheLine(pass *Pass, ts *ast.TypeSpec, d directive, supp *suppressions) {
+	budget, prefix, err := parseCacheLineArgs(d.args)
+	if err != nil {
+		pass.Reportf(d.pos, "malformed //camus:cacheline directive: %v (want //camus:cacheline <bytes> [prefix=Field])", err)
+		return
+	}
+	obj := pass.TypesInfo.Defs[ts.Name]
+	if obj == nil {
+		return
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		pass.Reportf(d.pos, "//camus:cacheline on %s, which is not a struct type", ts.Name.Name)
+		return
+	}
+	if reason, ok := supp.okFor(ts.Pos(), "cacheline"); ok {
+		if reason == "" {
+			pass.Reportf(ts.Pos(), "//camus:ok cacheline directive without a reason")
+		}
+		return
+	}
+
+	fields := make([]*types.Var, st.NumFields())
+	for i := range fields {
+		fields[i] = st.Field(i)
+	}
+	offsets := amd64Sizes.Offsetsof(fields)
+
+	if prefix != "" {
+		idx := -1
+		for i, f := range fields {
+			if f.Name() == prefix {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			pass.Reportf(d.pos, "//camus:cacheline prefix=%s: %s has no field %q", prefix, ts.Name.Name, prefix)
+			return
+		}
+		end := offsets[idx] + amd64Sizes.Sizeof(fields[idx].Type())
+		if end > budget {
+			pass.Reportf(ts.Name.Pos(),
+				"%s: hot prefix through %s ends at byte %d, over the //camus:cacheline %d budget; move cold fields after %s or shrink the prefix",
+				ts.Name.Name, prefix, end, budget, prefix)
+		}
+		return
+	}
+
+	size := amd64Sizes.Sizeof(obj.Type())
+	if size <= budget {
+		return
+	}
+	best, order := packedLayout(fields)
+	if best < size {
+		pass.Reportf(ts.Name.Pos(),
+			"%s is %d bytes, over the //camus:cacheline %d budget; reordering fields as [%s] packs it to %d bytes (%d wasted padding)",
+			ts.Name.Name, size, budget, strings.Join(order, " "), best, size-best)
+	} else {
+		pass.Reportf(ts.Name.Pos(),
+			"%s is %d bytes, over the //camus:cacheline %d budget, and no field reordering helps; shrink or split the struct",
+			ts.Name.Name, size, budget)
+	}
+}
+
+func parseCacheLineArgs(args string) (budget int64, prefix string, err error) {
+	parts := strings.Fields(args)
+	if len(parts) == 0 {
+		return 0, "", fmt.Errorf("missing byte budget")
+	}
+	budget, err = strconv.ParseInt(parts[0], 10, 64)
+	if err != nil || budget <= 0 {
+		return 0, "", fmt.Errorf("bad byte budget %q", parts[0])
+	}
+	for _, p := range parts[1:] {
+		if v, ok := strings.CutPrefix(p, "prefix="); ok && v != "" {
+			prefix = v
+			continue
+		}
+		return 0, "", fmt.Errorf("unknown argument %q", p)
+	}
+	return budget, prefix, nil
+}
+
+// packedLayout computes the struct size achievable by sorting fields by
+// descending alignment then descending size — the standard
+// padding-minimizing order — and returns the size with that field
+// order.
+func packedLayout(fields []*types.Var) (int64, []string) {
+	idx := make([]int, len(fields))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		fa, fb := fields[idx[a]], fields[idx[b]]
+		aa, ab := amd64Sizes.Alignof(fa.Type()), amd64Sizes.Alignof(fb.Type())
+		if aa != ab {
+			return aa > ab
+		}
+		sa, sb := amd64Sizes.Sizeof(fa.Type()), amd64Sizes.Sizeof(fb.Type())
+		return sa > sb
+	})
+	reordered := make([]*types.Var, len(fields))
+	names := make([]string, len(fields))
+	for i, j := range idx {
+		reordered[i] = fields[j]
+		names[i] = fields[j].Name()
+	}
+	if len(reordered) == 0 {
+		return 0, names
+	}
+	offs := amd64Sizes.Offsetsof(reordered)
+	last := len(reordered) - 1
+	size := offs[last] + amd64Sizes.Sizeof(reordered[last].Type())
+	// Round up to the struct's alignment, as the compiler does.
+	var align int64 = 1
+	for _, f := range reordered {
+		if a := amd64Sizes.Alignof(f.Type()); a > align {
+			align = a
+		}
+	}
+	if rem := size % align; rem != 0 {
+		size += align - rem
+	}
+	return size, names
+}

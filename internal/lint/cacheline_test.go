@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCacheLineGolden: a 24-byte struct annotated for 16 bytes is the
+// true positive (exact position), a waived struct and an in-budget
+// struct stay silent, and the reordering fix names the packed order.
+func TestCacheLineGolden(t *testing.T) {
+	src := `package app
+
+//camus:cacheline 16
+type bad struct {
+	b bool
+	x uint64
+	c bool
+	y uint32
+}
+
+//camus:cacheline 16
+type fits struct {
+	x uint64
+	y uint32
+	b bool
+	c bool
+}
+
+//camus:cacheline 8
+//camus:ok cacheline fixture: documented two-line waiver
+type waived struct {
+	a uint64
+	b uint64
+}
+`
+	diags, _ := analyzeSeq(t, nil, []testPkg{{path: "camus/app", src: src}})
+	cl := byAnalyzer(diags["camus/app"], "cacheline")
+	if len(cl) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 (bad only): %v", len(cl), cl)
+	}
+	d := cl[0]
+	if d.Pos.Filename != "camus_app.go" || d.Pos.Line != 4 || d.Pos.Column != 6 {
+		t.Errorf("diagnostic at %s:%d:%d, want camus_app.go:4:6 (the type name)", d.Pos.Filename, d.Pos.Line, d.Pos.Column)
+	}
+	for _, want := range []string{"bad is 24 bytes", "budget", "[x y b c]", "16 bytes", "8 wasted padding"} {
+		if !strings.Contains(d.Message, want) {
+			t.Errorf("diagnostic %q missing %q", d.Message, want)
+		}
+	}
+}
+
+// TestCacheLinePrefix: prefix= bounds only the hot leading fields; the
+// cold tail may spill past the budget.
+func TestCacheLinePrefix(t *testing.T) {
+	src := `package app
+
+//camus:cacheline 16 prefix=hot2
+type okPrefix struct {
+	hot1 uint64
+	hot2 uint64
+	cold [128]byte
+}
+
+//camus:cacheline 16 prefix=late
+type badPrefix struct {
+	pad  [3]uint64
+	late uint32
+}
+`
+	diags, _ := analyzeSeq(t, nil, []testPkg{{path: "camus/app", src: src}})
+	cl := byAnalyzer(diags["camus/app"], "cacheline")
+	if len(cl) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 (badPrefix only): %v", len(cl), cl)
+	}
+	if !strings.Contains(cl[0].Message, "hot prefix through late ends at byte 28") {
+		t.Errorf("diagnostic %q should report the prefix end offset 28", cl[0].Message)
+	}
+}
+
+// TestCacheLineMalformed: a broken directive is a finding, not a
+// silent no-op.
+func TestCacheLineMalformed(t *testing.T) {
+	src := `package app
+
+//camus:cacheline sixty-four
+type oops struct {
+	x uint64
+}
+
+//camus:cacheline 64 prefix=gone
+type missing struct {
+	x uint64
+}
+`
+	diags, _ := analyzeSeq(t, nil, []testPkg{{path: "camus/app", src: src}})
+	cl := byAnalyzer(diags["camus/app"], "cacheline")
+	if len(cl) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(cl), cl)
+	}
+	if !strings.Contains(cl[0].Message, "malformed") {
+		t.Errorf("diagnostic %q should report the malformed budget", cl[0].Message)
+	}
+	if !strings.Contains(cl[1].Message, `no field "gone"`) {
+		t.Errorf("diagnostic %q should report the missing prefix field", cl[1].Message)
+	}
+}

@@ -1,0 +1,242 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// stubSync declares the sync surface lockorder and goroleak match on.
+const stubSync = `
+package sync
+
+type Mutex struct{ state int32 }
+
+func (m *Mutex) Lock()
+func (m *Mutex) Unlock()
+
+type RWMutex struct{ state int32 }
+
+func (m *RWMutex) Lock()
+func (m *RWMutex) Unlock()
+func (m *RWMutex) RLock()
+func (m *RWMutex) RUnlock()
+
+type WaitGroup struct{ state int32 }
+
+func (w *WaitGroup) Add(delta int)
+func (w *WaitGroup) Done()
+func (w *WaitGroup) Wait()
+`
+
+// stubContext declares just enough of context for the ctx-delegation
+// rule.
+const stubContext = `
+package context
+
+type Context interface {
+	Done() <-chan struct{}
+}
+
+func Background() Context
+`
+
+// stubFmt gives hotpathalloc a fmt package to flag calls into.
+const stubFmt = `
+package fmt
+
+func Sprintf(format string, args ...any) string
+func Errorf(format string, args ...any) error
+`
+
+// testPkg is one module package in an analyzeSeq fixture, analyzed in
+// slice order so facts flow from dependencies to importers.
+type testPkg struct {
+	path string
+	src  string
+}
+
+// analyzeSeq typechecks stub dependencies (never analyzed), then
+// typechecks and analyzes each module package in order with
+// RunPackageFacts, threading each package's exported facts into its
+// importers exactly as cmd/camus-lint does with .vetx files. It
+// returns the diagnostics and facts per package path.
+func analyzeSeq(t *testing.T, stubs map[string]string, pkgs []testPkg) (map[string][]Diagnostic, map[string]PackageFacts) {
+	t.Helper()
+	fset := token.NewFileSet()
+	imp := mapImporter{}
+	for path, src := range stubs {
+		f, err := parser.ParseFile(fset, path+"/stub.go", src, 0)
+		if err != nil {
+			t.Fatalf("parsing stub %s: %v", path, err)
+		}
+		cfg := &types.Config{Importer: imp}
+		pkg, err := cfg.Check(path, fset, []*ast.File{f}, nil)
+		if err != nil {
+			t.Fatalf("typechecking stub %s: %v", path, err)
+		}
+		imp[path] = pkg
+	}
+	diags := map[string][]Diagnostic{}
+	facts := map[string]PackageFacts{}
+	for _, tp := range pkgs {
+		name := strings.ReplaceAll(tp.path, "/", "_") + ".go"
+		f, err := parser.ParseFile(fset, name, tp.src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", tp.path, err)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+		cfg := &types.Config{Importer: imp}
+		pkg, err := cfg.Check(tp.path, fset, []*ast.File{f}, info)
+		if err != nil {
+			t.Fatalf("typechecking %s: %v", tp.path, err)
+		}
+		imp[tp.path] = pkg
+		d, out, err := RunPackageFacts(Analyzers(), fset, []*ast.File{f}, pkg, info, facts)
+		if err != nil {
+			t.Fatalf("analyzing %s: %v", tp.path, err)
+		}
+		diags[tp.path] = d
+		facts[tp.path] = out
+	}
+	return diags, facts
+}
+
+// checkNamed typechecks src as a single file with an explicit file
+// name (the analyzers' test-file exemptions key off it) and runs every
+// analyzer.
+func checkNamed(t *testing.T, pkgPath, filename, src string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing %s: %v", filename, err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	cfg := &types.Config{Importer: mapImporter{}}
+	pkg, err := cfg.Check(pkgPath, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typechecking %s: %v", pkgPath, err)
+	}
+	diags, err := RunPackage(Analyzers(), fset, []*ast.File{f}, pkg, info)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	return diags
+}
+
+// byAnalyzer filters diagnostics to one analyzer.
+func byAnalyzer(diags []Diagnostic, name string) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Analyzer == name {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// TestFactRoundTrip proves the fact protocol end to end: a dependency
+// exports its hotpathalloc function summaries, and an importer decodes
+// them and uses them to flag an allocation two packages away from the
+// annotated function.
+func TestFactRoundTrip(t *testing.T) {
+	dep := testPkg{path: "camus/internal/depa", src: `
+package depa
+
+func Grow(n int) []byte {
+	return make([]byte, n)
+}
+
+func Clean(x int) int {
+	return x + 1
+}
+`}
+	mid := testPkg{path: "camus/internal/midb", src: `
+package midb
+
+import "camus/internal/depa"
+
+func Via(n int) []byte {
+	return depa.Grow(n)
+}
+`}
+	app := testPkg{path: "camus/app", src: `
+package app
+
+import "camus/internal/midb"
+
+//camus:hotpath
+func Hot(n int) []byte {
+	return midb.Via(n)
+}
+`}
+	diags, facts := analyzeSeq(t, nil, []testPkg{dep, mid, app})
+
+	// The dependency's exported fact decodes into the documented shape.
+	var depFacts hotAllocFacts
+	raw, ok := facts["camus/internal/depa"]["hotpathalloc"]
+	if !ok {
+		t.Fatal("depa exported no hotpathalloc fact")
+	}
+	if err := json.Unmarshal(raw, &depFacts); err != nil {
+		t.Fatalf("decoding depa fact: %v", err)
+	}
+	grow, ok := depFacts.Funcs["camus/internal/depa.Grow"]
+	if !ok {
+		t.Fatalf("depa fact missing Grow summary; have %v", keysOf(depFacts.Funcs))
+	}
+	if len(grow.Allocs) != 1 || grow.Allocs[0].What != "make" {
+		t.Fatalf("Grow summary = %+v, want one make alloc", grow)
+	}
+	clean := depFacts.Funcs["camus/internal/depa.Clean"]
+	if len(clean.Allocs) != 0 {
+		t.Fatalf("Clean summary has allocs: %+v", clean)
+	}
+
+	// The middle package re-exports the dependency's summaries merged
+	// with its own (so importers need only direct imports).
+	var midFacts hotAllocFacts
+	if err := json.Unmarshal(facts["camus/internal/midb"]["hotpathalloc"], &midFacts); err != nil {
+		t.Fatalf("decoding midb fact: %v", err)
+	}
+	if _, ok := midFacts.Funcs["camus/internal/depa.Grow"]; !ok {
+		t.Fatalf("midb fact did not re-export depa.Grow; have %v", keysOf(midFacts.Funcs))
+	}
+
+	// And the importer's hot function is flagged through the chain.
+	hot := byAnalyzer(diags["camus/app"], "hotpathalloc")
+	if len(hot) != 1 {
+		t.Fatalf("got %d hotpathalloc diagnostics in app, want 1: %v", len(hot), hot)
+	}
+	msg := hot[0].Message
+	if !strings.Contains(msg, "Via -> Grow") || !strings.Contains(msg, "make") {
+		t.Errorf("diagnostic %q does not spell out the cross-package chain and alloc", msg)
+	}
+	if hot[0].Pos.Line != 8 {
+		t.Errorf("diagnostic at line %d, want the call site at line 8", hot[0].Pos.Line)
+	}
+}
+
+func keysOf[V any](m map[string]V) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

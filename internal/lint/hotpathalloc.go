@@ -1,0 +1,572 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// HotPathAlloc enforces the module's zero-allocation discipline on
+// functions annotated //camus:hotpath: neither the function body nor
+// any module-local function it (transitively) calls may contain an
+// allocation-inducing construct. The constructs recognized statically:
+//
+//   - make / new builtins
+//   - &T{...} (address-taken composite literal) and slice/map literals
+//   - function literals (closure headers escape)
+//   - string concatenation and string <-> []byte/[]rune conversions
+//   - interface boxing of non-pointer-shaped concrete values
+//     (conversions, call arguments, assignments, returns)
+//   - any call into package fmt
+//   - append whose result is not assigned back over its own base
+//     (self-append `x = append(x[:0], ...)` is the module's amortized
+//     reuse idiom and is allowed)
+//   - go statements (a goroutine spawn allocates its stack)
+//
+// `//camus:alloc-ok <reason>` on the construct's line (or the line
+// above) suppresses one site or call edge; the reason is mandatory.
+// Cross-package reach uses facts: every package exports a summary of
+// each declared function's (unsuppressed) alloc sites and module-local
+// call edges, merged with its dependencies' summaries.
+//
+// Soundness notes (documented in DESIGN.md §5j): calls through
+// interfaces and func values are not chased, calls into non-module
+// packages (other than fmt) are not chased, and self-append may still
+// grow a slice — the oracle mode (`camus-lint -oracle`) and the
+// benchmark agreement test cover those dynamically.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc: "report allocation-inducing constructs reachable from //camus:hotpath " +
+		"functions through module-local calls",
+	Run: runHotPathAlloc,
+}
+
+// hotAllocFacts is the serialized per-package summary. Funcs includes
+// the summaries of every dependency (merged transitively), so a single
+// direct import of the fact is enough to resolve any reachable callee.
+type hotAllocFacts struct {
+	Funcs map[string]hotFuncSummary `json:"funcs"`
+}
+
+type hotFuncSummary struct {
+	Hot    bool       `json:"hot,omitempty"`
+	Allocs []hotAlloc `json:"allocs,omitempty"`
+	Calls  []hotCall  `json:"calls,omitempty"`
+}
+
+type hotAlloc struct {
+	Pos  string `json:"pos"` // file:line:col
+	What string `json:"what"`
+}
+
+type hotCall struct {
+	Callee string `json:"callee"` // funcKey of a module-local function
+	Pos    string `json:"pos"`
+}
+
+// localSummary mirrors hotFuncSummary with token positions for
+// reporting inside the package under analysis.
+type localSummary struct {
+	hot       bool
+	hotPos    token.Pos
+	allocPos  []token.Pos
+	allocWhat []string
+	callKey   []string
+	callPos   []token.Pos
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	modRoot := moduleRoot(pass.Pkg.Path())
+	supp := newSuppressions(pass.Fset, pass.Files, "alloc-ok")
+
+	// Reasonless alloc-ok directives are themselves findings: the escape
+	// hatch exists to record *why* an allocation is tolerable.
+	for _, d := range parseDirectives(pass.Fset, pass.Files) {
+		if d.verb == "alloc-ok" && d.args == "" {
+			pass.Reportf(d.pos, "//camus:alloc-ok directive without a reason; write //camus:alloc-ok <why this allocation is acceptable>")
+		}
+	}
+
+	local := map[string]*localSummary{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			key := funcKey(obj)
+			sum := collectAllocs(pass, fn, modRoot, supp)
+			if d, ok := funcDirective(pass.Fset, fn, "hotpath"); ok {
+				sum.hot = true
+				sum.hotPos = d.pos
+			}
+			local[key] = sum
+		}
+	}
+
+	// Merge dependency facts: every imported module package re-exports
+	// its own dependencies' summaries, so direct imports suffice.
+	ext := map[string]hotFuncSummary{}
+	for _, imp := range pass.Pkg.Imports() {
+		if !underModule(imp.Path(), modRoot) {
+			continue
+		}
+		var facts hotAllocFacts
+		if pass.ImportFact(imp.Path(), &facts) {
+			for k, v := range facts.Funcs {
+				ext[k] = v
+			}
+		}
+	}
+
+	// Enforce the closure of every hot function declared here.
+	keys := make([]string, 0, len(local))
+	for k := range local {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sum := local[k]
+		if !sum.hot {
+			continue
+		}
+		reportHotClosure(pass, k, sum, local, ext)
+	}
+
+	// Export this package's summaries merged with the dependencies'.
+	out := hotAllocFacts{Funcs: make(map[string]hotFuncSummary, len(local)+len(ext))}
+	for k, v := range ext {
+		out.Funcs[k] = v
+	}
+	for k, sum := range local {
+		fs := hotFuncSummary{Hot: sum.hot}
+		for i, p := range sum.allocPos {
+			fs.Allocs = append(fs.Allocs, hotAlloc{Pos: pass.Fset.Position(p).String(), What: sum.allocWhat[i]})
+		}
+		for i, c := range sum.callKey {
+			fs.Calls = append(fs.Calls, hotCall{Callee: c, Pos: pass.Fset.Position(sum.callPos[i]).String()})
+		}
+		out.Funcs[k] = fs
+	}
+	return pass.ExportFact(out)
+}
+
+// reportHotClosure walks the module-local call closure of hot function
+// key and reports every reachable allocation site. Sites in the hot
+// function itself are reported at the construct; sites in callees are
+// reported at the first-hop call site with the chain and the remote
+// position spelled out. Callees that are themselves //camus:hotpath are
+// not descended into — their own package already enforces them.
+func reportHotClosure(pass *Pass, key string, sum *localSummary, local map[string]*localSummary, ext map[string]hotFuncSummary) {
+	short := shortFuncName(key)
+	for i, p := range sum.allocPos {
+		pass.Reportf(p, "hot path %s: %s", short, sum.allocWhat[i])
+	}
+	visited := map[string]bool{key: true}
+	for i, callee := range sum.callKey {
+		chaseCallee(pass, short, callee, sum.callPos[i], []string{shortFuncName(callee)}, visited, local, ext)
+	}
+}
+
+func chaseCallee(pass *Pass, hot, callee string, firstHop token.Pos, chain []string, visited map[string]bool, local map[string]*localSummary, ext map[string]hotFuncSummary) {
+	if visited[callee] || len(chain) > 32 {
+		return
+	}
+	visited[callee] = true
+	if ls, ok := local[callee]; ok {
+		if ls.hot {
+			return // independently enforced
+		}
+		for i, p := range ls.allocPos {
+			pass.Reportf(firstHop, "hot path %s: call chain %s allocates: %s at %s",
+				hot, strings.Join(chain, " -> "), ls.allocWhat[i], pass.Fset.Position(p))
+		}
+		for _, next := range ls.callKey {
+			chaseCallee(pass, hot, next, firstHop, append(chain, shortFuncName(next)), visited, local, ext)
+		}
+		return
+	}
+	if fs, ok := ext[callee]; ok {
+		if fs.Hot {
+			return
+		}
+		for _, a := range fs.Allocs {
+			pass.Reportf(firstHop, "hot path %s: call chain %s allocates: %s at %s",
+				hot, strings.Join(chain, " -> "), a.What, a.Pos)
+		}
+		for _, c := range fs.Calls {
+			chaseCallee(pass, hot, c.Callee, firstHop, append(chain, shortFuncName(c.Callee)), visited, local, ext)
+		}
+	}
+	// Unknown callee (no body, or facts unavailable): skip silently —
+	// the agreement test and oracle mode provide the dynamic backstop.
+}
+
+// collectAllocs scans one function body for allocation-inducing
+// constructs and module-local call edges, honoring alloc-ok
+// suppressions.
+func collectAllocs(pass *Pass, fn *ast.FuncDecl, modRoot string, supp *suppressions) *localSummary {
+	sum := &localSummary{}
+	okAppend := sanctionedAppends(pass, fn.Body)
+
+	addAlloc := func(pos token.Pos, what string) {
+		if d, ok := supp.at(pos); ok && d.args != "" {
+			return
+		}
+		sum.allocPos = append(sum.allocPos, pos)
+		sum.allocWhat = append(sum.allocWhat, what)
+	}
+
+	// sigStack tracks the innermost function signature so return
+	// statements are checked against the right result types inside
+	// nested function literals.
+	var nodeStack []ast.Node
+	var sigStack []*types.Signature
+	if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+		sigStack = append(sigStack, obj.Type().(*types.Signature))
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if n == nil {
+			popped := nodeStack[len(nodeStack)-1]
+			nodeStack = nodeStack[:len(nodeStack)-1]
+			if _, ok := popped.(*ast.FuncLit); ok {
+				sigStack = sigStack[:len(sigStack)-1]
+			}
+			return true
+		}
+		nodeStack = append(nodeStack, n)
+
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			addAlloc(n.Pos(), "function literal (closure header escapes)")
+			if sig, ok := pass.TypesInfo.Types[n].Type.(*types.Signature); ok {
+				sigStack = append(sigStack, sig)
+			} else {
+				sigStack = append(sigStack, types.NewSignatureType(nil, nil, nil, nil, nil, false))
+			}
+		case *ast.GoStmt:
+			addAlloc(n.Pos(), "go statement (goroutine spawn allocates)")
+		case *ast.CompositeLit:
+			switch pass.TypesInfo.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				addAlloc(n.Pos(), "slice literal")
+			case *types.Map:
+				addAlloc(n.Pos(), "map literal")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if cl, ok := n.X.(*ast.CompositeLit); ok {
+					addAlloc(cl.Pos(), "address-taken composite literal (&T{...} escapes)")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pass.TypesInfo.TypeOf(n)) {
+				addAlloc(n.Pos(), "string concatenation")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(pass.TypesInfo.TypeOf(n.Lhs[0])) {
+				addAlloc(n.Pos(), "string concatenation (+=)")
+			}
+			checkBoxing(pass, addAlloc, assignPairs(pass, n))
+		case *ast.ReturnStmt:
+			sig := sigStack[len(sigStack)-1]
+			if sig.Results() != nil && len(n.Results) == sig.Results().Len() {
+				var pairs []boxPair
+				for i, res := range n.Results {
+					pairs = append(pairs, boxPair{dst: sig.Results().At(i).Type(), src: res})
+				}
+				checkBoxing(pass, addAlloc, pairs)
+			}
+		case *ast.CallExpr:
+			collectCall(pass, n, modRoot, supp, okAppend, addAlloc, sum)
+		}
+		return true
+	})
+	return sum
+}
+
+// collectCall classifies one call expression: builtin allocator, type
+// conversion, fmt call, module-local call edge, or boxing at the
+// argument boundary.
+func collectCall(pass *Pass, call *ast.CallExpr, modRoot string, supp *suppressions, okAppend map[*ast.CallExpr]bool, addAlloc func(token.Pos, string), sum *localSummary) {
+	// Type conversion T(x).
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := pass.TypesInfo.TypeOf(call.Args[0])
+		switch {
+		case isString(dst) && isByteOrRuneSlice(src):
+			addAlloc(call.Pos(), "conversion []byte/[]rune -> string")
+		case isByteOrRuneSlice(dst) && isString(src):
+			addAlloc(call.Pos(), "conversion string -> []byte/[]rune")
+		default:
+			checkBoxing(pass, addAlloc, []boxPair{{dst: dst, src: call.Args[0]}})
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := calleeIdent(call.Fun); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				addAlloc(call.Pos(), "make")
+			case "new":
+				addAlloc(call.Pos(), "new")
+			case "append":
+				if !okAppend[call] {
+					addAlloc(call.Pos(), "append whose result is not reassigned over its base (growth escapes; use x = append(x, ...))")
+				}
+			}
+			return
+		}
+	}
+
+	obj := calleeFunc(pass, call)
+	if obj == nil || obj.Pkg() == nil {
+		return // func value, interface method without static target, builtin
+	}
+	if obj.Pkg().Path() == "fmt" {
+		addAlloc(call.Pos(), "call to fmt."+obj.Name())
+		return
+	}
+	if isInterfaceMethod(obj) {
+		return // dynamic dispatch: not chased (soundness note)
+	}
+	if underModule(obj.Pkg().Path(), modRoot) {
+		if d, ok := supp.at(call.Pos()); !ok || d.args == "" {
+			sum.callKey = append(sum.callKey, funcKey(obj))
+			sum.callPos = append(sum.callPos, call.Pos())
+		}
+	}
+	// Boxing at the argument boundary.
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok || call.Ellipsis.IsValid() {
+		return
+	}
+	var pairs []boxPair
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			pt = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		case i < sig.Params().Len():
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		pairs = append(pairs, boxPair{dst: pt, src: arg})
+	}
+	checkBoxing(pass, addAlloc, pairs)
+}
+
+// sanctionedAppends marks append calls whose result is assigned back
+// over their own base slice — the `x = append(x[:0], ...)` reuse idiom.
+func sanctionedAppends(pass *Pass, body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	ok := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, isAssign := n.(*ast.AssignStmt)
+		if !isAssign || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, isCall := rhs.(*ast.CallExpr)
+			if !isCall {
+				continue
+			}
+			id, isIdent := calleeIdent(call.Fun)
+			if !isIdent {
+				continue
+			}
+			if b, isB := pass.TypesInfo.Uses[id].(*types.Builtin); !isB || b.Name() != "append" {
+				continue
+			}
+			if len(call.Args) == 0 {
+				continue
+			}
+			base := call.Args[0]
+			if sl, isSlice := base.(*ast.SliceExpr); isSlice {
+				base = sl.X
+			}
+			if types.ExprString(as.Lhs[i]) == types.ExprString(base) {
+				ok[call] = true
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+type boxPair struct {
+	dst types.Type
+	src ast.Expr
+}
+
+// assignPairs extracts (destination type, source expression) pairs from
+// an assignment for the boxing check. Multi-value assignments from a
+// single call are skipped — the tuple's element types already matched
+// the callee's results.
+func assignPairs(pass *Pass, as *ast.AssignStmt) []boxPair {
+	if len(as.Lhs) != len(as.Rhs) {
+		return nil
+	}
+	var pairs []boxPair
+	for i, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		if as.Tok == token.DEFINE {
+			continue // new variable adopts the source's type: no conversion
+		}
+		pairs = append(pairs, boxPair{dst: pass.TypesInfo.TypeOf(lhs), src: as.Rhs[i]})
+	}
+	return pairs
+}
+
+// checkBoxing reports interface boxing: a concrete value whose
+// representation is wider than a pointer converted to an interface
+// destination allocates the boxed copy.
+func checkBoxing(pass *Pass, addAlloc func(token.Pos, string), pairs []boxPair) {
+	for _, p := range pairs {
+		if p.dst == nil || !types.IsInterface(p.dst) {
+			continue
+		}
+		src := pass.TypesInfo.TypeOf(p.src)
+		if src == nil || types.IsInterface(src) {
+			continue
+		}
+		if tv, ok := pass.TypesInfo.Types[p.src]; ok && tv.IsNil() {
+			continue
+		}
+		if pointerShaped(src) {
+			continue
+		}
+		addAlloc(p.src.Pos(), fmt.Sprintf("interface boxing of %s", types.TypeString(src, types.RelativeTo(pass.Pkg))))
+	}
+}
+
+// pointerShaped reports whether values of t fit in one pointer word
+// without an allocation when stored in an interface.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func calleeIdent(fun ast.Expr) (*ast.Ident, bool) {
+	switch f := fun.(type) {
+	case *ast.Ident:
+		return f, true
+	case *ast.ParenExpr:
+		return calleeIdent(f.X)
+	}
+	return nil, false
+}
+
+// calleeFunc resolves the static *types.Func a call targets, or nil for
+// func values and unresolvable callees.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		if f, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return f // package-qualified function
+		}
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if f, ok := pass.TypesInfo.Uses[id].(*types.Func); ok {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// isInterfaceMethod reports whether f is declared on an interface type
+// (so its implementation cannot be resolved statically).
+func isInterfaceMethod(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// funcKey names a function unambiguously across packages:
+// pkgpath.Func or pkgpath.Recv.Method (pointerness of the receiver is
+// normalized away so call sites and declarations agree).
+func funcKey(f *types.Func) string {
+	pkg := ""
+	if f.Pkg() != nil {
+		pkg = f.Pkg().Path()
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		if named, ok := deref(sig.Recv().Type()).(*types.Named); ok {
+			return pkg + "." + named.Obj().Name() + "." + f.Name()
+		}
+	}
+	return pkg + "." + f.Name()
+}
+
+// shortFuncName strips the package path from a funcKey for messages.
+func shortFuncName(key string) string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		key = key[i+1:]
+	}
+	// key is now pkgname.Recv.Method or pkgname.Func; drop the package.
+	if i := strings.Index(key, "."); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}
+
+// moduleRoot returns the first path element of a package path — the
+// module's root name ("camus" for camus/internal/...).
+func moduleRoot(pkgPath string) string {
+	if i := strings.Index(pkgPath, "/"); i >= 0 {
+		return pkgPath[:i]
+	}
+	return pkgPath
+}
+
+// underModule reports whether path belongs to the module rooted at
+// root.
+func underModule(path, root string) bool {
+	return path == root || strings.HasPrefix(path, root+"/")
+}

@@ -1,0 +1,222 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// fmtDeps supplies the stub fmt package hotpathalloc flags calls into.
+func fmtDeps() map[string]string {
+	return map[string]string{"fmt": stubFmt}
+}
+
+// TestHotPathAllocGolden is the hotpathalloc golden fixture: one true
+// positive per construct class at exact positions, and an annotated
+// suppression that silences its line.
+func TestHotPathAllocGolden(t *testing.T) {
+	src := `package app
+
+import "fmt"
+
+//camus:hotpath
+func hot(buf []byte, n int) []byte {
+	s := fmt.Sprintf("n=%d", n)
+	_ = s
+	//camus:alloc-ok fixture: pool refill, steady state recycles
+	b := make([]byte, n)
+	buf = append(buf[:0], b...)
+	other := append(b, 1)
+	_ = other
+	return buf
+}
+
+func cold(n int) []byte {
+	return make([]byte, n)
+}
+`
+	diags, _ := analyzeSeq(t, fmtDeps(), []testPkg{{path: "camus/app", src: src}})
+	hot := byAnalyzer(diags["camus/app"], "hotpathalloc")
+	if len(hot) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (fmt call + bad append; suppressed make silent, cold untouched): %v", len(hot), hot)
+	}
+	// True positive 1: the fmt call, at the exact file:line:col of the
+	// call expression.
+	if hot[0].Pos.Filename != "camus_app.go" || hot[0].Pos.Line != 7 || hot[0].Pos.Column != 7 {
+		t.Errorf("fmt diagnostic at %s:%d:%d, want camus_app.go:7:7", hot[0].Pos.Filename, hot[0].Pos.Line, hot[0].Pos.Column)
+	}
+	if !strings.Contains(hot[0].Message, "call to fmt.Sprintf") {
+		t.Errorf("diagnostic %q should name the fmt call", hot[0].Message)
+	}
+	// True positive 2: append into a different slice, exact position.
+	if hot[1].Pos.Line != 12 || hot[1].Pos.Column != 11 {
+		t.Errorf("append diagnostic at %d:%d, want 12:11", hot[1].Pos.Line, hot[1].Pos.Column)
+	}
+	if !strings.Contains(hot[1].Message, "append") {
+		t.Errorf("diagnostic %q should flag the non-self append", hot[1].Message)
+	}
+}
+
+// TestHotPathAllocConstructs sweeps the remaining construct classes.
+func TestHotPathAllocConstructs(t *testing.T) {
+	src := `package app
+
+type iface interface{ M() }
+type impl struct{ x int }
+
+func (i impl) M() {}
+
+//camus:hotpath
+func hot(s string, bs []byte, f iface) {
+	_ = &impl{x: 1}
+	_ = []int{1, 2}
+	_ = map[int]int{}
+	g := func() {}
+	g()
+	_ = s + "suffix"
+	_ = string(bs)
+	_ = []byte(s)
+	f = impl{}
+	_ = f
+	go g()
+}
+`
+	diags, _ := analyzeSeq(t, nil, []testPkg{{path: "camus/app", src: src}})
+	hot := byAnalyzer(diags["camus/app"], "hotpathalloc")
+	wants := []string{
+		"address-taken composite literal",
+		"slice literal",
+		"map literal",
+		"function literal",
+		"string concatenation",
+		"conversion []byte/[]rune -> string",
+		"conversion string -> []byte/[]rune",
+		"interface boxing of impl",
+		"go statement",
+	}
+	for _, want := range wants {
+		found := false
+		for _, d := range hot {
+			if strings.Contains(d.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic mentions %q; got %v", want, hot)
+		}
+	}
+}
+
+// TestHotPathAllocCalleeChase verifies same-package callee closure:
+// the allocation lives in a helper, the report lands on the hot
+// function's call site with the chain spelled out.
+func TestHotPathAllocCalleeChase(t *testing.T) {
+	src := `package app
+
+//camus:hotpath
+func hot(n int) []byte {
+	return helper(n)
+}
+
+func helper(n int) []byte {
+	return grow(n)
+}
+
+func grow(n int) []byte {
+	return make([]byte, n)
+}
+`
+	diags, _ := analyzeSeq(t, nil, []testPkg{{path: "camus/app", src: src}})
+	hot := byAnalyzer(diags["camus/app"], "hotpathalloc")
+	if len(hot) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(hot), hot)
+	}
+	if hot[0].Pos.Line != 5 {
+		t.Errorf("diagnostic at line %d, want the hot call site at line 5", hot[0].Pos.Line)
+	}
+	if !strings.Contains(hot[0].Message, "helper -> grow") {
+		t.Errorf("diagnostic %q should spell the chain helper -> grow", hot[0].Message)
+	}
+}
+
+// TestHotPathAllocSuppressedCallEdge: alloc-ok on a call line severs
+// the edge into an allocating callee.
+func TestHotPathAllocSuppressedCallEdge(t *testing.T) {
+	src := `package app
+
+//camus:hotpath
+func hot(n int) []byte {
+	//camus:alloc-ok fixture: refill path, amortized to zero
+	return grow(n)
+}
+
+func grow(n int) []byte {
+	return make([]byte, n)
+}
+`
+	diags, _ := analyzeSeq(t, nil, []testPkg{{path: "camus/app", src: src}})
+	if hot := byAnalyzer(diags["camus/app"], "hotpathalloc"); len(hot) != 0 {
+		t.Fatalf("suppressed call edge still reported: %v", hot)
+	}
+}
+
+// TestHotPathAllocReasonRequired: a bare alloc-ok is itself a finding.
+func TestHotPathAllocReasonRequired(t *testing.T) {
+	src := `package app
+
+//camus:hotpath
+func hot(n int) []byte {
+	//camus:alloc-ok
+	return make([]byte, n)
+}
+`
+	diags, _ := analyzeSeq(t, nil, []testPkg{{path: "camus/app", src: src}})
+	hot := byAnalyzer(diags["camus/app"], "hotpathalloc")
+	if len(hot) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (missing reason + unsuppressed make): %v", len(hot), hot)
+	}
+	if !strings.Contains(hot[0].Message, "without a reason") {
+		t.Errorf("first diagnostic %q should demand a reason", hot[0].Message)
+	}
+}
+
+// TestHotPathAllocSelfAppendAllowed: the module's amortized reuse
+// idiom stays legal.
+func TestHotPathAllocSelfAppendAllowed(t *testing.T) {
+	src := `package app
+
+//camus:hotpath
+func hot(buf []byte, b byte) []byte {
+	buf = append(buf, b)
+	buf = append(buf[:0], b)
+	return buf
+}
+`
+	diags, _ := analyzeSeq(t, nil, []testPkg{{path: "camus/app", src: src}})
+	if hot := byAnalyzer(diags["camus/app"], "hotpathalloc"); len(hot) != 0 {
+		t.Fatalf("self-append flagged: %v", hot)
+	}
+}
+
+// TestHotPathAllocHotCalleeNotDescended: a hot callee is enforced in
+// its own right, not re-reported at every caller.
+func TestHotPathAllocHotCalleeNotDescended(t *testing.T) {
+	src := `package app
+
+//camus:hotpath
+func outer(n int) int {
+	return inner(n)
+}
+
+//camus:hotpath
+func inner(n int) int {
+	//camus:alloc-ok fixture: measured zero in steady state
+	_ = make([]byte, n)
+	return n
+}
+`
+	diags, _ := analyzeSeq(t, nil, []testPkg{{path: "camus/app", src: src}})
+	if hot := byAnalyzer(diags["camus/app"], "hotpathalloc"); len(hot) != 0 {
+		t.Fatalf("hot callee re-reported at caller: %v", hot)
+	}
+}

@@ -10,6 +10,7 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -28,6 +29,14 @@ type Analyzer struct {
 	Run func(pass *Pass) error
 }
 
+// PackageFacts is one package's serialized analyzer outputs, keyed by
+// analyzer name. It is the unit of cross-package communication: the
+// driver (cmd/camus-lint, or the in-memory test harness) persists the
+// facts a package exports and feeds them back in when analyzing its
+// importers, mirroring the .vetx files of the real unitchecker protocol.
+// JSON keeps the format debuggable and toolchain-independent.
+type PackageFacts map[string]json.RawMessage
+
 // Pass carries one package's syntax and type information to an
 // analyzer's Run function.
 type Pass struct {
@@ -38,6 +47,39 @@ type Pass struct {
 	TypesInfo *types.Info
 	// Report records one finding. The position is resolved through Fset.
 	Report func(pos token.Pos, format string, args ...any)
+
+	// depFacts holds the facts of every dependency, keyed by import path;
+	// out collects this pass's exported fact under the analyzer's name.
+	depFacts map[string]PackageFacts
+	out      PackageFacts
+}
+
+// ExportFact serializes v as this package's fact for the running
+// analyzer. Importing packages can retrieve it with ImportFact. Calling
+// ExportFact again overwrites the previous fact.
+func (p *Pass) ExportFact(v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("%s: encoding fact: %w", p.Analyzer.Name, err)
+	}
+	p.out[p.Analyzer.Name] = raw
+	return nil
+}
+
+// ImportFact decodes the fact the running analyzer exported when it
+// analyzed the dependency at pkgPath. It reports false when that
+// package exported no fact (not part of the module, or analyzed by an
+// older driver).
+func (p *Pass) ImportFact(pkgPath string, v any) bool {
+	facts, ok := p.depFacts[pkgPath]
+	if !ok {
+		return false
+	}
+	raw, ok := facts[p.Analyzer.Name]
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(raw, v) == nil
 }
 
 // Reportf is sugar for pass.Report.
@@ -58,13 +100,26 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns every analyzer this module ships, in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{TelemetryNil, AtomicAlign}
+	return []*Analyzer{TelemetryNil, AtomicAlign, HotPathAlloc, CacheLine, LockOrder, GoroLeak}
 }
 
 // RunPackage applies every analyzer in analyzers to one type-checked
 // package and returns the collected diagnostics sorted by position.
+// Fact-producing analyzers run with no dependency facts and their
+// exports are dropped; drivers that thread facts between packages use
+// RunPackageFacts.
 func RunPackage(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	diags, _, err := RunPackageFacts(analyzers, fset, files, pkg, info, nil)
+	return diags, err
+}
+
+// RunPackageFacts applies every analyzer to one type-checked package,
+// making deps (import path -> that package's previously exported facts)
+// available through Pass.ImportFact, and returns the diagnostics sorted
+// by position together with the facts this package exports.
+func RunPackageFacts(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, deps map[string]PackageFacts) ([]Diagnostic, PackageFacts, error) {
 	var diags []Diagnostic
+	out := PackageFacts{}
 	for _, a := range analyzers {
 		a := a
 		pass := &Pass{
@@ -80,13 +135,15 @@ func RunPackage(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, p
 					Message:  fmt.Sprintf(format, args...),
 				})
 			},
+			depFacts: deps,
+			out:      out,
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %w", a.Name, err)
+			return nil, nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
 	}
 	sortDiagnostics(diags)
-	return diags, nil
+	return diags, out, nil
 }
 
 func sortDiagnostics(diags []Diagnostic) {
