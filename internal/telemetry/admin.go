@@ -42,27 +42,37 @@ func Handler(t *Telemetry) http.Handler {
 
 // AdminServer is a running admin endpoint.
 type AdminServer struct {
-	srv *http.Server
-	ln  net.Listener
+	srv  *http.Server
+	ln   net.Listener
+	done chan struct{}
 }
 
 // Serve binds addr and serves the admin mux in a background goroutine.
+// The goroutine signals done when Serve returns, so Close can wait for
+// it instead of leaving a serve loop racing process teardown.
 func Serve(addr string, t *Telemetry) (*AdminServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	srv := &http.Server{Handler: Handler(t), ReadHeaderTimeout: 5 * time.Second}
-	go func() { _ = srv.Serve(ln) }()
-	return &AdminServer{srv: srv, ln: ln}, nil
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ln)
+	}()
+	return &AdminServer{srv: srv, ln: ln, done: done}, nil
 }
 
 // Addr returns the bound listen address.
 func (a *AdminServer) Addr() net.Addr { return a.ln.Addr() }
 
-// Close shuts the server down, waiting briefly for in-flight scrapes.
+// Close shuts the server down, waiting briefly for in-flight scrapes
+// and then for the serve goroutine to exit.
 func (a *AdminServer) Close() error {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
-	return a.srv.Shutdown(ctx)
+	err := a.srv.Shutdown(ctx)
+	<-a.done
+	return err
 }
