@@ -122,6 +122,18 @@ type installed struct {
 	dropBit uint64          // pattern bit recording "packet dropped"
 	ctrs    []tableCounters // fallback per-table miss counters (wide programs)
 	nState  int             // state fields read per packet (register reads)
+	// updArg[ai][ui] is the pipeline field index feeding action ai's
+	// ui-th state update, or -1 when the update takes no argument.
+	// Resolved once at install time: FieldIndex is a linear name scan
+	// with an error path, which the per-packet path must not pay.
+	updArg [][]int
+	// readRegs[i] is the register behind state field i (nil for header
+	// fields); updRegs[ai][ui] the register targeted by action ai's ui-th
+	// update. Both are resolved at install time so the packet path never
+	// probes the register file's name map — and never takes its
+	// first-touch allocation branch.
+	readRegs []*Register
+	updRegs  [][]*Register
 }
 
 // tableCounters is the fallback per-table counter hook used when a
@@ -193,13 +205,6 @@ func New(prog *compiler.Program, cfg Config) (*Switch, error) {
 			return float64(sw.packetsTotalLocked()) - float64(sw.forwardedLocked())
 		})
 	}
-	// Pre-create registers for state fields so reads before any update
-	// return zero (hardware registers power up zeroed).
-	for _, f := range prog.Fields {
-		if f.IsState {
-			sw.regs.Ensure(f.Name, fieldWindow(f))
-		}
-	}
 	sw.inst.Store(sw.newInstalled(prog))
 	sw.publishOccupancy(prog)
 	return sw, nil
@@ -221,6 +226,37 @@ func (sw *Switch) newInstalled(prog *compiler.Program) *installed {
 		if f.IsState {
 			in.nState++
 		}
+	}
+	// Resolving registers here doubles as the pre-create step: every
+	// register a packet can touch exists before the program is published
+	// (hardware registers power up zeroed), so reads before any update
+	// return zero and the packet path never allocates one lazily.
+	in.readRegs = make([]*Register, len(prog.Fields))
+	for i, f := range prog.Fields {
+		if f.IsState {
+			in.readRegs[i] = sw.regs.Ensure(f.Name, fieldWindow(f))
+		}
+	}
+	in.updArg = make([][]int, len(prog.Actions))
+	in.updRegs = make([][]*Register, len(prog.Actions))
+	for ai := range prog.Actions {
+		ups := prog.Actions[ai].Updates
+		if len(ups) == 0 {
+			continue
+		}
+		idx := make([]int, len(ups))
+		regs := make([]*Register, len(ups))
+		for ui, u := range ups {
+			idx[ui] = -1
+			if len(u.Args) > 0 {
+				if fi, err := prog.FieldIndex(u.Args[0]); err == nil {
+					idx[ui] = fi
+				}
+			}
+			regs[ui] = sw.regs.Ensure(u.Var, AggWindow)
+		}
+		in.updArg[ai] = idx
+		in.updRegs[ai] = regs
 	}
 	if sw.tel != nil {
 		names := make([]string, len(prog.Tables))
@@ -404,8 +440,11 @@ func (sw *Switch) Process(values []uint64, now time.Duration) Result {
 // program version, and the per-packet cost drops by the atomic load and
 // its cache miss. Telemetry semantics are identical to per-packet
 // Process calls: one fused miss-pattern sample per packet.
+//
+//camus:hotpath bench=BenchmarkProcessBatch
 func (sw *Switch) ProcessBatch(values [][]uint64, now []time.Duration, out []Result) {
 	if len(values) != len(now) || len(values) != len(out) {
+		//camus:alloc-ok panic argument on the caller-misuse path; the string itself is static
 		panic("pipeline: ProcessBatch slice lengths differ")
 	}
 	in := sw.inst.Load() // one consistent program version per batch
@@ -416,12 +455,16 @@ func (sw *Switch) ProcessBatch(values [][]uint64, now []time.Duration, out []Res
 
 // processOne is the per-packet hot path: a fixed sequence of flattened
 // array-indexed stage lookups, no hashing, no allocation.
+//
+//camus:hotpath
 func (sw *Switch) processOne(in *installed, values []uint64, now time.Duration) Result {
 	fields := in.prog.Fields
-	// Stage 0: state-variable reads populate metadata.
-	for i := range fields {
-		if fields[i].IsState {
-			values[i] = sw.regs.Read(fields[i].Name, fields[i].Agg, now)
+	// Stage 0: state-variable reads populate metadata. Registers were
+	// resolved at install time (installed.readRegs), so the read is a
+	// lock plus the aggregate fold — no name-map probe.
+	for i := range in.readRegs {
+		if r := in.readRegs[i]; r != nil {
+			values[i] = sw.regs.ReadReg(r, fields[i].Agg, now)
 		}
 	}
 	if in.nState > 0 {
@@ -468,15 +511,16 @@ func (sw *Switch) processOne(in *installed, values []uint64, now time.Duration) 
 		return Result{Dropped: true, Group: -1}
 	}
 	act := &in.prog.Actions[ai]
-	// State updates execute in the action stage.
-	for _, u := range act.Updates {
+	// State updates execute in the action stage. Argument field indices
+	// and target registers were resolved at install time (installed
+	// .updArg/.updRegs), so the loop is array loads and the register
+	// write — no name-map probe, no first-touch allocation.
+	for ui, u := range act.Updates {
 		arg := uint64(0)
-		if len(u.Args) > 0 {
-			if fi, err := in.prog.FieldIndex(u.Args[0]); err == nil {
-				arg = values[fi]
-			}
+		if fi := in.updArg[ai][ui]; fi >= 0 {
+			arg = values[fi]
 		}
-		sw.regs.Update(u.Var, u.Func, arg, now)
+		sw.regs.UpdateReg(in.updRegs[ai][ui], u.Func, arg, now)
 	}
 	if len(act.Ports) == 0 {
 		if in.pat != nil {
@@ -526,13 +570,9 @@ func (sw *Switch) Reinstall(prog *compiler.Program) error {
 	if err := CheckResources(prog, sw.cfg); err != nil {
 		return err
 	}
+	// newInstalled resolves (and thereby pre-creates) every register the
+	// program can touch, so they exist before any packet sees it.
 	in := sw.newInstalled(prog)
-	// Registers must exist before any packet can see the new program.
-	for _, f := range prog.Fields {
-		if f.IsState {
-			sw.regs.Ensure(f.Name, fieldWindow(f))
-		}
-	}
 	sw.inst.Store(in)
 	sw.publishOccupancy(prog)
 	return nil

@@ -141,6 +141,31 @@ func (f *RegisterFile) Update(name, agg string, v uint64, now time.Duration) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	r := f.ensureLocked(name, AggWindow)
+	updateLocked(r, agg, v, now)
+}
+
+// ReadReg is Read for a register already resolved through Ensure — the
+// packet path's form, which skips the name-map probe but still serializes
+// on the file's mutex (the register-ALU contract).
+//
+//camus:hotpath
+func (f *RegisterFile) ReadReg(r *Register, agg string, now time.Duration) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return r.Value(agg, now)
+}
+
+// UpdateReg is Update for a register already resolved through Ensure:
+// no map probe, and no first-touch allocation branch on the packet path.
+//
+//camus:hotpath
+func (f *RegisterFile) UpdateReg(r *Register, agg string, v uint64, now time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	updateLocked(r, agg, v, now)
+}
+
+func updateLocked(r *Register, agg string, v uint64, now time.Duration) {
 	switch agg {
 	case "count":
 		r.Update(0, now) // count ignores the argument value
