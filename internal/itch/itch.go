@@ -37,6 +37,11 @@ const (
 var (
 	ErrTruncated   = errors.New("itch: truncated message")
 	ErrUnknownType = errors.New("itch: unknown message type")
+	// ErrNotAddOrder is returned by AddOrder.DecodeFromBytes for a
+	// well-formed message of a different type. It is a sentinel, not a
+	// formatted error: decoding runs per message on the dataplane's
+	// zero-alloc lanes, where an fmt.Errorf would allocate.
+	ErrNotAddOrder = errors.New("itch: message is not an add-order")
 )
 
 // Side is the buy/sell indicator of an add-order message.
@@ -90,7 +95,7 @@ func (m *AddOrder) DecodeFromBytes(data []byte) error {
 		return ErrTruncated
 	}
 	if data[0] != TypeAddOrder {
-		return fmt.Errorf("itch: message type %q is not an add-order", data[0])
+		return ErrNotAddOrder
 	}
 	m.StockLocate = binary.BigEndian.Uint16(data[1:3])
 	m.TrackingNumber = binary.BigEndian.Uint16(data[3:5])
