@@ -169,6 +169,8 @@ func (p *Processor) ProcessOrder(o *itch.AddOrder, now time.Duration) pipeline.R
 func (p *Processor) Begin() { p.n = 0 }
 
 // Add extracts one message's field values into the pending batch.
+//
+//camus:hotpath
 func (p *Processor) Add(o *itch.AddOrder) {
 	if p.n < len(p.vals) {
 		p.vals[p.n] = p.ps.ex.Values(o, p.vals[p.n])
@@ -185,11 +187,14 @@ func (p *Processor) Pending() int { return p.n }
 // ProcessBatch call (the program pointer is loaded once for the whole
 // batch) and returns one Result per added message, in Add order. The
 // returned slice is reused by the next Flush.
+//
+//camus:hotpath
 func (p *Processor) Flush(now time.Duration) []pipeline.Result {
 	n := p.n
 	if cap(p.now) < n {
+		//camus:alloc-ok grows once to the high-water batch size, then reused
 		p.now = make([]time.Duration, n)
-		p.out = make([]pipeline.Result, n)
+		p.out = make([]pipeline.Result, n) //camus:alloc-ok grows once to the high-water batch size, then reused
 	}
 	nows, out := p.now[:n], p.out[:n]
 	for i := range nows {

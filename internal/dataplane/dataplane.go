@@ -183,6 +183,8 @@ const maxRetxDatagram = 1400
 
 // portState is one output port's delivery state: its own MoldUDP64
 // session with a dense sequence space and a bounded retransmission store.
+//
+//camus:cacheline 64 prefix=session
 type portState struct {
 	// The leading fields are everything a group-egress member visit
 	// touches, packed so the visit dirties a single cacheline: at high
@@ -874,6 +876,8 @@ func (sw *Switch) recoverLane(l *lane, record func(error), pool *dgramPool) {
 
 // timeProcess runs one datagram through the lane, accumulating lane busy
 // time and feeding the latency histogram when one is attached.
+//
+//camus:hotpath
 func (sw *Switch) timeProcess(l *lane, datagram []byte) {
 	if sw.procTestHook != nil {
 		sw.procTestHook(l.id, datagram)
@@ -1006,12 +1010,15 @@ func (st *procState) nextOut() int {
 // matched messages are forwarded as raw wire bytes aliasing the ingress
 // buffer (zero copy), and the egress frames are serialized into the
 // lane's recycled buffers.
+//
+//camus:hotpath bench=BenchmarkProcessDatagram
 func (sw *Switch) processDatagram(st *procState, datagram []byte) {
 	now := time.Duration(time.Now().UnixNano())
 	st.msgs = st.msgs[:0]
 	st.proc.Begin()
 
 	sw.mu.RLock()
+	//camus:alloc-ok the callback closure never escapes DecodeAddOrders, so it stays on the stack (oracle-verified)
 	err := itch.DecodeAddOrders(datagram, &st.order, func(o *itch.AddOrder, raw []byte) {
 		sw.stats.Messages.Add(1)
 		st.proc.Add(o)
@@ -1102,6 +1109,8 @@ func (sw *Switch) processDatagram(st *procState, datagram []byte) {
 // ports' retransmission stores retain views into the shared body (one
 // reference per retained message), so recovery is served from the same
 // bytes that went out. Callers hold sw.mu.
+//
+//camus:hotpath
 func (sw *Switch) frameGroup(st *procState, gb *groupMsgs) {
 	need := itch.MoldHeaderLen
 	for _, m := range gb.msgs {
@@ -1139,7 +1148,7 @@ func (sw *Switch) frameGroup(st *procState, gb *groupMsgs) {
 		}
 		i := st.nextOut()
 		if st.ghdrs[i] == nil {
-			st.ghdrs[i] = make([]byte, itch.MoldHeaderLen)
+			st.ghdrs[i] = make([]byte, itch.MoldHeaderLen) //camus:alloc-ok per-slot header allocated on first use, then reused forever
 		}
 		// Session and count are stable outside the lock: the session is
 		// fixed when the port is first bound, and count is this frame's.
@@ -1176,6 +1185,8 @@ func (sw *Switch) frameGroup(st *procState, gb *groupMsgs) {
 
 // putUint64BE is encoding/binary.BigEndian.PutUint64, open-coded to keep
 // the hot path's imports flat.
+//
+//camus:hotpath
 func putUint64BE(b []byte, v uint64) {
 	_ = b[7]
 	b[0] = byte(v >> 56)
@@ -1192,6 +1203,8 @@ func putUint64BE(b []byte, v uint64) {
 // (reused across calls) and returns the wire bytes and destination. The
 // messages enter the retransmission store before the datagram leaves, so
 // any request the send races with can already be served.
+//
+//camus:hotpath
 func (ps *portState) frame(msgs [][]byte, buf []byte) ([]byte, *net.UDPAddr) {
 	ps.mu.Lock()
 	ps.scratch.Header.Session = ps.session
@@ -1219,6 +1232,8 @@ func (ps *portState) frame(msgs [][]byte, buf []byte) ([]byte, *net.UDPAddr) {
 // the body region. Write failures are attributed to the destination port
 // (camus_dataplane_port_send_errors_total{port=…}) on both paths, on top
 // of the global send-error counter.
+//
+//camus:hotpath
 func (sw *Switch) sendEgress(st *procState) {
 	n := st.nOut
 	st.nOut = 0
@@ -1233,6 +1248,7 @@ func (sw *Switch) sendEgress(st *procState) {
 				// Skip the datagram the kernel rejected; the rest of
 				// the burst still goes out.
 				sw.stats.SendErrors.Add(1)
+				//camus:alloc-ok write-error path; the per-port series is created once per failing port
 				sw.portSendError(st.outPorts[i])
 				i++
 			} else if k == 0 {
@@ -1250,6 +1266,7 @@ func (sw *Switch) sendEgress(st *procState) {
 		}
 		if _, err := st.conn.WriteToUDP(wire, addrs[i]); err != nil {
 			sw.stats.SendErrors.Add(1)
+			//camus:alloc-ok write-error path; the per-port series is created once per failing port
 			sw.portSendError(st.outPorts[i])
 			continue
 		}
@@ -1421,6 +1438,8 @@ func (sw *Switch) replyRetx(ps *portState, req *itch.MoldRequest, raddr *net.UDP
 // line, and the unicast-only copy buffers sit in a side array allocated
 // on first private add — rings fed purely by the multicast path never
 // pay for them.
+//
+//camus:cacheline 16
 type retxSlot struct {
 	owner *sharedBuf // non-nil when the slot aliases a shared body
 	off   uint32     // extent start within owner's body
@@ -1428,6 +1447,8 @@ type retxSlot struct {
 }
 
 // msgSpan is one encoded message's extent within a shared group body.
+//
+//camus:cacheline 8
 type msgSpan struct {
 	off, ln uint32
 }
@@ -1475,9 +1496,11 @@ func (s *retxStore) advance() {
 }
 
 // add retains one egress message (copied; callers reuse buffers).
+//
+//camus:hotpath
 func (s *retxStore) add(m []byte) {
 	if s.priv == nil {
-		s.priv = make([][]byte, len(s.slots))
+		s.priv = make([][]byte, len(s.slots)) //camus:alloc-ok side array allocated on the ring's first private add, then reused
 	}
 	i := s.hi % uint64(len(s.slots))
 	sl := &s.slots[i]
@@ -1496,6 +1519,8 @@ func (s *retxStore) add(m []byte) {
 // of a group evicts slots aliasing the same earlier bodies, so the
 // accumulator turns members x messages atomic drops into roughly one
 // per retired body per datagram.
+//
+//camus:hotpath
 func (s *retxStore) addSharedGroup(spans []msgSpan, sb *sharedBuf, ev *evictAcc) {
 	capacity := uint64(len(s.slots))
 	for _, sp := range spans {

@@ -90,16 +90,19 @@ func newSharedPool(capacity int) *sharedPool {
 // datagram's messages hit the group, and without the rounding a small
 // recycled body forces a fresh allocation whenever a larger need comes
 // off the free list — visible as steady-state allocs at high fanout.
+//
+//camus:hotpath
 func (p *sharedPool) get(need int) *sharedBuf {
 	select {
 	case sb := <-p.free:
 		sb.refs.Store(1)
 		if cap(sb.b) < need {
-			sb.b = make([]byte, 0, bodyClass(need))
+			sb.b = make([]byte, 0, bodyClass(need)) //camus:alloc-ok pool refill when a recycled body is too small; size classes make this rare
 		}
 		return sb
 	default:
 	}
+	//camus:alloc-ok pool miss grows the working set once; the steady state recycles
 	sb := &sharedBuf{b: make([]byte, 0, bodyClass(need)), pool: p}
 	sb.refs.Store(1)
 	return sb
@@ -115,6 +118,8 @@ func bodyClass(need int) int {
 }
 
 // put recycles a buffer, dropping it if the free list is full.
+//
+//camus:hotpath
 func (p *sharedPool) put(sb *sharedBuf) {
 	sb.b = sb.b[:0]
 	select {

@@ -195,15 +195,18 @@ func newDgramPool(capacity, bufSize int) *dgramPool {
 	return &dgramPool{free: make(chan *dgram, capacity), size: bufSize}
 }
 
+//camus:hotpath
 func (p *dgramPool) get() *dgram {
 	select {
 	case d := <-p.free:
 		return d
 	default:
+		//camus:alloc-ok pool miss grows the working set once; the steady state recycles
 		return &dgram{buf: make([]byte, p.size)}
 	}
 }
 
+//camus:hotpath
 func (p *dgramPool) put(d *dgram) {
 	select {
 	case p.free <- d:
@@ -260,6 +263,8 @@ func (sw *Switch) runLaneInline(ctx context.Context, l *lane) error {
 // handoff enqueues a pooled datagram into owner's inbox, attributing the
 // uncontended enqueue to dispatch time and any blocking on a full inbox
 // to stall time (backpressure from a saturated lane is not reader work).
+//
+//camus:hotpath
 func handoff(owner *lane, d *dgram, start time.Time, dispatch, stall *atomic.Int64) {
 	select {
 	case owner.ch <- d:

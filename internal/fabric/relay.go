@@ -140,6 +140,8 @@ func (r *Relay) Close() {
 // message travels alone in a fresh MoldUDP64 frame under the relay's own
 // session; the downstream ingress evaluates messages positionally and
 // ignores the header, so relay framing never aliases upstream sequencing.
+//
+//camus:hotpath
 func (r *Relay) forward(_ uint64, msg []byte) {
 	if r.down.Load() {
 		return

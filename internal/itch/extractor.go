@@ -50,9 +50,11 @@ func NewExtractor(prog *compiler.Program) (*Extractor, error) {
 
 // Values fills buf (reused across calls when capacity allows) with the
 // field values for one message, in program field order.
+//
+//camus:hotpath
 func (e *Extractor) Values(m *AddOrder, buf []uint64) []uint64 {
 	if cap(buf) < len(e.binding) {
-		buf = make([]uint64, len(e.binding))
+		buf = make([]uint64, len(e.binding)) //camus:alloc-ok grows once to the program's field count, then reused
 	}
 	buf = buf[:len(e.binding)]
 	for i, f := range e.binding {

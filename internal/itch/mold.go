@@ -117,11 +117,13 @@ func (p *MoldPacket) Bytes() []byte {
 // returns the wire bytes. Passing a recycled buffer makes serialization
 // allocation-free in steady state — the egress hot path of the software
 // dataplane.
+//
+//camus:hotpath
 func (p *MoldPacket) AppendTo(buf []byte) []byte {
 	p.Header.Count = uint16(len(p.Messages))
 	n := p.WireLen()
 	if cap(buf) < n {
-		buf = make([]byte, n)
+		buf = make([]byte, n) //camus:alloc-ok one-time growth; callers pass a recycled buffer in steady state
 	}
 	buf = buf[:n]
 	p.Header.SerializeTo(buf)
@@ -179,6 +181,8 @@ func ForEachAddOrderRaw(data []byte, fn func(*AddOrder, []byte)) error {
 // DecodeAddOrders is ForEachAddOrderRaw with a caller-supplied scratch
 // AddOrder: passing a long-lived scratch keeps the message struct off
 // the heap entirely, which the dataplane's zero-alloc lanes rely on.
+//
+//camus:hotpath
 func DecodeAddOrders(data []byte, msg *AddOrder, fn func(*AddOrder, []byte)) error {
 	var hdr MoldHeader
 	if err := hdr.DecodeFromBytes(data); err != nil {
@@ -190,11 +194,13 @@ func DecodeAddOrders(data []byte, msg *AddOrder, fn func(*AddOrder, []byte)) err
 	off := MoldHeaderLen
 	for i := 0; i < int(hdr.Count); i++ {
 		if off+2 > len(data) {
+			//camus:alloc-ok malformed-datagram error path; a well-formed feed never takes it
 			return fmt.Errorf("itch: mold message %d: %w", i, ErrTruncated)
 		}
 		l := int(binary.BigEndian.Uint16(data[off : off+2]))
 		off += 2
 		if off+l > len(data) {
+			//camus:alloc-ok malformed-datagram error path; a well-formed feed never takes it
 			return fmt.Errorf("itch: mold message %d body: %w", i, ErrTruncated)
 		}
 		if l > 0 && data[off] == TypeAddOrder {
@@ -212,6 +218,8 @@ func DecodeAddOrders(data []byte, msg *AddOrder, fn func(*AddOrder, []byte)) err
 // message and returns that message's stock-locate code — the ITCH
 // instrument/partition key the sharded dataplane fans out on. ok is
 // false when the datagram has no decodable add-order.
+//
+//camus:hotpath
 func FirstAddOrderLocate(data []byte) (uint16, bool) {
 	var hdr MoldHeader
 	if err := hdr.DecodeFromBytes(data); err != nil {

@@ -187,6 +187,8 @@ func buildLookup(t *compiler.Table) lookupTable {
 // lookup performs the single-stage table lookup: exact first (SRAM), then
 // ranges (TCAM), then the per-state wildcard default. Zero allocation;
 // states outside the table's indexed span miss.
+//
+//camus:hotpath
 func (lt *lookupTable) lookup(state int, value uint64) (int, bool) {
 	if lt.codec != nil {
 		value = lt.codec.Code(value)
@@ -262,6 +264,8 @@ func buildLeaf(entries []compiler.Entry) leafTable {
 }
 
 // lookup returns the action index for a terminal state.
+//
+//camus:hotpath
 func (lf *leafTable) lookup(state int) (int, bool) {
 	if uint(state) >= uint(len(lf.next)) {
 		return 0, false
