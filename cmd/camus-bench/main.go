@@ -10,6 +10,7 @@
 //	camus-bench -fig 7a -csv
 //	camus-bench -churn -json
 //	camus-bench -dataplane -json
+//	camus-bench -scenarios -json
 package main
 
 import (
@@ -29,7 +30,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 5a, 5b, 5c, 7a, 7b, throughput, ablation, order, churn, dataplane, vet, fabric, all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 5a, 5b, 5c, 7a, 7b, throughput, ablation, order, churn, dataplane, scenarios, vet, fabric, all")
 		sizes    = flag.String("sizes", "", "comma-separated subscription counts (5c/throughput/churn override)")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		csv      = flag.Bool("csv", false, "emit CSV series instead of aligned tables")
@@ -44,6 +45,8 @@ func main() {
 		fanoutB  = flag.Bool("fanout", false, "with -dataplane: add the multicast egress fanout series (encode-once vs per-subscriber encode)")
 		portsF   = flag.String("ports", "", "comma-separated subscriber counts for the -fanout series (default 100,1000,10000)")
 		fanoutG  = flag.Int("fanout-groups", 20, "compiled multicast groups for the -fanout series")
+		scenB    = flag.Bool("scenarios", false, "shorthand for -fig scenarios: stateful scenario workloads over keyed register banks (mutex vs keyed vs keyed-affine)")
+		keysF    = flag.Int("keys", 256, "distinct flow keys for -scenarios")
 		fabricB  = flag.Bool("fabric", false, "shorthand for -fig fabric: two-hop fabric covering-compression figure")
 		subs     = flag.Int("subscribers", 16, "subscriber hosts for -fabric")
 		leaves   = flag.Int("leaves", 2, "leaf switches for -fabric")
@@ -54,6 +57,9 @@ func main() {
 	}
 	if *dplane || *fanoutB {
 		*fig = "dataplane"
+	}
+	if *scenB {
+		*fig = "scenarios"
 	}
 	if *fabricB {
 		*fig = "fabric"
@@ -276,6 +282,46 @@ func main() {
 				fmt.Println()
 				fmt.Print(experiments.FormatEgressFanout(fanoutPts))
 			}
+		case "scenarios":
+			var workerList []int
+			if *workers != "" {
+				for _, s := range strings.Split(*workers, ",") {
+					n, err := strconv.Atoi(strings.TrimSpace(s))
+					fatal(err)
+					workerList = append(workerList, n)
+				}
+			}
+			pts, err := experiments.ScenarioSweep(experiments.ScenarioConfig{
+				Workers: workerList,
+				Packets: *packets,
+				Keys:    *keysF,
+				Seed:    *seed,
+			})
+			fatal(err)
+			if *jsonOut {
+				enc := json.NewEncoder(os.Stdout)
+				enc.SetIndent("", "  ")
+				fatal(enc.Encode(struct {
+					GOOS    string                      `json:"goos"`
+					GOARCH  string                      `json:"goarch"`
+					CPUs    int                         `json:"cpus"`
+					Seed    int64                       `json:"seed"`
+					Keys    int                         `json:"keys"`
+					Packets int                         `json:"packets"`
+					Points  []experiments.ScenarioPoint `json:"points"`
+				}{runtime.GOOS, runtime.GOARCH, runtime.NumCPU(), *seed, *keysF, *packets, pts}))
+				return
+			}
+			if *csv {
+				fmt.Println("scenario,backend,workers,packets_per_sec,ns_per_packet,wall_packets_per_sec,forwarded,alerts,updates,evict_lossy,allocs_per_op")
+				for _, p := range pts {
+					fmt.Printf("%s,%s,%d,%.0f,%.1f,%.0f,%d,%d,%d,%d,%.3f\n",
+						p.Scenario, p.Backend, p.Workers, p.PacketsPerSec, p.NsPerPacket,
+						p.WallPacketsPerSec, p.Forwarded, p.Alerts, p.Updates, p.EvictLossy, p.AllocsPerOp)
+				}
+				return
+			}
+			fmt.Print(experiments.FormatScenarios(pts))
 		case "churn":
 			reg := telemetry.NewRegistry()
 			pts, err := experiments.ChurnInstrumented(sizeList, *churnPct, *seed, reg)

@@ -95,6 +95,7 @@ func main() {
 		fabricMode = flag.Bool("fabric", false, "run an in-process two-hop leaf/spine fabric (covering spines, recovering inter-switch links) instead of a single switch")
 		fabLeaves  = flag.Int("fabric-leaves", 2, "leaf switches for -fabric (host h hangs off leaf h mod leaves)")
 		fabSpines  = flag.Int("fabric-spines", 1, "spine switches for -fabric (spines beyond the first are failover paths)")
+		stateMutex = flag.Bool("state-mutex", false, "serialize stateful registers behind one global mutex instead of per-lane keyed banks (the measured A/B baseline)")
 	)
 	flag.Var(ports, "port", "bind switch port to subscriber address, PORT=HOST:PORT (repeatable)")
 	flag.Parse()
@@ -169,6 +170,7 @@ func main() {
 		Workers:       *workers,
 		IngressMode:   mode,
 		Batch:         *batch,
+		StateMutex:    *stateMutex,
 		WrapConn:      wrap,
 		Telemetry:     tel,
 	})
@@ -184,10 +186,13 @@ func main() {
 		*session, *retxBuffer, *heartbeat, *workers, sw.IngressMode(), *batch, *statsSec, *faultPlan, *admin)
 
 	if *admin != "" {
-		srv, err := telemetry.Serve(*admin, tel)
+		regs := telemetry.DebugRoute{Path: "/debug/registers", Doc: func() any {
+			return sw.RegisterDump(256)
+		}}
+		srv, err := telemetry.Serve(*admin, tel, regs)
 		fatal(err)
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "camus-switch: admin endpoint on http://%s (/metrics, /debug/camus, /debug/pprof/)\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "camus-switch: admin endpoint on http://%s (/metrics, /debug/camus, /debug/registers, /debug/pprof/)\n", srv.Addr())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -118,15 +118,43 @@ const stateFieldBits = 32
 // compiler's resolver builds, so satisfiability here matches
 // compilability there. The error message is diagnostic-ready.
 func (a *analysis) fieldIndex(op lang.Operand) (int, error) {
+	keyName := ""
+	if op.IsKeyed() {
+		var err error
+		keyName, err = a.resolveKey(op.Key)
+		if err != nil {
+			return 0, fmt.Errorf("operand %s: %v", op, err)
+		}
+	}
+	keySuffix := ""
+	if keyName != "" {
+		keySuffix = "[" + keyName + "]"
+	}
 	if op.IsAggregate() {
+		if !validAggregate(op.Agg) {
+			return 0, fmt.Errorf("unknown aggregate macro %q (have avg, sum, count, min, max)", op.Agg)
+		}
+		// Aggregate over a declared state variable (avg(temp) where temp
+		// is @query_counter-declared): the window comes from the
+		// declaration, updates are explicit.
+		if v, err := a.sp.LookupState(op.Field); err == nil {
+			name := fmt.Sprintf("%s(%s)%s", op.Agg, v.Name, keySuffix)
+			if idx, ok := a.byName[name]; ok {
+				return idx, nil
+			}
+			idx := len(a.fields)
+			a.byName[name] = idx
+			a.fields = append(a.fields, fieldInfo{
+				name: name, bits: stateFieldBits, max: 1<<stateFieldBits - 1,
+				match: spec.MatchRange, isState: true, decl: v.Line,
+			})
+			return idx, nil
+		}
 		q, err := a.sp.LookupField(op.Field)
 		if err != nil {
 			return 0, fmt.Errorf("aggregate %s: %v", op, err)
 		}
-		if !validAggregate(op.Agg) {
-			return 0, fmt.Errorf("unknown aggregate macro %q (have avg, sum, count, min, max)", op.Agg)
-		}
-		name := fmt.Sprintf("%s(%s)", op.Agg, q.Name)
+		name := fmt.Sprintf("%s(%s)%s", op.Agg, q.Name, keySuffix)
 		if idx, ok := a.byName[name]; ok {
 			return idx, nil
 		}
@@ -139,7 +167,8 @@ func (a *analysis) fieldIndex(op lang.Operand) (int, error) {
 		return idx, nil
 	}
 	if v, err := a.sp.LookupState(op.Field); err == nil {
-		if idx, ok := a.byName[v.Name]; ok {
+		name := v.Name + keySuffix
+		if idx, ok := a.byName[name]; ok {
 			return idx, nil
 		}
 		bits := v.Bits
@@ -151,12 +180,15 @@ func (a *analysis) fieldIndex(op lang.Operand) (int, error) {
 			max = uint64(1)<<bits - 1
 		}
 		idx := len(a.fields)
-		a.byName[v.Name] = idx
+		a.byName[name] = idx
 		a.fields = append(a.fields, fieldInfo{
-			name: v.Name, bits: bits, max: max,
+			name: name, bits: bits, max: max,
 			match: spec.MatchRange, isState: true, decl: v.Line,
 		})
 		return idx, nil
+	}
+	if op.IsKeyed() {
+		return 0, fmt.Errorf("operand %s: key suffix on non-state field %q", op, op.Field)
 	}
 	q, err := a.sp.LookupField(op.Field)
 	if err != nil {
@@ -167,6 +199,20 @@ func (a *analysis) fieldIndex(op lang.Operand) (int, error) {
 		return 0, fmt.Errorf("internal: field %q missing from index", q.Name)
 	}
 	return idx, nil
+}
+
+// resolveKey mirrors the compiler: a state key must be a
+// @query_field-annotated header field, since the pipeline reads the key
+// value out of the extracted field vector.
+func (a *analysis) resolveKey(key string) (string, error) {
+	q, err := a.sp.LookupField(key)
+	if err != nil {
+		return "", fmt.Errorf("state key [%s]: %v", key, err)
+	}
+	if _, ok := a.byName[q.Name]; !ok {
+		return "", fmt.Errorf("internal: key field %q missing from index", q.Name)
+	}
+	return q.Name, nil
 }
 
 func validAggregate(name string) bool {
@@ -246,6 +292,11 @@ func (a *analysis) checkRule(index int, r lang.Rule) *ruleInfo {
 			if _, err := a.sp.LookupState(act.Var); err != nil {
 				reportType(act.Pos, SevWarning, nil,
 					"state update targets undeclared variable %q", act.Var)
+			}
+			if act.StateKey != "" {
+				if _, err := a.resolveKey(act.StateKey); err != nil {
+					reportType(act.Pos, SevError, nil, "state update %s: %v", act, err)
+				}
 			}
 		}
 	}

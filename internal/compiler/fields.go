@@ -29,8 +29,42 @@ type FieldInfo struct {
 	// State fields (aggregates / state variables).
 	IsState   bool
 	Agg       string // aggregate function name ("avg", "sum", ...)
-	BaseField string // packet field the aggregate is computed over
+	BaseField string // packet field a macro aggregate is computed over ("" for declared-variable reads)
 	WindowUS  uint64 // tumbling-window length in µs (0 = default)
+
+	// Keyed state (PR 10). StateVar names the backing state variable —
+	// the register-bank identity is StateVar plus the key suffix, so
+	// avg(temp)[sensor] and sum(temp)[sensor] over a declared variable
+	// `temp` read the same bank with different folds. KeyField is the
+	// canonical key header field name ("" for unkeyed state), KeyIndex
+	// its pipeline field index (valid only when KeyField != "").
+	StateVar string
+	KeyField string
+	KeyIndex int
+}
+
+// SelfUpdating reports whether the state field is a macro aggregate that
+// maintains itself via an implicit update companion (avg(price)), as
+// opposed to a read of an explicitly updated declared variable.
+func (f FieldInfo) SelfUpdating() bool { return f.IsState && f.BaseField != "" }
+
+// StateIdentity returns the register-bank identity the field reads:
+// the backing variable name plus "[key]" when keyed. Empty for
+// non-state fields.
+func (f FieldInfo) StateIdentity() string {
+	if !f.IsState {
+		return ""
+	}
+	return StateIdentity(f.StateVar, f.KeyField)
+}
+
+// StateIdentity forms the canonical register-bank identity for a state
+// variable and an optional canonical key field name.
+func StateIdentity(stateVar, keyField string) string {
+	if keyField == "" {
+		return stateVar
+	}
+	return stateVar + "[" + keyField + "]"
 }
 
 // AggWindowUS is the default tumbling-window size for aggregate macros
@@ -61,20 +95,69 @@ func newResolver(sp *spec.Spec) *resolver {
 	return r
 }
 
+// resolveKey canonicalizes a keyed operand's or action's key field and
+// returns its canonical name plus its pipeline field index. Keys must be
+// @query_field-annotated header fields: the pipeline reads the key value
+// from the extracted field vector, so the key has to be a match field the
+// parser already delivers.
+func (r *resolver) resolveKey(key string) (string, int, error) {
+	q, err := r.spec.LookupField(key)
+	if err != nil {
+		return "", 0, fmt.Errorf("state key [%s]: %w", key, err)
+	}
+	idx, ok := r.byName[q.Name]
+	if !ok {
+		return "", 0, fmt.Errorf("internal: key field %q missing from index", q.Name)
+	}
+	return q.Name, idx, nil
+}
+
 // fieldIndex resolves a subscription operand to a pipeline field index,
 // creating synthetic state fields on first use.
 func (r *resolver) fieldIndex(op lang.Operand) (int, error) {
+	keyName, keyIdx := "", -1
+	if op.IsKeyed() {
+		var err error
+		keyName, keyIdx, err = r.resolveKey(op.Key)
+		if err != nil {
+			return 0, fmt.Errorf("operand %s: %w", op, err)
+		}
+	}
+	keySuffix := ""
+	if keyName != "" {
+		keySuffix = "[" + keyName + "]"
+	}
 	if op.IsAggregate() {
+		if !validAggregate(op.Agg) {
+			return 0, fmt.Errorf("unknown aggregate macro %q (have avg, sum, count, min, max)", op.Agg)
+		}
+		// Aggregate over a declared state variable — avg(temp) where temp
+		// is @query_counter-declared — reads the variable's cells with the
+		// macro's fold; the window comes from the declaration and updates
+		// are explicit (temp[k] <- sample(...)), so no implicit companion.
+		if v, err := r.spec.LookupState(op.Field); err == nil {
+			name := fmt.Sprintf("%s(%s)%s", op.Agg, v.Name, keySuffix)
+			if idx, ok := r.byName[name]; ok {
+				return idx, nil
+			}
+			idx := len(r.fields)
+			r.byName[name] = idx
+			r.fields = append(r.fields, FieldInfo{
+				Name: name, Bits: stateFieldBits, Max: (1 << stateFieldBits) - 1,
+				Match: spec.MatchRange, IsState: true, Agg: op.Agg,
+				WindowUS: v.WindowUS,
+				StateVar: v.Name, KeyField: keyName, KeyIndex: keyIdx,
+			})
+			return idx, nil
+		}
 		q, err := r.spec.LookupField(op.Field)
 		if err != nil {
 			return 0, fmt.Errorf("aggregate %s: %w", op, err)
 		}
-		name := fmt.Sprintf("%s(%s)", op.Agg, q.Name)
+		stateVar := fmt.Sprintf("%s(%s)", op.Agg, q.Name)
+		name := stateVar + keySuffix
 		if idx, ok := r.byName[name]; ok {
 			return idx, nil
-		}
-		if !validAggregate(op.Agg) {
-			return 0, fmt.Errorf("unknown aggregate macro %q (have avg, sum, count, min, max)", op.Agg)
 		}
 		idx := len(r.fields)
 		r.byName[name] = idx
@@ -82,12 +165,14 @@ func (r *resolver) fieldIndex(op lang.Operand) (int, error) {
 			Name: name, Bits: stateFieldBits, Max: (1 << stateFieldBits) - 1,
 			Match: spec.MatchRange, IsState: true, Agg: op.Agg, BaseField: q.Name,
 			WindowUS: AggWindowUS,
+			StateVar: stateVar, KeyField: keyName, KeyIndex: keyIdx,
 		})
 		return idx, nil
 	}
 	// State variable reference (declared via @query_counter/@query_register).
 	if v, err := r.spec.LookupState(op.Field); err == nil {
-		if idx, ok := r.byName[v.Name]; ok {
+		name := v.Name + keySuffix
+		if idx, ok := r.byName[name]; ok {
 			return idx, nil
 		}
 		bits := v.Bits
@@ -95,17 +180,21 @@ func (r *resolver) fieldIndex(op lang.Operand) (int, error) {
 			bits = stateFieldBits
 		}
 		idx := len(r.fields)
-		r.byName[v.Name] = idx
+		r.byName[name] = idx
 		max := ^uint64(0)
 		if bits < 64 {
 			max = (uint64(1) << bits) - 1
 		}
 		r.fields = append(r.fields, FieldInfo{
-			Name: v.Name, Bits: bits, Max: max,
+			Name: name, Bits: bits, Max: max,
 			Match: spec.MatchRange, IsState: true, Agg: "count", BaseField: "",
 			WindowUS: v.WindowUS,
+			StateVar: v.Name, KeyField: keyName, KeyIndex: keyIdx,
 		})
 		return idx, nil
+	}
+	if op.IsKeyed() {
+		return 0, fmt.Errorf("operand %s: key suffix on non-state field %q", op, op.Field)
 	}
 	q, err := r.spec.LookupField(op.Field)
 	if err != nil {
@@ -206,8 +295,12 @@ func (r *resolver) resolveRules(rules []lang.DNFRule, workers int) ([]ruleConjs,
 
 	for ri := range rules {
 		rule := &rules[ri]
+		actions, err := r.canonicalizeActions(rule.Actions)
+		if err != nil {
+			return nil, fmt.Errorf("rule %d: %w", rule.ID, err)
+		}
 		out[ri] = ruleConjs{RuleID: len(r.actions), UpdateID: -1}
-		r.actions = append(r.actions, rule.Actions)
+		r.actions = append(r.actions, actions)
 		fieldIdx[ri] = make([][]int, len(rule.Conjunctions))
 
 		for ci, c := range rule.Conjunctions {
@@ -219,9 +312,10 @@ func (r *resolver) resolveRules(rules []lang.DNFRule, workers int) ([]ruleConjs,
 					return nil, fmt.Errorf("rule %d: %w", rule.ID, err)
 				}
 				idxs[ai] = idx
-				if r.fields[idx].IsState && atom.LHS.IsAggregate() {
-					implicitUpdates = append(implicitUpdates,
-						lang.StateUpdate(r.fields[idx].Name, atom.LHS.Agg, r.fields[idx].BaseField))
+				if r.fields[idx].SelfUpdating() && atom.LHS.IsAggregate() {
+					u := lang.KeyedStateUpdate(r.fields[idx].StateVar, r.fields[idx].KeyField,
+						atom.LHS.Agg, r.fields[idx].BaseField)
+					implicitUpdates = append(implicitUpdates, u)
 				}
 			}
 			fieldIdx[ri][ci] = idxs
@@ -256,7 +350,10 @@ func (r *resolver) resolveRules(rules []lang.DNFRule, workers int) ([]ruleConjs,
 				}
 				con := bdd.Constraint{Field: idx, Set: set, Label: atom.String()}
 				full.Constraints = append(full.Constraints, con)
-				if r.fields[idx].IsState && atom.LHS.IsAggregate() {
+				// The companion condition strips only self-updating macro
+				// atoms: reads of explicitly updated variables (keyed or
+				// not) carry no implicit update to ride on it.
+				if r.fields[idx].SelfUpdating() && atom.LHS.IsAggregate() {
 					hasAggregate = true
 				} else {
 					rest.Constraints = append(rest.Constraints, con)
@@ -286,6 +383,30 @@ func flattenConjs(rcs []ruleConjs) []bdd.Conj {
 		out = append(out, rc.Conjs...)
 	}
 	return out
+}
+
+// canonicalizeActions validates keyed state updates and rewrites their
+// key to the canonical field name (src -> pkt.src), copying the action
+// list only when a rewrite is needed so cached rules stay untouched.
+func (r *resolver) canonicalizeActions(actions []lang.Action) ([]lang.Action, error) {
+	out := actions
+	for i, a := range actions {
+		if a.Kind != lang.ActState || a.StateKey == "" {
+			continue
+		}
+		keyName, _, err := r.resolveKey(a.StateKey)
+		if err != nil {
+			return nil, fmt.Errorf("action %s: %w", a, err)
+		}
+		if keyName == a.StateKey {
+			continue
+		}
+		if &out[0] == &actions[0] {
+			out = append([]lang.Action(nil), actions...)
+		}
+		out[i].StateKey = keyName
+	}
+	return out, nil
 }
 
 func containsAction(list []lang.Action, a lang.Action) bool {

@@ -47,7 +47,14 @@ type Config struct {
 // subscription set installed.
 func NewPubSub(sp *spec.Spec, cfg Config) (*PubSub, error) {
 	if cfg.Switch.Ports == 0 {
+		// Default the pipeline shape but keep any state-engine knobs the
+		// caller did set (lane count, capacity, mutex baseline).
+		st := cfg.Switch
 		cfg.Switch = pipeline.DefaultConfig()
+		cfg.Switch.StateLanes = st.StateLanes
+		cfg.Switch.StateCapacity = st.StateCapacity
+		cfg.Switch.StateMutex = st.StateMutex
+		cfg.Switch.StateAffine = st.StateAffine
 	}
 	if cfg.Telemetry != nil {
 		cfg.Switch.Telemetry = cfg.Telemetry.Reg()
@@ -147,14 +154,26 @@ func (ps *PubSub) ProcessOrder(o *itch.AddOrder, now time.Duration) pipeline.Res
 // so with its install RWMutex); the pipeline itself is safe concurrently.
 type Processor struct {
 	ps   *PubSub
+	lane int        // state lane this processor writes; see NewProcessorAt
 	vals [][]uint64 // reused per-message value rows
 	now  []time.Duration
 	out  []pipeline.Result
 	n    int
 }
 
-// NewProcessor returns a Processor bound to the deployment.
-func (ps *PubSub) NewProcessor() *Processor { return &Processor{ps: ps} }
+// NewProcessor returns a Processor bound to the deployment on state
+// lane 0 (the single-worker deployment shape).
+func (ps *PubSub) NewProcessor() *Processor { return ps.NewProcessorAt(0) }
+
+// NewProcessorAt returns a Processor whose stateful register updates
+// land on the given state lane. Each lane has a single writer: the
+// caller must give every concurrently-flushing Processor its own lane
+// index (the sharded dataplane uses its worker index). Reads still see
+// all lanes, so lane assignment affects contention, not semantics.
+func (ps *PubSub) NewProcessorAt(lane int) *Processor {
+	ps.sw.State().EnsureLanes(lane + 1)
+	return &Processor{ps: ps, lane: lane}
+}
 
 // ProcessOrder evaluates one message immediately (the unbatched path).
 func (p *Processor) ProcessOrder(o *itch.AddOrder, now time.Duration) pipeline.Result {
@@ -162,7 +181,7 @@ func (p *Processor) ProcessOrder(o *itch.AddOrder, now time.Duration) pipeline.R
 		p.vals = append(p.vals, nil)
 	}
 	p.vals[0] = p.ps.ex.Values(o, p.vals[0])
-	return p.ps.sw.Process(p.vals[0], now)
+	return p.ps.sw.ProcessOn(p.lane, p.vals[0], now)
 }
 
 // Begin starts a new batch, discarding any un-flushed messages.
@@ -200,7 +219,7 @@ func (p *Processor) Flush(now time.Duration) []pipeline.Result {
 	for i := range nows {
 		nows[i] = now
 	}
-	p.ps.sw.ProcessBatch(p.vals[:n], nows, out)
+	p.ps.sw.ProcessBatchOn(p.lane, p.vals[:n], nows, out)
 	p.n = 0
 	return out
 }

@@ -164,6 +164,12 @@ type Config struct {
 	// a per-datagram processing-latency histogram, and everything the
 	// embedded compiler/control-plane/pipeline layers record.
 	Telemetry *telemetry.Telemetry
+	// StateMutex selects the global-mutex baseline for stateful
+	// registers instead of the per-lane single-writer engine — the
+	// measured A/B reference for the keyed-state figures. Production
+	// configs leave it false: each worker lane then updates registers
+	// on its own state lane without taking any lock on the packet path.
+	StateMutex bool
 }
 
 // defaultRetxBuffer is the per-port retransmission store size in messages.
@@ -349,7 +355,11 @@ func Listen(cfg Config) (*Switch, error) {
 		return nil, fmt.Errorf("dataplane: listen retx: %w", err)
 	}
 
-	engine, err := core.NewPubSub(cfg.Spec, core.Config{Compiler: cfg.Options, Telemetry: cfg.Telemetry})
+	engine, err := core.NewPubSub(cfg.Spec, core.Config{
+		Switch:    pipeline.Config{StateMutex: cfg.StateMutex},
+		Compiler:  cfg.Options,
+		Telemetry: cfg.Telemetry,
+	})
 	if err != nil {
 		closeConns()
 		retx.Close()
@@ -582,6 +592,16 @@ func (sw *Switch) SetSubscriptionsContext(ctx context.Context, src string) error
 // was created without Config.Telemetry).
 func (sw *Switch) Telemetry() *telemetry.Telemetry { return sw.tel }
 
+// RegisterDump snapshots the device's stateful registers for the window
+// containing the current wall clock, at most maxPerVar keys per
+// variable — the scrape behind the admin endpoint's /debug/registers.
+// Reads go through the state engine's seqlock, never the packet path's
+// write side, and never advance window state.
+func (sw *Switch) RegisterDump(maxPerVar int) pipeline.RegisterDump {
+	now := time.Duration(time.Now().UnixNano()) // the processing loops' clock
+	return sw.Device().State().DebugDump(now, maxPerVar)
+}
+
 // Device exposes the underlying pipeline device for out-of-band control
 // planes (the fabric's epoch controller installs programs through it,
 // interposing fault-injection wrappers in tests). Writes to the device
@@ -728,7 +748,7 @@ func (sw *Switch) Run(ctx context.Context) error {
 	}()
 
 	for _, l := range sw.lanes {
-		l.st = sw.newProcStateOn(l.conn)
+		l.st = sw.newProcStateAt(l.id, l.conn)
 	}
 	switch {
 	case sw.mode != IngressShared:
@@ -962,8 +982,13 @@ func (sw *Switch) newProcState() *procState { return sw.newProcStateOn(sw.conn) 
 // newProcStateOn builds a lane's scratch with egress bound to conn — in
 // the reuseport modes each lane ships its egress through its own socket,
 // spreading send-side work the same way ingress is spread.
-func (sw *Switch) newProcStateOn(conn Conn) *procState {
-	st := &procState{proc: sw.engine.NewProcessor(), conn: conn}
+func (sw *Switch) newProcStateOn(conn Conn) *procState { return sw.newProcStateAt(0, conn) }
+
+// newProcStateAt is newProcStateOn bound to a state lane: each dataplane
+// worker writes stateful registers on its own lane (the pipeline's
+// single-writer contract), so the keyed-state packet path takes no lock.
+func (sw *Switch) newProcStateAt(lane int, conn Conn) *procState {
+	st := &procState{proc: sw.engine.NewProcessorAt(lane), conn: conn}
 	if sw.batch > 1 {
 		st.bw = newBatchWriter(conn)
 	}

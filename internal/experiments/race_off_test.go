@@ -1,0 +1,8 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// and allocation assertions are skipped under it because the detector
+// rewrites the performance relationships they gate.
+const raceEnabled = false

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// findPoint picks the sweep row for (scenario, backend, workers).
+func findPoint(t *testing.T, pts []ScenarioPoint, scenario, backend string, workers int) ScenarioPoint {
+	t.Helper()
+	for _, p := range pts {
+		if p.Scenario == scenario && p.Backend == backend && p.Workers == workers {
+			return p
+		}
+	}
+	t.Fatalf("no point for %s/%s/w%d", scenario, backend, workers)
+	return ScenarioPoint{}
+}
+
+// TestScenarioSweepAcceptance is the PR's acceptance gate: at 4 workers
+// the keyed register banks must carry at least 2x the global-mutex
+// baseline's capacity on both scenario workloads, without allocating on
+// the packet path and without lossy evictions, while producing the exact
+// same forwarding decisions.
+func TestScenarioSweepAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is seconds-long; skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("capacity ratios are meaningless under the race detector; TestScenarioRaceSmoke covers the concurrency")
+	}
+	const workers = 4
+	pts, err := ScenarioSweep(ScenarioConfig{Workers: []int{workers}, Packets: 60000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + FormatScenarios(pts))
+
+	scenarios := map[string]bool{}
+	for _, p := range pts {
+		scenarios[p.Scenario] = true
+	}
+	if len(scenarios) != 2 {
+		t.Fatalf("expected both scenarios, got %v", scenarios)
+	}
+
+	for name := range scenarios {
+		mutex := findPoint(t, pts, name, "mutex", workers)
+		keyed := findPoint(t, pts, name, "keyed", workers)
+		affine := findPoint(t, pts, name, "keyed-affine", workers)
+
+		// Same traffic, same decisions: every backend must agree on what
+		// was forwarded, alerted, and written.
+		for _, p := range []ScenarioPoint{keyed, affine} {
+			if p.Forwarded != mutex.Forwarded || p.Alerts != mutex.Alerts || p.Updates != mutex.Updates {
+				t.Errorf("%s/%s fwd/alert/upd = %d/%d/%d, mutex = %d/%d/%d",
+					name, p.Backend, p.Forwarded, p.Alerts, p.Updates,
+					mutex.Forwarded, mutex.Alerts, mutex.Updates)
+			}
+		}
+		if mutex.Alerts == 0 || mutex.Forwarded == 0 {
+			t.Errorf("%s: degenerate run (fwd=%d alerts=%d)", name, mutex.Forwarded, mutex.Alerts)
+		}
+
+		// Keyed banks are sized for the working set: nothing evicted live.
+		for _, p := range []ScenarioPoint{mutex, keyed, affine} {
+			if p.EvictLossy != 0 {
+				t.Errorf("%s/%s: %d lossy evictions", name, p.Backend, p.EvictLossy)
+			}
+			if p.AllocsPerOp > 0.05 {
+				t.Errorf("%s/%s: %.3f allocs/packet on the hot path", name, p.Backend, p.AllocsPerOp)
+			}
+		}
+
+		// Capacity: the keyed-bank engine in its deployment shape (lane
+		// affinity along the flow key, as the dataplane shards) must at
+		// least double the global-mutex bound. The combining variant has
+		// to beat the baseline too, with slack for 1-core timer noise.
+		best := affine.PacketsPerSec
+		if keyed.PacketsPerSec > best {
+			best = keyed.PacketsPerSec
+		}
+		if best < 2*mutex.PacketsPerSec {
+			t.Errorf("%s: best keyed capacity %.0f < 2x mutex %.0f",
+				name, best, mutex.PacketsPerSec)
+		}
+		if keyed.PacketsPerSec < 1.2*mutex.PacketsPerSec {
+			t.Errorf("%s: keyed capacity %.0f not above mutex %.0f",
+				name, keyed.PacketsPerSec, mutex.PacketsPerSec)
+		}
+		if mutex.SerialNsPerPacket <= 0 {
+			t.Errorf("%s: mutex point missing serialization calibration", name)
+		}
+	}
+}
+
+// TestScenarioSweepDeterministic: the same seed reproduces the same
+// forwarding decisions and register activity regardless of backend
+// timing, across two full sweeps.
+func TestScenarioSweepDeterministic(t *testing.T) {
+	cfg := ScenarioConfig{Workers: []int{2}, Packets: 12000, Seed: 42}
+	a, err := ScenarioSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ScenarioSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("sweep sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Forwarded != b[i].Forwarded || a[i].Alerts != b[i].Alerts || a[i].Updates != b[i].Updates {
+			t.Errorf("%s/%s: run A %d/%d/%d vs run B %d/%d/%d",
+				a[i].Scenario, a[i].Backend,
+				a[i].Forwarded, a[i].Alerts, a[i].Updates,
+				b[i].Forwarded, b[i].Alerts, b[i].Updates)
+		}
+	}
+}
+
+// TestScenarioRaceSmoke is a small parallel sweep sized for the -race
+// build: all three backends drive 4 lanes concurrently.
+func TestScenarioRaceSmoke(t *testing.T) {
+	pts, err := ScenarioSweep(ScenarioConfig{Workers: []int{4}, Packets: 6000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 {
+		t.Fatalf("expected 6 points, got %d", len(pts))
+	}
+}
+
+func TestScenarioSweepValidation(t *testing.T) {
+	if _, err := ScenarioSweep(ScenarioConfig{Workers: []int{0}}); err == nil {
+		t.Fatal("worker count 0 should error")
+	}
+}
+
+func TestFormatScenarios(t *testing.T) {
+	pts, err := ScenarioSweep(ScenarioConfig{Workers: []int{1}, Packets: 4000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatScenarios(pts)
+	for _, want := range []string{"iot-threshold", "ddos-heavy-hitter", "mutex", "keyed-affine"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -62,19 +62,30 @@ func (op CmpOp) Negate() CmpOp {
 
 // Operand is the left-hand side of an atomic predicate: a header field,
 // a state variable, or an aggregate macro over a field (e.g. avg(price)).
+// A non-empty Key makes the stateful operand *keyed*: the state is
+// addressed per distinct value of the key header field, e.g.
+// src_count[source] or avg(temp)[sensor_id].
 type Operand struct {
 	Field string // header field name, e.g. "add_order.price" or "ip.dst"
 	Agg   string // aggregate macro name ("avg", "sum", ...); empty if none
+	Key   string // key header field for keyed state, e.g. "pkt.src"; empty if unkeyed
 }
 
 // IsAggregate reports whether the operand is a stateful aggregate macro.
 func (o Operand) IsAggregate() bool { return o.Agg != "" }
 
+// IsKeyed reports whether the operand addresses per-key state.
+func (o Operand) IsKeyed() bool { return o.Key != "" }
+
 func (o Operand) String() string {
+	s := o.Field
 	if o.Agg != "" {
-		return fmt.Sprintf("%s(%s)", o.Agg, o.Field)
+		s = fmt.Sprintf("%s(%s)", o.Agg, o.Field)
 	}
-	return o.Field
+	if o.Key != "" {
+		s += "[" + o.Key + "]"
+	}
+	return s
 }
 
 // ValueKind distinguishes numeric from symbolic constants.
@@ -185,14 +196,17 @@ const (
 
 // Action is one element of a rule's action list. Forwarding actions carry
 // the output port set (unicast when len==1, multicast otherwise). State
-// actions name the state variable, the update function, and its arguments.
+// actions name the state variable, the update function, and its arguments;
+// a non-empty StateKey makes the update keyed (v[key] <- f(args)), one
+// state cell per distinct value of the key header field.
 type Action struct {
-	Kind  ActionKind
-	Ports []int    // ActFwd
-	Var   string   // ActState: destination state variable
-	Func  string   // ActState: update function, e.g. "count", "add"
-	Args  []string // ActState: argument names (fields or variables)
-	Pos   Pos      // position of the action keyword, when parsed
+	Kind     ActionKind
+	Ports    []int    // ActFwd
+	Var      string   // ActState: destination state variable
+	StateKey string   // ActState: key header field for keyed state; empty if unkeyed
+	Func     string   // ActState: update function, e.g. "count", "add"
+	Args     []string // ActState: argument names (fields or variables)
+	Pos      Pos      // position of the action keyword, when parsed
 }
 
 // Fwd builds a forwarding action for the given ports.
@@ -210,6 +224,11 @@ func StateUpdate(v, fn string, args ...string) Action {
 	return Action{Kind: ActState, Var: v, Func: fn, Args: args}
 }
 
+// KeyedStateUpdate builds a keyed state-update action v[key] <- f(args...).
+func KeyedStateUpdate(v, key, fn string, args ...string) Action {
+	return Action{Kind: ActState, Var: v, StateKey: key, Func: fn, Args: args}
+}
+
 func (a Action) String() string {
 	switch a.Kind {
 	case ActFwd:
@@ -221,14 +240,18 @@ func (a Action) String() string {
 	case ActDrop:
 		return "drop()"
 	default:
-		return fmt.Sprintf("%s <- %s(%s)", a.Var, a.Func, strings.Join(a.Args, ","))
+		v := a.Var
+		if a.StateKey != "" {
+			v += "[" + a.StateKey + "]"
+		}
+		return fmt.Sprintf("%s <- %s(%s)", v, a.Func, strings.Join(a.Args, ","))
 	}
 }
 
 // Equal reports structural equality of actions, ignoring source
 // positions.
 func (a Action) Equal(b Action) bool {
-	if a.Kind != b.Kind || a.Var != b.Var || a.Func != b.Func {
+	if a.Kind != b.Kind || a.Var != b.Var || a.StateKey != b.StateKey || a.Func != b.Func {
 		return false
 	}
 	if len(a.Ports) != len(b.Ports) || len(a.Args) != len(b.Args) {

@@ -96,6 +96,10 @@ func (l *Lexer) lexToken() (Token, error) {
 		return mk(TokLParen, "("), nil
 	case ')':
 		return mk(TokRParen, ")"), nil
+	case '[':
+		return mk(TokLBracket, "["), nil
+	case ']':
+		return mk(TokRBracket, "]"), nil
 	case ',':
 		return mk(TokComma, ","), nil
 	case ':':

@@ -16,10 +16,15 @@ import (
 //	andExpr := unary ('&&' unary)*
 //	unary   := '!' unary | '(' cond ')' | atom | 'true'
 //	atom    := operand CMPOP value
-//	operand := IDENT | IDENT '(' IDENT ')'
+//	operand := IDENT key? | IDENT '(' IDENT ')' key?
+//	key     := '[' IDENT ']'
 //	value   := NUMBER | STRING | IDENT
 //	actions := action (';' action)*
-//	action  := 'fwd' '(' ports ')' | 'drop' '(' ')' | IDENT '<-' IDENT '(' args ')'
+//	action  := 'fwd' '(' ports ')' | 'drop' '(' ')' | IDENT key? '<-' IDENT '(' args ')'
+//
+// The optional key suffix addresses stateful operands per flow key: a
+// keyed state read (src_count[pkt.src]), a keyed aggregate
+// (avg(temp)[sensor_id]), or a keyed update (hits[pkt.src] <- count()).
 type Parser struct {
 	lex  *Lexer
 	tok  Token
@@ -246,6 +251,20 @@ func (p *Parser) parseAtom() (Expr, error) {
 		}
 		operand = Operand{Agg: ident.Text, Field: field.Text}
 	}
+	if p.tok.Kind == TokLBracket {
+		// Keyed state: var[key] or agg(field)[key].
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		key, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		operand.Key = key.Text
+	}
 	var op CmpOp
 	switch p.tok.Kind {
 	case TokEq:
@@ -336,7 +355,21 @@ func (p *Parser) parseAction() (Action, error) {
 		a.Pos = pos
 		return a, nil
 	}
-	// State update: var <- func(args)
+	// State update: var <- func(args), or keyed var[key] <- func(args).
+	stateKey := ""
+	if p.tok.Kind == TokLBracket {
+		if err := p.next(); err != nil {
+			return Action{}, err
+		}
+		key, err := p.expect(TokIdent)
+		if err != nil {
+			return Action{}, err
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return Action{}, err
+		}
+		stateKey = key.Text
+	}
 	if p.tok.Kind != TokArrow {
 		return Action{}, errAt(p.tok.Line, p.tok.Col, "expected 'fwd', 'drop' or '<-' in action, found %v", p.tok)
 	}
@@ -367,6 +400,7 @@ func (p *Parser) parseAction() (Action, error) {
 		return Action{}, err
 	}
 	a := StateUpdate(ident.Text, fn.Text, args...)
+	a.StateKey = stateKey
 	a.Pos = pos
 	return a, nil
 }

@@ -230,3 +230,79 @@ func TestSyntaxErrorHasPosition(t *testing.T) {
 		t.Fatalf("error should carry line info: %v", err)
 	}
 }
+
+func TestParseKeyedOperands(t *testing.T) {
+	r, err := ParseRule("hits[pkt.src] >= 100 && avg(temp)[sensor_id] > 30 : fwd(1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	and := r.Cond.(And)
+	plain := and.L.(Cmp)
+	if plain.LHS.Field != "hits" || plain.LHS.Key != "pkt.src" || plain.LHS.Agg != "" {
+		t.Fatalf("keyed state read parsed as %+v", plain.LHS)
+	}
+	if !plain.LHS.IsKeyed() {
+		t.Fatal("IsKeyed() false for keyed operand")
+	}
+	agg := and.R.(Cmp)
+	if agg.LHS.Agg != "avg" || agg.LHS.Field != "temp" || agg.LHS.Key != "sensor_id" {
+		t.Fatalf("keyed aggregate parsed as %+v", agg.LHS)
+	}
+	// String() round-trips through the parser.
+	rt, err := ParseRule(r.String())
+	if err != nil {
+		t.Fatalf("round-trip of %q: %v", r.String(), err)
+	}
+	if rt.String() != r.String() {
+		t.Fatalf("round-trip mismatch: %q vs %q", rt.String(), r.String())
+	}
+}
+
+func TestParseKeyedStateUpdate(t *testing.T) {
+	r, err := ParseRule("true : hits[pkt.src] <- count(); temp[sensor_id] <- sample(iot.value)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Actions) != 2 {
+		t.Fatalf("want 2 actions, got %d", len(r.Actions))
+	}
+	a := r.Actions[0]
+	if a.Kind != ActState || a.Var != "hits" || a.StateKey != "pkt.src" || a.Func != "count" {
+		t.Fatalf("bad keyed update %+v", a)
+	}
+	b := r.Actions[1]
+	if b.StateKey != "sensor_id" || b.Func != "sample" || len(b.Args) != 1 || b.Args[0] != "iot.value" {
+		t.Fatalf("bad keyed update %+v", b)
+	}
+	if got, want := a.String(), "hits[pkt.src] <- count()"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	if a.Equal(b) {
+		t.Fatal("distinct keyed updates compare Equal")
+	}
+	if c := KeyedStateUpdate("hits", "pkt.src", "count"); !a.Equal(c) {
+		t.Fatalf("KeyedStateUpdate not Equal to parsed action: %+v vs %+v", a, c)
+	}
+	// Round-trip.
+	rt, err := ParseRule(r.String())
+	if err != nil {
+		t.Fatalf("round-trip of %q: %v", r.String(), err)
+	}
+	if rt.String() != r.String() {
+		t.Fatalf("round-trip mismatch: %q vs %q", rt.String(), r.String())
+	}
+}
+
+func TestParseKeyedErrors(t *testing.T) {
+	for _, src := range []string{
+		"hits[ >= 1 : fwd(1)",
+		"hits[1] >= 1 : fwd(1)",
+		"hits[pkt.src >= 1 : fwd(1)",
+		"true : hits[ <- count()",
+		"true : hits[pkt.src <- count()",
+	} {
+		if _, err := ParseRule(src); err == nil {
+			t.Errorf("ParseRule(%q): want error, got nil", src)
+		}
+	}
+}

@@ -23,6 +23,8 @@ const (
 	TokString
 	TokLParen
 	TokRParen
+	TokLBracket
+	TokRBracket
 	TokComma
 	TokColon
 	TokSemicolon
@@ -42,6 +44,7 @@ const (
 var tokenNames = map[TokenKind]string{
 	TokEOF: "end of input", TokIdent: "identifier", TokNumber: "number",
 	TokString: "string", TokLParen: "'('", TokRParen: "')'",
+	TokLBracket: "'['", TokRBracket: "']'",
 	TokComma: "','", TokColon: "':'", TokSemicolon: "';'",
 	TokAnd: "'&&'", TokOr: "'||'", TokNot: "'!'",
 	TokEq: "'=='", TokNeq: "'!='", TokLt: "'<'", TokGt: "'>'",

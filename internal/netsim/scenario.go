@@ -1,0 +1,131 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"camus/internal/nethdr"
+	"camus/internal/pipeline"
+	"camus/internal/stats"
+	"camus/internal/workload"
+)
+
+// Scenario mirror: runs a stateful scenario workload (IoT
+// threshold-over-window, DDoS heavy-hitter) through the discrete-event
+// network around a compiled pipeline, the same way experiment.go runs the
+// market-data feed. A publisher paces the scenario feed onto the switch;
+// the switch evaluates each packet against the keyed-register rules and
+// puts it on the forward or alert egress link; a monitoring host drains
+// the alert port. The forwarding decisions are exactly those of a direct
+// pipeline evaluation of the same rows — the mirror test in
+// scenario_test.go asserts that equality — while the simulation adds what
+// the direct sweep cannot see: alert-path delivery latency under link
+// serialization and monitor queueing.
+
+// ScenarioExperimentConfig describes one simulated scenario run.
+type ScenarioExperimentConfig struct {
+	Scenario workload.Scenario
+	// Switch is the pipeline with the scenario's subscriptions installed.
+	Switch *pipeline.Switch
+	// Lookup resolves a header field name to its slot in the evaluated
+	// value vector (compiler.Program's field order).
+	Lookup  func(name string) (int, bool)
+	Feed    workload.ScenarioFeedConfig
+	Packets int
+	// Monitor is the host on the alert port; zero value = DefaultHostConfig.
+	Monitor HostConfig
+	// Propagation is the one-way per-hop delay; zero = 250ns.
+	Propagation time.Duration
+}
+
+// ScenarioResult carries per-port delivery counts and the alert path's
+// publisher→monitor latency distribution.
+type ScenarioResult struct {
+	Packets   int
+	Forwarded int // packets delivered on the scenario's forward port
+	Alerts    int // packets delivered on the alert port
+	Dropped   int // packets the rules matched to neither port
+
+	AlertLatency    *stats.Dist // publisher → monitor application
+	MaxMonitorQueue int
+	MaxAlertQueue   int // alert egress link transmit queue high-water
+}
+
+// scenarioPacketBytes is the wire size of one scenario packet: the
+// headers the specs describe ride in a small UDP payload.
+const scenarioPacketBytes = nethdr.EthernetLen + nethdr.IPv4MinLen + nethdr.UDPLen + 16
+
+// RunScenario simulates the scenario feed end to end.
+//
+// The switch stamps every packet with its ingress (feed) time, so the
+// keyed registers' tumbling windows advance on the feed clock regardless
+// of simulated queueing upstream — which is what makes the simulated
+// forwarding decisions reproducible by a direct replay of the same rows
+// at the same times.
+func RunScenario(cfg ScenarioExperimentConfig) (*ScenarioResult, error) {
+	if cfg.Switch == nil {
+		return nil, fmt.Errorf("netsim: scenario run needs a pipeline.Switch")
+	}
+	if cfg.Lookup == nil {
+		return nil, fmt.Errorf("netsim: scenario run needs a field-lookup func")
+	}
+	if cfg.Packets <= 0 {
+		cfg.Packets = 10000
+	}
+	if cfg.Monitor.NICGbps == 0 {
+		cfg.Monitor = DefaultHostConfig()
+	}
+	if cfg.Propagation == 0 {
+		cfg.Propagation = 250 * time.Nanosecond
+	}
+
+	sim := NewSim()
+	pubLink := NewLink(sim, cfg.Monitor.NICGbps, cfg.Propagation)   // publisher -> switch
+	fwdLink := NewLink(sim, cfg.Monitor.NICGbps, cfg.Propagation)   // forward port
+	alertLink := NewLink(sim, cfg.Monitor.NICGbps, cfg.Propagation) // alert port -> monitor
+	monitorCPU := NewServer(sim)
+
+	res := &ScenarioResult{Packets: cfg.Packets, AlertLatency: &stats.Dist{}}
+	pipeLatency := cfg.Switch.Latency()
+
+	// Pre-generate the feed so the rows and ingress stamps are fixed
+	// before any simulated queueing happens.
+	gen := cfg.Scenario.NewGen(cfg.Feed, cfg.Lookup)
+	width := len(cfg.Switch.Program().Fields)
+	rows := make([][]uint64, cfg.Packets)
+	ats := make([]time.Duration, cfg.Packets)
+	for i := range rows {
+		rows[i] = make([]uint64, width)
+		ats[i] = gen.Next(rows[i])
+	}
+
+	for i := range rows {
+		i := i
+		sim.Schedule(ats[i], func() {
+			pubLink.Send(scenarioPacketBytes, func() {
+				sim.After(pipeLatency, func() {
+					r := cfg.Switch.ProcessOn(0, rows[i], ats[i])
+					switch {
+					case !r.Dropped && containsPort(r.Ports, cfg.Scenario.AlertPort):
+						alertLink.Send(scenarioPacketBytes, func() {
+							monitorCPU.Submit(cfg.Monitor.PerPacketCost+cfg.Monitor.PerMessageCost, func() {
+								res.Alerts++
+								res.AlertLatency.Add(sim.Now() - ats[i])
+							})
+						})
+					case !r.Dropped && containsPort(r.Ports, cfg.Scenario.ForwardPort):
+						fwdLink.Send(scenarioPacketBytes, func() {
+							res.Forwarded++
+						})
+					default:
+						res.Dropped++
+					}
+				})
+			})
+		})
+	}
+	sim.Run()
+	res.MaxMonitorQueue = monitorCPU.MaxQueue()
+	res.MaxAlertQueue = alertLink.MaxQueue()
+	return res, nil
+}

@@ -1,0 +1,123 @@
+package netsim
+
+import (
+	"testing"
+
+	"camus/internal/compiler"
+	"camus/internal/pipeline"
+	"camus/internal/spec"
+	"camus/internal/workload"
+)
+
+// compileScenario builds a fresh switch for the scenario with the given
+// state sharding config, plus the program's field lookup.
+func compileScenario(t *testing.T, sc workload.Scenario) (*pipeline.Switch, *compiler.Program, func(string) (int, bool)) {
+	t.Helper()
+	sp, err := spec.Parse(sc.SpecSrc)
+	if err != nil {
+		t.Fatalf("spec: %v", err)
+	}
+	prog, err := compiler.CompileSource(sp, sc.RulesSrc, compiler.Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	sw, err := pipeline.New(prog, pipeline.DefaultConfig())
+	if err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	lookup := func(name string) (int, bool) {
+		i, err := prog.FieldIndex(name)
+		return i, err == nil
+	}
+	return sw, prog, lookup
+}
+
+// TestScenarioMirror asserts the simulation's forwarding decisions are
+// exactly those of a direct pipeline evaluation of the same rows at the
+// same ingress times: the sim is a mirror of the dataplane, with links
+// and hosts layered on top.
+func TestScenarioMirror(t *testing.T) {
+	for _, sc := range workload.Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			const packets = 30000
+			feed := workload.ScenarioFeedConfig{Keys: 64, Rate: 50000, Seed: 7}
+
+			simSw, _, lookup := compileScenario(t, sc)
+			res, err := RunScenario(ScenarioExperimentConfig{
+				Scenario: sc,
+				Switch:   simSw,
+				Lookup:   lookup,
+				Feed:     feed,
+				Packets:  packets,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Direct replay on a fresh switch: same generator seed, same
+			// rows, same ingress stamps.
+			dirSw, prog, dirLookup := compileScenario(t, sc)
+			gen := sc.NewGen(feed, dirLookup)
+			vals := make([]uint64, len(prog.Fields))
+			var fwd, alert, drop int
+			for i := 0; i < packets; i++ {
+				at := gen.Next(vals)
+				r := dirSw.ProcessOn(0, vals, at)
+				switch {
+				case !r.Dropped && containsPort(r.Ports, sc.AlertPort):
+					alert++
+				case !r.Dropped && containsPort(r.Ports, sc.ForwardPort):
+					fwd++
+				default:
+					drop++
+				}
+			}
+
+			if res.Forwarded != fwd || res.Alerts != alert || res.Dropped != drop {
+				t.Fatalf("sim fwd/alert/drop = %d/%d/%d, direct = %d/%d/%d",
+					res.Forwarded, res.Alerts, res.Dropped, fwd, alert, drop)
+			}
+			if res.Forwarded+res.Alerts+res.Dropped != packets {
+				t.Fatalf("port counts %d+%d+%d don't cover %d packets",
+					res.Forwarded, res.Alerts, res.Dropped, packets)
+			}
+			// The run is long enough (30k pkts at 50kpps = 600ms, 64 keys,
+			// 1s window) that both outcomes must occur.
+			if res.Alerts == 0 || res.Forwarded == 0 {
+				t.Fatalf("degenerate run: fwd=%d alerts=%d", res.Forwarded, res.Alerts)
+			}
+			// Every alert crossed two links and the pipeline, so the p50
+			// must exceed the fixed delays alone.
+			floor := simSw.Latency()
+			if p := res.AlertLatency.Percentile(50); p < floor {
+				t.Fatalf("alert p50 %v below pipeline latency %v", p, floor)
+			}
+			t.Logf("%s: fwd=%d alerts=%d drop=%d p50=%v p99=%v monitorQ=%d",
+				sc.Name, res.Forwarded, res.Alerts, res.Dropped,
+				res.AlertLatency.Percentile(50), res.AlertLatency.Percentile(99), res.MaxMonitorQueue)
+		})
+	}
+}
+
+// TestScenarioMirrorDefaults exercises the zero-value config paths.
+func TestScenarioMirrorDefaults(t *testing.T) {
+	sc := workload.DDoSScenario()
+	sw, _, lookup := compileScenario(t, sc)
+	res, err := RunScenario(ScenarioExperimentConfig{Scenario: sc, Switch: sw, Lookup: lookup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packets != 10000 {
+		t.Fatalf("default packets = %d", res.Packets)
+	}
+	if res.Forwarded+res.Alerts+res.Dropped != res.Packets {
+		t.Fatalf("counts don't cover packets")
+	}
+	if _, err := RunScenario(ScenarioExperimentConfig{Scenario: sc}); err == nil {
+		t.Fatal("nil switch should error")
+	}
+	if _, err := RunScenario(ScenarioExperimentConfig{Scenario: sc, Switch: sw}); err == nil {
+		t.Fatal("nil lookup should error")
+	}
+}

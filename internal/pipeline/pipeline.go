@@ -40,6 +40,25 @@ type Config struct {
 	// through the registry and enables their hot-path maintenance. Nil
 	// keeps Process at its uninstrumented cost.
 	Telemetry *telemetry.Registry
+
+	// Keyed-state engine sizing (see keyedstate.go). StateLanes is the
+	// number of single-writer state lanes to pre-create (defaults to 1;
+	// embedders with worker sharding call EnsureLanes or set this to the
+	// worker count). StateCapacity is the cell count per lane per state
+	// variable (rounded up to a power of two; default 1024).
+	StateLanes    int
+	StateCapacity int
+
+	// StateMutex selects the retired global-mutex state path — a single
+	// bank set serialized by one lock, whatever lane a packet arrives
+	// on — kept as the measured A/B baseline for the sharded engine.
+	StateMutex bool
+
+	// StateAffine lets reads skip the cross-lane combine: the caller
+	// guarantees packets are sharded to lanes by the same flow key that
+	// keys the state (the locate-keyed lane affinity of the dataplane),
+	// so a key's state lives wholly on its lane.
+	StateAffine bool
 }
 
 // DefaultConfig models the 32-port switch used in the paper's testbed.
@@ -72,17 +91,19 @@ type Result struct {
 // groups) is published through a single atomic pointer, mirroring the
 // hardware's all-or-nothing table commit: Process is safe to call from
 // many goroutines concurrently with Reinstall, and each packet sees one
-// consistent program version. The read-mostly contract the control plane
-// relies on: stateless programs (no aggregate/state fields) are fully
-// race-free and lock-free; programs with state variables additionally
-// mutate the shared register file per packet, which — like the serialized
-// register ALUs of the real ASIC — is serialized internally by the
-// register file's mutex, so Process and ProcessBatch are safe from many
-// goroutines for every program.
+// consistent program version. Stateless programs (no aggregate/state
+// fields) are fully race-free and lock-free. Programs with state
+// variables go through the sharded keyed-state engine (keyedstate.go):
+// each worker lane owns its banks outright — single writer, no lock on
+// the packet path — provided callers honor the ProcessBatchOn contract
+// (one goroutine per lane index). The legacy discipline, every state
+// access behind one global mutex, survives under Config.StateMutex as
+// the measured A/B baseline; there Process and ProcessBatch are safe
+// from any goroutines without lane discipline, as before.
 type Switch struct {
-	cfg  Config
-	inst atomic.Pointer[installed]
-	regs *RegisterFile
+	cfg   Config
+	inst  atomic.Pointer[installed]
+	state *KeyedState
 
 	packets telemetry.Counter // packet count on the pattern-free paths
 
@@ -121,19 +142,34 @@ type installed struct {
 	pat     []atomic.Uint64 // fused packet/miss-pattern counters (see patGen)
 	dropBit uint64          // pattern bit recording "packet dropped"
 	ctrs    []tableCounters // fallback per-table miss counters (wide programs)
-	nState  int             // state fields read per packet (register reads)
-	// updArg[ai][ui] is the pipeline field index feeding action ai's
-	// ui-th state update, or -1 when the update takes no argument.
-	// Resolved once at install time: FieldIndex is a linear name scan
-	// with an error path, which the per-packet path must not pay.
-	updArg [][]int
-	// readRegs[i] is the register behind state field i (nil for header
-	// fields); updRegs[ai][ui] the register targeted by action ai's ui-th
-	// update. Both are resolved at install time so the packet path never
-	// probes the register file's name map — and never takes its
-	// first-touch allocation branch.
-	readRegs []*Register
-	updRegs  [][]*Register
+	// reads and upds are the keyed-state descriptors, fully resolved at
+	// install time (extending PR 9's register precompute): variable
+	// slots, key/argument field indices, numeric aggregate folds, and
+	// windows — so the packet path performs no name-map probe, no string
+	// switch, and no first-touch allocation.
+	reads []stateRead
+	upds  [][]stateUpd
+}
+
+// stateRead fills one state field from the keyed engine: values[field] =
+// Read(slot, values[keyIdx]). keyIdx < 0 means unkeyed (key 0).
+type stateRead struct {
+	field  int32
+	slot   int32
+	keyIdx int32 // pipeline field index of the key value, or -1
+	agg    AggKind
+	window time.Duration
+}
+
+// stateUpd folds one sample into the keyed engine: Update(slot,
+// values[keyIdx], values[argIdx]). Negative indices mean unkeyed /
+// no-argument; zeroArg is the count() fold.
+type stateUpd struct {
+	slot    int32
+	keyIdx  int32
+	argIdx  int32
+	zeroArg bool
+	window  time.Duration
 }
 
 // tableCounters is the fallback per-table counter hook used when a
@@ -171,17 +207,24 @@ const (
 // fits the device's table resources.
 func New(prog *compiler.Program, cfg Config) (*Switch, error) {
 	if cfg.Ports == 0 {
-		tel := cfg.Telemetry
+		saved := cfg
 		cfg = DefaultConfig()
-		cfg.Telemetry = tel
+		cfg.Telemetry = saved.Telemetry
+		cfg.StateLanes = saved.StateLanes
+		cfg.StateCapacity = saved.StateCapacity
+		cfg.StateMutex = saved.StateMutex
+		cfg.StateAffine = saved.StateAffine
 	}
 	if err := CheckResources(prog, cfg); err != nil {
 		return nil, err
 	}
 	sw := &Switch{
-		cfg:  cfg,
-		tel:  cfg.Telemetry,
-		regs: NewRegisterFile(),
+		cfg:   cfg,
+		tel:   cfg.Telemetry,
+		state: NewKeyedState(cfg.StateCapacity, cfg.StateMutex, cfg.StateAffine, cfg.Telemetry),
+	}
+	if cfg.StateLanes > 1 {
+		sw.state.EnsureLanes(cfg.StateLanes)
 	}
 	if sw.tel != nil {
 		sw.tableBase = make(map[string]uint64)
@@ -222,41 +265,59 @@ func (sw *Switch) newInstalled(prog *compiler.Program) *installed {
 	for _, t := range prog.Tables {
 		in.tables = append(in.tables, buildLookup(t))
 	}
-	for _, f := range prog.Fields {
-		if f.IsState {
-			in.nState++
-		}
-	}
-	// Resolving registers here doubles as the pre-create step: every
-	// register a packet can touch exists before the program is published
+	// Resolving state slots here doubles as the pre-create step: every
+	// bank a packet can touch exists before the program is published
 	// (hardware registers power up zeroed), so reads before any update
-	// return zero and the packet path never allocates one lazily.
-	in.readRegs = make([]*Register, len(prog.Fields))
+	// return zero and the packet path never allocates one lazily. Reads
+	// resolve before updates so a declared window wins over the
+	// aggregate default for the shared slot.
 	for i, f := range prog.Fields {
-		if f.IsState {
-			in.readRegs[i] = sw.regs.Ensure(f.Name, fieldWindow(f))
+		if !f.IsState {
+			continue
 		}
+		identity := f.StateVar
+		if identity == "" {
+			identity = f.Name // programmatic FieldInfo without keyed metadata
+		}
+		identity = compiler.StateIdentity(identity, f.KeyField)
+		slot := sw.state.EnsureVar(identity, fieldWindow(f))
+		keyIdx := int32(-1)
+		if f.KeyField != "" {
+			keyIdx = int32(f.KeyIndex)
+		}
+		in.reads = append(in.reads, stateRead{
+			field: int32(i), slot: int32(slot), keyIdx: keyIdx,
+			agg: AggKindOf(f.Agg), window: fieldWindow(f),
+		})
 	}
-	in.updArg = make([][]int, len(prog.Actions))
-	in.updRegs = make([][]*Register, len(prog.Actions))
+	in.upds = make([][]stateUpd, len(prog.Actions))
 	for ai := range prog.Actions {
 		ups := prog.Actions[ai].Updates
 		if len(ups) == 0 {
 			continue
 		}
-		idx := make([]int, len(ups))
-		regs := make([]*Register, len(ups))
+		resolved := make([]stateUpd, len(ups))
 		for ui, u := range ups {
-			idx[ui] = -1
+			su := stateUpd{keyIdx: -1, argIdx: -1, zeroArg: u.Func == "count", window: AggWindow}
 			if len(u.Args) > 0 {
 				if fi, err := prog.FieldIndex(u.Args[0]); err == nil {
-					idx[ui] = fi
+					su.argIdx = int32(fi)
 				}
 			}
-			regs[ui] = sw.regs.Ensure(u.Var, AggWindow)
+			if u.StateKey != "" {
+				if fi, err := prog.FieldIndex(u.StateKey); err == nil {
+					su.keyIdx = int32(fi)
+				}
+			}
+			if prog.Spec != nil {
+				if v, err := prog.Spec.LookupState(u.Var); err == nil && v.WindowUS > 0 {
+					su.window = time.Duration(v.WindowUS) * time.Microsecond
+				}
+			}
+			su.slot = int32(sw.state.EnsureVar(compiler.StateIdentity(u.Var, u.StateKey), su.window))
+			resolved[ui] = su
 		}
-		in.updArg[ai] = idx
-		in.updRegs[ai] = regs
+		in.upds[ai] = resolved
 	}
 	if sw.tel != nil {
 		names := make([]string, len(prog.Tables))
@@ -424,51 +485,77 @@ func fieldWindow(f compiler.FieldInfo) time.Duration {
 	return AggWindow
 }
 
-// Process runs one packet through the pipeline. values must contain the
-// packet's header field values in program field order; state-field slots
-// are overwritten with register reads. now is the packet's arrival time,
-// used for tumbling windows.
+// Process runs one packet through the pipeline on lane 0. values must
+// contain the packet's header field values in program field order;
+// state-field slots are overwritten with register reads. now is the
+// packet's arrival time, used for tumbling windows.
 func (sw *Switch) Process(values []uint64, now time.Duration) Result {
 	in := sw.inst.Load() // one consistent program version per packet
-	return sw.processOne(in, values, now)
+	return sw.processOne(in, 0, values, now)
 }
 
-// ProcessBatch runs a batch of packets through the pipeline, filling
-// out[i] with the forwarding decision for values[i] arriving at now[i].
-// The three slices must have equal length. The program pointer is loaded
-// once for the whole batch — every packet of a batch sees the same
-// program version, and the per-packet cost drops by the atomic load and
-// its cache miss. Telemetry semantics are identical to per-packet
+// ProcessOn is Process for one state lane — the unbatched form of
+// ProcessBatchOn, with the same single-writer contract per lane.
+//
+//camus:hotpath bench=BenchmarkProcessBatchKeyed
+func (sw *Switch) ProcessOn(lane int, values []uint64, now time.Duration) Result {
+	in := sw.inst.Load()
+	return sw.processOne(in, lane, values, now)
+}
+
+// ProcessBatch runs a batch of packets through the pipeline on lane 0,
+// filling out[i] with the forwarding decision for values[i] arriving at
+// now[i]. The three slices must have equal length. The program pointer
+// is loaded once for the whole batch — every packet of a batch sees the
+// same program version, and the per-packet cost drops by the atomic load
+// and its cache miss. Telemetry semantics are identical to per-packet
 // Process calls: one fused miss-pattern sample per packet.
 //
 //camus:hotpath bench=BenchmarkProcessBatch
 func (sw *Switch) ProcessBatch(values [][]uint64, now []time.Duration, out []Result) {
+	sw.ProcessBatchOn(0, values, now, out)
+}
+
+// ProcessBatchOn is ProcessBatch for one state lane — the sharded
+// dataplane's entry point. The single-writer contract: at most one
+// goroutine issues packets for a given lane index at a time, and the
+// embedder calls EnsureLanes (or sets Config.StateLanes) up front.
+// Reads may cross lanes (see KeyedState.Read); updates touch only the
+// caller's lane. Under Config.StateMutex the lane index is ignored and
+// every state access serializes on the engine mutex — the baseline.
+//
+//camus:hotpath bench=BenchmarkProcessBatchKeyed
+func (sw *Switch) ProcessBatchOn(lane int, values [][]uint64, now []time.Duration, out []Result) {
 	if len(values) != len(now) || len(values) != len(out) {
 		//camus:alloc-ok panic argument on the caller-misuse path; the string itself is static
 		panic("pipeline: ProcessBatch slice lengths differ")
 	}
 	in := sw.inst.Load() // one consistent program version per batch
 	for i := range values {
-		out[i] = sw.processOne(in, values[i], now[i])
+		out[i] = sw.processOne(in, lane, values[i], now[i])
 	}
 }
 
 // processOne is the per-packet hot path: a fixed sequence of flattened
-// array-indexed stage lookups, no hashing, no allocation.
+// array-indexed stage lookups, no hashing beyond the state-bank probe,
+// no allocation.
 //
 //camus:hotpath
-func (sw *Switch) processOne(in *installed, values []uint64, now time.Duration) Result {
-	fields := in.prog.Fields
-	// Stage 0: state-variable reads populate metadata. Registers were
-	// resolved at install time (installed.readRegs), so the read is a
-	// lock plus the aggregate fold — no name-map probe.
-	for i := range in.readRegs {
-		if r := in.readRegs[i]; r != nil {
-			values[i] = sw.regs.ReadReg(r, fields[i].Agg, now)
+func (sw *Switch) processOne(in *installed, lane int, values []uint64, now time.Duration) Result {
+	// Stage 0: state reads populate metadata. Slots, keys, folds and
+	// windows were resolved at install time (installed.reads), so the
+	// read is a bank probe plus the fold — no name-map probe, no lock
+	// outside mutex mode.
+	for i := range in.reads {
+		rd := &in.reads[i]
+		key := uint64(0)
+		if rd.keyIdx >= 0 {
+			key = values[rd.keyIdx]
 		}
+		values[rd.field] = sw.state.Read(lane, int(rd.slot), key, rd.agg, rd.window, now)
 	}
-	if in.nState > 0 {
-		sw.regReads.Add(uint64(in.nState))
+	if len(in.reads) > 0 {
+		sw.regReads.Add(uint64(len(in.reads)))
 	}
 	// Match-action stages. With telemetry on, the miss pattern is
 	// accumulated in a register-resident mask and recorded with one
@@ -511,16 +598,22 @@ func (sw *Switch) processOne(in *installed, values []uint64, now time.Duration) 
 		return Result{Dropped: true, Group: -1}
 	}
 	act := &in.prog.Actions[ai]
-	// State updates execute in the action stage. Argument field indices
-	// and target registers were resolved at install time (installed
-	// .updArg/.updRegs), so the loop is array loads and the register
-	// write — no name-map probe, no first-touch allocation.
-	for ui, u := range act.Updates {
+	// State updates execute in the action stage. Slots, key and argument
+	// field indices were resolved at install time (installed.upds), so
+	// the loop is array loads and the single-writer bank fold — no
+	// name-map probe, no first-touch allocation, no lock outside mutex
+	// mode.
+	for i := range in.upds[ai] {
+		u := &in.upds[ai][i]
 		arg := uint64(0)
-		if fi := in.updArg[ai][ui]; fi >= 0 {
-			arg = values[fi]
+		if u.argIdx >= 0 {
+			arg = values[u.argIdx]
 		}
-		sw.regs.UpdateReg(in.updRegs[ai][ui], u.Func, arg, now)
+		key := uint64(0)
+		if u.keyIdx >= 0 {
+			key = values[u.keyIdx]
+		}
+		sw.state.Update(lane, int(u.slot), key, u.zeroArg, arg, u.window, now)
 	}
 	if len(act.Ports) == 0 {
 		if in.pat != nil {
@@ -544,8 +637,9 @@ func (sw *Switch) Latency() time.Duration { return sw.cfg.PipeLatency }
 // Config returns the device configuration.
 func (sw *Switch) Config() Config { return sw.cfg }
 
-// Registers exposes the register file (tests, telemetry).
-func (sw *Switch) Registers() *RegisterFile { return sw.regs }
+// State exposes the keyed-state engine (observability, tests, and the
+// embedder's EnsureLanes call at worker startup).
+func (sw *Switch) State() *KeyedState { return sw.state }
 
 // PacketsProcessed returns the number of packets run through the pipe.
 func (sw *Switch) PacketsProcessed() uint64 {

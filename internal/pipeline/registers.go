@@ -85,6 +85,35 @@ func (r *Register) Count(now time.Duration) uint64 {
 	return r.count
 }
 
+// Peek is Value without the roll: it decides window expiry by comparing
+// now against the window bounds and never writes the register, so an
+// observability scrape cannot advance (or reset) state the packet path
+// is accumulating. A peek past the window boundary reads zero — exactly
+// what a Value call at that now would return after rolling — while the
+// register's contents stay intact.
+func (r *Register) Peek(agg string, now time.Duration) uint64 {
+	if !r.started || (r.Window > 0 && now-r.windowStart >= r.Window) {
+		return 0
+	}
+	switch agg {
+	case "count":
+		return r.count
+	case "sum":
+		return r.sum
+	case "min":
+		return r.min
+	case "max":
+		return r.max
+	case "avg":
+		if r.count == 0 {
+			return 0
+		}
+		return r.sum / r.count
+	default:
+		return r.last
+	}
+}
+
 // RegisterFile is the switch's block of stateful registers, addressed by
 // state-variable name.
 //
@@ -96,7 +125,7 @@ func (r *Register) Count(now time.Duration) uint64 {
 // goroutines (the sharded dataplane workers) without external
 // serialization.
 type RegisterFile struct {
-	mu   sync.Mutex
+	mu   sync.RWMutex // packet path writes; Peek/Names take the read side
 	regs map[string]*Register
 }
 
@@ -174,14 +203,33 @@ func updateLocked(r *Register, agg string, v uint64, now time.Duration) {
 	}
 }
 
-// Names returns the allocated register names, sorted.
+// Names returns the allocated register names, sorted. Only the map
+// iteration holds the file mutex; the sort happens on the snapshot
+// outside the lock, so a scrape enumerating a large file does not
+// stall the packet path for the duration of the sort.
 func (f *RegisterFile) Names() []string {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.mu.RLock()
 	out := make([]string, 0, len(f.regs))
 	for n := range f.regs {
 		out = append(out, n)
 	}
+	f.mu.RUnlock()
 	sort.Strings(out)
 	return out
+}
+
+// Peek serves an aggregate without advancing window state: where Read
+// rolls the register's tumbling window forward (a write), Peek only
+// compares timestamps, reporting zero for a window that has elapsed and
+// leaving the stale contents in place for forensic inspection at an
+// earlier now. This is the scrape-time form — observability reads must
+// not mutate what they observe.
+func (f *RegisterFile) Peek(name, agg string, now time.Duration) uint64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	r, ok := f.regs[name]
+	if !ok {
+		return 0
+	}
+	return r.Peek(agg, now)
 }

@@ -1,0 +1,122 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRegisterRollIdleWindows pins the idle-window skip: after a gap of
+// several windows the register must land on the boundary grid aligned
+// to its first touch, not on the arrival time of the packet that ended
+// the idle stretch.
+func TestRegisterRollIdleWindows(t *testing.T) {
+	w := 100 * time.Microsecond
+	r := &Register{Window: w}
+
+	// First touch at 30µs starts the grid: boundaries at 130, 230, ...
+	r.Update(5, 30*time.Microsecond)
+	if got := r.Value("count", 40*time.Microsecond); got != 1 {
+		t.Fatalf("count in first window = %d, want 1", got)
+	}
+
+	// Idle for 3.5 windows. The next sample must open the window
+	// [330µs, 430µs) — 30µs + 3×100µs — and contain only itself.
+	r.Update(7, 380*time.Microsecond)
+	if got := r.Value("count", 380*time.Microsecond); got != 1 {
+		t.Fatalf("count after idle skip = %d, want 1", got)
+	}
+	if got := r.Value("sum", 380*time.Microsecond); got != 7 {
+		t.Fatalf("sum after idle skip = %d, want 7", got)
+	}
+	// 429µs is inside the same window; 430µs is the next boundary.
+	if got := r.Value("count", 429*time.Microsecond); got != 1 {
+		t.Fatalf("count at 429µs = %d, want 1 (window should reach 430µs)", got)
+	}
+	if got := r.Value("count", 430*time.Microsecond); got != 0 {
+		t.Fatalf("count at 430µs = %d, want 0 (boundary must roll)", got)
+	}
+}
+
+// TestRegisterRollExactBoundary checks a sample landing exactly on a
+// boundary opens the new window rather than extending the old one.
+func TestRegisterRollExactBoundary(t *testing.T) {
+	w := 100 * time.Microsecond
+	r := &Register{Window: w}
+	r.Update(1, 0)
+	r.Update(2, 99*time.Microsecond)
+	if got := r.Value("count", 99*time.Microsecond); got != 2 {
+		t.Fatalf("count before boundary = %d, want 2", got)
+	}
+	r.Update(3, 100*time.Microsecond)
+	if got := r.Value("count", 100*time.Microsecond); got != 1 {
+		t.Fatalf("count at boundary = %d, want 1", got)
+	}
+	if got := r.Value("last", 100*time.Microsecond); got != 3 {
+		t.Fatalf("last at boundary = %d, want 3", got)
+	}
+}
+
+// TestRegisterPeekNonMutating checks the observability contract: a Peek
+// past the window boundary reads zero but does not roll the register, so
+// the accumulated window is still intact for the packet path (and for
+// peeks at in-window timestamps).
+func TestRegisterPeekNonMutating(t *testing.T) {
+	w := 100 * time.Microsecond
+	r := &Register{Window: w}
+	r.Update(10, 0)
+	r.Update(4, 10*time.Microsecond)
+
+	for _, tc := range []struct {
+		agg  string
+		want uint64
+	}{
+		{"count", 2}, {"sum", 14}, {"min", 4}, {"max", 10}, {"avg", 7}, {"last", 4},
+	} {
+		if got := r.Peek(tc.agg, 50*time.Microsecond); got != tc.want {
+			t.Errorf("Peek(%s) = %d, want %d", tc.agg, got, tc.want)
+		}
+	}
+
+	// A scrape lands two windows later: it must see zero...
+	if got := r.Peek("sum", 250*time.Microsecond); got != 0 {
+		t.Fatalf("expired Peek = %d, want 0", got)
+	}
+	// ...without having reset anything: the old window is still whole.
+	if got := r.Peek("sum", 50*time.Microsecond); got != 14 {
+		t.Fatalf("Peek mutated the register: sum now %d, want 14", got)
+	}
+	// Contrast with Value, which rolls (the packet-path behaviour).
+	if got := r.Value("sum", 250*time.Microsecond); got != 0 {
+		t.Fatalf("Value after boundary = %d, want 0", got)
+	}
+	if got := r.Peek("sum", 50*time.Microsecond); got != 0 {
+		t.Fatalf("Value should have rolled; Peek sees %d, want 0", got)
+	}
+
+	// Never-written registers peek zero for every aggregate.
+	var fresh Register
+	if got := fresh.Peek("count", 0); got != 0 {
+		t.Fatalf("fresh Peek = %d, want 0", got)
+	}
+}
+
+// TestRegisterFilePeek covers the file-level scrape path: absent names
+// read zero and present names serve the non-mutating view.
+func TestRegisterFilePeek(t *testing.T) {
+	f := NewRegisterFile()
+	f.Update("c", "count", 1, 0)
+	f.Update("c", "count", 1, 10*time.Microsecond)
+	if got := f.Peek("c", "count", 20*time.Microsecond); got != 2 {
+		t.Fatalf("Peek(c) = %d, want 2", got)
+	}
+	if got := f.Peek("missing", "count", 0); got != 0 {
+		t.Fatalf("Peek(missing) = %d, want 0", got)
+	}
+	// A late peek must not roll the window out from under the packet path.
+	if got := f.Peek("c", "count", 20*time.Microsecond+AggWindow); got != 0 {
+		t.Fatalf("expired file Peek = %d, want 0", got)
+	}
+	if got := f.Peek("c", "count", 20*time.Microsecond); got != 2 {
+		t.Fatalf("Peek mutated file register: %d, want 2", got)
+	}
+}

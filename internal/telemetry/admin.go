@@ -2,11 +2,21 @@ package telemetry
 
 import (
 	"context"
+	"encoding/json"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"time"
 )
+
+// DebugRoute attaches one extra JSON document to the admin mux: Doc is
+// invoked per request and marshaled indented. Documents must follow the
+// same contract as the built-in routes — read-only against the
+// dataplane (camus-switch serves its register snapshot this way).
+type DebugRoute struct {
+	Path string
+	Doc  func() any
+}
 
 // Handler returns the admin HTTP mux for a deployment:
 //
@@ -14,10 +24,24 @@ import (
 //	/debug/camus   indented-JSON Snapshot (registry + recent spans)
 //	/debug/pprof/  the standard Go profiler endpoints
 //
-// The same mux backs `camus-switch -admin`. Handlers only read atomics,
-// so scraping a switch under load does not perturb the dataplane.
-func Handler(t *Telemetry) http.Handler {
+// plus one route per extra DebugRoute. The same mux backs
+// `camus-switch -admin`. Handlers only read atomics, so scraping a
+// switch under load does not perturb the dataplane.
+func Handler(t *Telemetry, extra ...DebugRoute) http.Handler {
 	mux := http.NewServeMux()
+	for _, r := range extra {
+		doc := r.Doc
+		mux.HandleFunc(r.Path, func(w http.ResponseWriter, req *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			b, err := json.MarshalIndent(doc(), "", "  ")
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			_, _ = w.Write(b)
+			_, _ = w.Write([]byte("\n"))
+		})
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = t.Reg().WritePrometheus(w)
@@ -50,12 +74,12 @@ type AdminServer struct {
 // Serve binds addr and serves the admin mux in a background goroutine.
 // The goroutine signals done when Serve returns, so Close can wait for
 // it instead of leaving a serve loop racing process teardown.
-func Serve(addr string, t *Telemetry) (*AdminServer, error) {
+func Serve(addr string, t *Telemetry, extra ...DebugRoute) (*AdminServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: Handler(t), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: Handler(t, extra...), ReadHeaderTimeout: 5 * time.Second}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)

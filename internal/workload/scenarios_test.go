@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"camus/internal/compiler"
+	"camus/internal/spec"
+)
+
+// compileScenarioProg checks a scenario's spec and rules compile together
+// and returns the program and its field lookup.
+func compileScenarioProg(t *testing.T, sc Scenario) (*compiler.Program, func(string) (int, bool)) {
+	t.Helper()
+	sp, err := spec.Parse(sc.SpecSrc)
+	if err != nil {
+		t.Fatalf("%s: spec: %v", sc.Name, err)
+	}
+	prog, err := compiler.CompileSource(sp, sc.RulesSrc, compiler.Options{})
+	if err != nil {
+		t.Fatalf("%s: rules: %v", sc.Name, err)
+	}
+	return prog, func(name string) (int, bool) {
+		i, err := prog.FieldIndex(name)
+		return i, err == nil
+	}
+}
+
+// TestScenariosCompile: both scenario bundles are valid programs whose
+// key field the compiler carries in the value vector.
+func TestScenariosCompile(t *testing.T) {
+	scs := Scenarios()
+	if len(scs) != 2 {
+		t.Fatalf("expected 2 scenarios, got %d", len(scs))
+	}
+	for _, sc := range scs {
+		prog, lookup := compileScenarioProg(t, sc)
+		if _, ok := lookup(sc.KeyField); !ok {
+			t.Errorf("%s: key field %q not in compiled program", sc.Name, sc.KeyField)
+		}
+		if sc.ForwardPort == sc.AlertPort {
+			t.Errorf("%s: forward and alert ports collide", sc.Name)
+		}
+		if len(prog.Fields) == 0 {
+			t.Errorf("%s: program carries no fields", sc.Name)
+		}
+	}
+}
+
+// TestScenarioGenDeterministic: same seed, same feed — row for row.
+func TestScenarioGenDeterministic(t *testing.T) {
+	for _, sc := range Scenarios() {
+		prog, lookup := compileScenarioProg(t, sc)
+		cfg := ScenarioFeedConfig{Keys: 64, Seed: 9}
+		ga := sc.NewGen(cfg, lookup)
+		gb := sc.NewGen(cfg, lookup)
+		va := make([]uint64, len(prog.Fields))
+		vb := make([]uint64, len(prog.Fields))
+		for i := 0; i < 5000; i++ {
+			ta := ga.Next(va)
+			tb := gb.Next(vb)
+			if ta != tb {
+				t.Fatalf("%s: packet %d times differ: %v vs %v", sc.Name, i, ta, tb)
+			}
+			for j := range va {
+				if va[j] != vb[j] {
+					t.Fatalf("%s: packet %d field %d differs: %d vs %d", sc.Name, i, j, va[j], vb[j])
+				}
+			}
+			if ga.Key(va) != gb.Key(vb) {
+				t.Fatalf("%s: packet %d keys differ", sc.Name, i)
+			}
+		}
+	}
+}
+
+// TestScenarioGenShape: the generated traffic has the properties the
+// rules depend on — keys in range, paced arrivals, IoT hot/cold means
+// separated across the threshold, DDoS frame sizes on the wire range.
+func TestScenarioGenShape(t *testing.T) {
+	const n = 20000
+	cfg := ScenarioFeedConfig{Keys: 128, Rate: 100000, Seed: 5}
+
+	t.Run("iot", func(t *testing.T) {
+		sc := IoTScenario()
+		prog, lookup := compileScenarioProg(t, sc)
+		keyIdx, _ := lookup("iot.sensor_id")
+		metricIdx, _ := lookup("iot.metric")
+		valueIdx, _ := lookup("iot.value")
+		g := sc.NewGen(cfg, lookup)
+		vals := make([]uint64, len(prog.Fields))
+		var last time.Duration = -1
+		var temps int
+		var hotSum, hotN, coldSum, coldN uint64
+		for i := 0; i < n; i++ {
+			at := g.Next(vals)
+			if at <= last && i > 0 {
+				t.Fatalf("arrivals not strictly increasing at %d", i)
+			}
+			last = at
+			key := vals[keyIdx]
+			if key >= uint64(cfg.Keys) {
+				t.Fatalf("key %d out of range", key)
+			}
+			if g.Key(vals) != key {
+				t.Fatalf("Key() disagrees with key field")
+			}
+			switch vals[metricIdx] {
+			case 1:
+				temps++
+				v := vals[valueIdx]
+				if int(key) < 12 { // 10% of 128 sensors run hot
+					hotSum, hotN = hotSum+v, hotN+1
+				} else {
+					coldSum, coldN = coldSum+v, coldN+1
+				}
+			case 2: // other telemetry
+			default:
+				t.Fatalf("unexpected metric %d", vals[metricIdx])
+			}
+		}
+		if frac := float64(temps) / n; frac < 0.75 || frac > 0.85 {
+			t.Errorf("temperature fraction %.2f outside [0.75, 0.85]", frac)
+		}
+		hotAvg := float64(hotSum) / float64(hotN)
+		coldAvg := float64(coldSum) / float64(coldN)
+		if hotAvg <= IoTThreshold || coldAvg >= IoTThreshold {
+			t.Errorf("means don't straddle threshold %d: hot %.1f cold %.1f", IoTThreshold, hotAvg, coldAvg)
+		}
+	})
+
+	t.Run("ddos", func(t *testing.T) {
+		sc := DDoSScenario()
+		prog, lookup := compileScenarioProg(t, sc)
+		srcIdx, _ := lookup("ip.src")
+		lenIdx, _ := lookup("ip.len")
+		g := sc.NewGen(cfg, lookup)
+		vals := make([]uint64, len(prog.Fields))
+		counts := make([]int, cfg.Keys)
+		for i := 0; i < n; i++ {
+			g.Next(vals)
+			src := vals[srcIdx]
+			if src >= uint64(cfg.Keys) {
+				t.Fatalf("src %d out of range", src)
+			}
+			counts[src]++
+			if l := vals[lenIdx]; l < 64 || l > 1500 {
+				t.Fatalf("frame length %d off the wire range", l)
+			}
+		}
+		// Zipf skew: the top source dominates any mid-rank one.
+		max, mid := 0, counts[cfg.Keys/2]
+		for _, c := range counts {
+			if c > max {
+				max = c
+			}
+		}
+		if max < 10*mid {
+			t.Errorf("popularity not heavy-tailed: max %d vs mid-rank %d", max, mid)
+		}
+	})
+}
+
+// TestScenarioFeedDefaults: the zero config fills in documented defaults.
+func TestScenarioFeedDefaults(t *testing.T) {
+	var c ScenarioFeedConfig
+	c.defaults()
+	if c.Keys != 256 || c.Skew != 1.3 || c.Rate != 100000 || c.HotFrac != 0.1 {
+		t.Fatalf("unexpected defaults: %+v", c)
+	}
+}
